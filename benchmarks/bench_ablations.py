@@ -1,0 +1,75 @@
+"""Ablation benches: pruning statistics and the cost-model design choice.
+
+* ``test_pruning_rate`` reproduces the Section 9 claim that deduction with
+  partial evaluation prunes the large majority of partially-filled sketches
+  before all holes are filled (72% in the paper).
+* ``test_cost_model_ablation`` compares the statistical (bigram) hypothesis
+  ranking against a uniform size-only ranking -- the design choice called out
+  in DESIGN.md.
+* ``test_smt_deduction_query`` micro-benchmarks the deduction engine itself
+  (the substrate replacing Z3).
+"""
+
+import itertools
+
+from repro.benchmarks import r_benchmark_suite, run_suite
+from repro.core import SynthesisConfig, standard_library
+from repro.core.deduction import DeductionEngine
+from repro.core.hypothesis import initial_hypothesis, refine, table_holes
+from repro.dataframe import Table
+from conftest import BENCH_TIMEOUT, REPRESENTATIVE_BENCHMARKS
+
+SUITE = r_benchmark_suite()
+SUBSET = SUITE.subset(names=REPRESENTATIVE_BENCHMARKS)
+
+
+def test_pruning_rate(benchmark):
+    """Fraction of partially-filled sketches rejected before completion."""
+    def run():
+        suite_run = run_suite(
+            SUBSET, lambda t: SynthesisConfig(timeout=t), timeout=BENCH_TIMEOUT, label="spec2"
+        )
+        rates = [outcome.prune_rate for outcome in suite_run.outcomes if outcome.prune_rate > 0]
+        return sum(rates) / len(rates) if rates else 0.0
+
+    mean_rate = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["mean_prune_rate"] = mean_rate
+    assert 0.0 < mean_rate <= 1.0
+
+
+def test_cost_model_ablation(benchmark):
+    """Bigram ranking should solve at least as many tasks as uniform ranking."""
+    def run():
+        ngram = run_suite(
+            SUBSET, lambda t: SynthesisConfig(timeout=t, ngram_ranking=True),
+            timeout=BENCH_TIMEOUT, label="ngram",
+        )
+        uniform = run_suite(
+            SUBSET, lambda t: SynthesisConfig(timeout=t, ngram_ranking=False),
+            timeout=BENCH_TIMEOUT, label="uniform",
+        )
+        return ngram.solved, uniform.solved
+
+    ngram_solved, uniform_solved = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["ngram"] = ngram_solved
+    benchmark.extra_info["uniform"] = uniform_solved
+    assert ngram_solved >= uniform_solved
+
+
+def test_smt_deduction_query(benchmark):
+    """Throughput of a single hypothesis-level deduction query."""
+    students = Table(["name", "age", "gpa"],
+                     [["Alice", 8, 4.0], ["Bob", 18, 3.2], ["Tom", 12, 3.0]])
+    output = Table(["name", "age"], [["Bob", 18], ["Tom", 12]])
+    components = {component.name: component for component in standard_library()}
+    next_id = itertools.count(1)
+    hypothesis = initial_hypothesis()
+    for name in ("select", "filter"):
+        hole = table_holes(hypothesis)[0]
+        hypothesis = refine(hypothesis, hole, components[name], lambda: next(next_id))
+
+    def run():
+        engine = DeductionEngine(inputs=[students], output=output)
+        return engine.deduce(hypothesis)
+
+    assert benchmark(run) is True

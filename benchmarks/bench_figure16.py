@@ -1,0 +1,46 @@
+"""Figure 16: per-category synthesis with No-deduction / Spec 1 / Spec 2.
+
+Each pytest-benchmark target times Morpheus under one of the paper's three
+configurations on one representative benchmark per category; the
+``test_figure16_summary`` target runs the aggregated table on the subset and
+asserts the paper's qualitative shape (deduction never solves fewer tasks).
+
+Regenerate the full table with::
+
+    python -m repro.benchmarks.cli figure16 --timeout 60
+"""
+
+import pytest
+
+from repro.baselines import FIGURE16_CONFIGS
+from repro.benchmarks import figure16_table, r_benchmark_suite, run_benchmark, run_figure16
+from conftest import BENCH_FULL, BENCH_TIMEOUT, REPRESENTATIVE_BENCHMARKS
+
+SUITE = r_benchmark_suite()
+NAMES = SUITE.names() if BENCH_FULL else REPRESENTATIVE_BENCHMARKS
+
+
+@pytest.mark.parametrize("config_name", list(FIGURE16_CONFIGS))
+@pytest.mark.parametrize("benchmark_name", NAMES)
+def test_figure16_cell(benchmark, config_name, benchmark_name):
+    """Time one (configuration, benchmark) cell of Figure 16."""
+    task = SUITE.get(benchmark_name)
+    config = FIGURE16_CONFIGS[config_name](BENCH_TIMEOUT)
+
+    def run():
+        return run_benchmark(task, config, label=config_name)
+
+    outcome = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["solved"] = outcome.solved
+    benchmark.extra_info["category"] = outcome.category
+
+
+def test_figure16_summary(capsys):
+    """Aggregate the subset and check the qualitative ordering of Figure 16."""
+    subset = SUITE.subset(names=NAMES)
+    runs = run_figure16(timeout=BENCH_TIMEOUT, suite=subset)
+    table = figure16_table(runs)
+    with capsys.disabled():
+        print("\n" + table)
+    assert runs["spec2"].solved >= runs["spec1"].solved >= 0
+    assert runs["spec2"].solved >= runs["no-deduction"].solved

@@ -1,0 +1,44 @@
+"""Figure 17: cumulative running time with/without partial evaluation.
+
+Times the five configurations of the figure (no deduction, Spec 1/2 with and
+without partial evaluation) on the representative subset and prints the
+cumulative-time series.
+
+Regenerate the full curves with::
+
+    python -m repro.benchmarks.cli figure17 --timeout 60
+"""
+
+import pytest
+
+from repro.baselines import ALL_FIGURE17_CONFIGS
+from repro.benchmarks import figure17_series, figure17_table, r_benchmark_suite, run_suite
+from conftest import BENCH_FULL, BENCH_TIMEOUT, REPRESENTATIVE_BENCHMARKS
+
+SUITE = r_benchmark_suite()
+NAMES = SUITE.names() if BENCH_FULL else REPRESENTATIVE_BENCHMARKS
+SUBSET = SUITE.subset(names=NAMES)
+
+
+@pytest.mark.parametrize("config_name", list(ALL_FIGURE17_CONFIGS))
+def test_figure17_curve(benchmark, config_name):
+    """Time one configuration over the whole subset (one curve of Figure 17)."""
+    factory = ALL_FIGURE17_CONFIGS[config_name]
+
+    def run():
+        return run_suite(SUBSET, factory, timeout=BENCH_TIMEOUT, label=config_name)
+
+    run_result = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["solved"] = run_result.solved
+    benchmark.extra_info["total"] = run_result.total
+
+
+def test_figure17_partial_evaluation_helps(capsys):
+    """Partial evaluation should not solve fewer benchmarks than its ablation."""
+    with_pe = run_suite(SUBSET, ALL_FIGURE17_CONFIGS["spec2-pe"], timeout=BENCH_TIMEOUT, label="spec2-pe")
+    without_pe = run_suite(SUBSET, ALL_FIGURE17_CONFIGS["spec2-no-pe"], timeout=BENCH_TIMEOUT, label="spec2-no-pe")
+    runs = {"spec2-pe": with_pe, "spec2-no-pe": without_pe}
+    with capsys.disabled():
+        print("\n" + figure17_table(runs))
+        print(figure17_series(runs))
+    assert with_pe.solved >= without_pe.solved

@@ -1,0 +1,43 @@
+"""Shared configuration for the benchmark harness.
+
+The pytest-benchmark targets in this directory regenerate the paper's tables
+and figures on a *representative subset* of the suites so that
+``pytest benchmarks/ --benchmark-only`` finishes in minutes.  Set the
+environment variable ``MORPHEUS_BENCH_FULL=1`` (and be prepared to wait) to
+run every benchmark, or use ``python -m repro.benchmarks.cli`` for the
+complete command-line harness with configurable timeouts.
+"""
+
+import os
+
+import pytest
+
+#: Per-task synthesis timeout used by the benchmark targets (seconds).
+BENCH_TIMEOUT = float(os.environ.get("MORPHEUS_BENCH_TIMEOUT", "15"))
+
+#: Whether to run the full 80-task suite instead of the representative subset.
+BENCH_FULL = os.environ.get("MORPHEUS_BENCH_FULL", "0") == "1"
+
+#: One representative benchmark per category (fast enough for CI timing runs).
+REPRESENTATIVE_BENCHMARKS = [
+    "c1_prices_long_to_wide",        # C1: long -> wide reshaping
+    "c2_orders_count_by_region",     # C2: arithmetic (group_by + summarise)
+    "c3_exam_gather_unite_spread",   # C3: reshaping + string manipulation (Example 1)
+    "c4_spread_then_difference",     # C4: reshaping + arithmetic
+    "c5_join_filter_large_orders",   # C5: consolidation + arithmetic
+    "c6_unite_after_ratio",          # C6: arithmetic + strings
+    "c8_split_then_count",           # C8: reshaping + arithmetic + strings
+]
+
+#: Representative SQL-expressible tasks for Figure 18 timing.
+REPRESENTATIVE_SQL_BENCHMARKS = [
+    "sql_filter_high_salary",
+    "sql_count_per_dept",
+    "sql_join_project_floor",
+    "sql_spend_per_country",
+]
+
+
+@pytest.fixture(scope="session")
+def bench_timeout():
+    return BENCH_TIMEOUT

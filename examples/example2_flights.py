@@ -1,0 +1,48 @@
+"""Paper Example 2: selection plus computation (filter/group_by/summarise/mutate).
+
+For each origin airport, compute the number and proportion of flights that go
+to Seattle.  This exercises the arithmetic side of the DSL: the synthesized
+program ends with ``mutate(prop = n / sum(n))``.
+
+Run with::
+
+    python examples/example2_flights.py
+"""
+
+from repro import SynthesisConfig, Table, synthesize
+
+FLIGHTS = Table(
+    ["flight", "origin", "dest"],
+    [
+        [11, "EWR", "SEA"],
+        [725, "JFK", "BQN"],
+        [495, "JFK", "SEA"],
+        [461, "LGA", "ATL"],
+        [1696, "EWR", "ORD"],
+        [1670, "EWR", "SEA"],
+    ],
+)
+
+EXPECTED_OUTPUT = Table(
+    ["origin", "n", "prop"],
+    [
+        ["EWR", 2, 0.6666667],
+        ["JFK", 1, 0.3333333],
+    ],
+)
+
+
+def main() -> None:
+    result = synthesize([FLIGHTS], EXPECTED_OUTPUT, config=SynthesisConfig(timeout=120))
+    print("flights:")
+    print(FLIGHTS.to_markdown())
+    print()
+    if result.solved:
+        print(f"synthesized in {result.elapsed:.2f}s:")
+        print(result.render(["flights"]))
+    else:
+        print("no program found within the time limit")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: synthesize a table transformation from one input-output example.
+
+Run with::
+
+    python examples/quickstart.py
+
+The task: given a little table of employees, produce the head-count per
+department.  We only provide the input table and the desired output table;
+Morpheus figures out the ``group_by`` + ``summarise`` pipeline.
+"""
+
+from repro import SynthesisConfig, Table, synthesize
+
+INPUT = Table(
+    ["employee", "department"],
+    [
+        ["kim", "engineering"],
+        ["lee", "engineering"],
+        ["pat", "sales"],
+        ["ana", "engineering"],
+        ["joe", "sales"],
+    ],
+)
+
+EXPECTED_OUTPUT = Table(
+    ["department", "n"],
+    [
+        ["engineering", 3],
+        ["sales", 2],
+    ],
+)
+
+
+def main() -> None:
+    result = synthesize([INPUT], EXPECTED_OUTPUT, config=SynthesisConfig(timeout=30))
+    print("input table:")
+    print(INPUT.to_markdown())
+    print()
+    print("expected output:")
+    print(EXPECTED_OUTPUT.to_markdown())
+    print()
+    if result.solved:
+        print(f"synthesized in {result.elapsed:.2f}s ({result.size} components):")
+        print(result.render(["employees"]))
+    else:
+        print("no program found within the time limit")
+
+
+if __name__ == "__main__":
+    main()

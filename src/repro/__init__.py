@@ -1,0 +1,45 @@
+"""Morpheus reproduction: component-based synthesis of table transformations.
+
+This package reproduces *"Component-based Synthesis of Table Consolidation
+and Transformation Tasks from Examples"* (PLDI 2017) as a pure-Python
+library.  The top-level namespace re-exports the pieces a user typically
+needs: the table substrate, the synthesizer, and the component library.
+
+Quickstart::
+
+    from repro import Table, synthesize
+
+    inputs = [Table(["a", "b"], [[1, 2], [3, 4], [5, 6]])]
+    output = Table(["a", "b"], [[3, 4], [5, 6]])
+    result = synthesize(inputs, output)
+    print(result.render())
+"""
+
+from .core import (
+    Example,
+    Morpheus,
+    SpecLevel,
+    SynthesisConfig,
+    SynthesisResult,
+    sql_library,
+    standard_library,
+    synthesize,
+)
+from .dataframe import Table, tables_equivalent, tables_match_for_synthesis
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Example",
+    "Morpheus",
+    "SpecLevel",
+    "SynthesisConfig",
+    "SynthesisResult",
+    "Table",
+    "__version__",
+    "sql_library",
+    "standard_library",
+    "synthesize",
+    "tables_equivalent",
+    "tables_match_for_synthesis",
+]

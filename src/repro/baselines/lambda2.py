@@ -1,0 +1,141 @@
+"""A list-combinator synthesizer (the lambda2 baseline).
+
+Section 9 of the paper compares Morpheus against lambda2 [Feser et al.,
+PLDI 2015], a synthesizer of higher-order functional programs over lists and
+trees.  Tables are encoded as lists of rows (each row a list of cells) and
+the synthesizer composes ``map`` / ``filter`` / ``sort`` combinators with
+enumerated first-order functions.  As the paper reports, this program class
+covers simple projections and selections but none of the table reshaping,
+grouping or consolidation benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..dataframe.table import Table
+
+#: A table encoded the way lambda2 sees it: a list of rows.
+ListTable = List[List[object]]
+
+
+def table_to_lists(table: Table) -> ListTable:
+    """Encode a :class:`Table` as a list of rows (lambda2's view of the data)."""
+    return [list(row) for row in table.rows]
+
+
+@dataclass(frozen=True)
+class Combinator:
+    """One step of a lambda2 program: a named combinator plus its argument."""
+
+    name: str
+    description: str
+    function: Callable[[ListTable], ListTable]
+
+    def __call__(self, rows: ListTable) -> ListTable:
+        return self.function(rows)
+
+
+@dataclass
+class Lambda2Result:
+    """Outcome of a lambda2 synthesis run."""
+
+    solved: bool
+    program: Optional[Tuple[Combinator, ...]]
+    elapsed: float
+    programs_tried: int = 0
+
+    def render(self) -> str:
+        """The synthesized pipeline as text."""
+        if not self.program:
+            return "<no program found>"
+        return " . ".join(step.description for step in self.program)
+
+
+@dataclass
+class Lambda2Synthesizer:
+    """Enumerative synthesis of ``map``/``filter``/``sort`` pipelines."""
+
+    max_depth: int = 3
+    timeout: Optional[float] = 30.0
+
+    def synthesize(self, inputs: Sequence[Table], output: Table) -> Lambda2Result:
+        """Search for a combinator pipeline mapping the first input to the output."""
+        started = time.monotonic()
+        deadline = started + self.timeout if self.timeout is not None else None
+        source = table_to_lists(inputs[0])
+        target = table_to_lists(output)
+        combinators = list(self._combinators(source))
+        tried = 0
+
+        for depth in range(1, self.max_depth + 1):
+            for pipeline in itertools.product(combinators, repeat=depth):
+                if deadline is not None and time.monotonic() > deadline:
+                    return Lambda2Result(False, None, time.monotonic() - started, tried)
+                tried += 1
+                rows = source
+                try:
+                    for step in pipeline:
+                        rows = step(rows)
+                except (IndexError, TypeError):
+                    continue
+                if _rows_equal(rows, target):
+                    return Lambda2Result(True, tuple(pipeline), time.monotonic() - started, tried)
+        return Lambda2Result(False, None, time.monotonic() - started, tried)
+
+    # ------------------------------------------------------------------
+    def _combinators(self, source: ListTable):
+        """First-order functions enumerated from the input (lambda2's hypothesis space)."""
+        width = len(source[0]) if source else 0
+
+        # map with a projection function: keep a subset of the columns.
+        for size in range(1, width + 1):
+            for indices in itertools.combinations(range(width), size):
+                if len(indices) == width:
+                    continue
+                yield Combinator(
+                    "map",
+                    f"map (project {list(indices)})",
+                    lambda rows, idx=indices: [[row[i] for i in idx] for row in rows],
+                )
+
+        # filter with a comparison predicate on one column.
+        constants = set()
+        for row in source:
+            for index, value in enumerate(row):
+                constants.add((index, value))
+        for (index, constant) in sorted(constants, key=repr):
+            for name, predicate in (
+                ("==", lambda a, b: a == b),
+                ("!=", lambda a, b: a != b),
+                (">", lambda a, b: _is_number(a) and _is_number(b) and a > b),
+                ("<", lambda a, b: _is_number(a) and _is_number(b) and a < b),
+            ):
+                yield Combinator(
+                    "filter",
+                    f"filter (col{index} {name} {constant!r})",
+                    lambda rows, i=index, c=constant, p=predicate: [
+                        row for row in rows if p(row[i], c)
+                    ],
+                )
+
+        # sort by one column.
+        for index in range(width):
+            yield Combinator(
+                "sort",
+                f"sortBy col{index}",
+                lambda rows, i=index: sorted(rows, key=lambda row: (repr(type(row[i])), row[i])),
+            )
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _rows_equal(left: ListTable, right: ListTable) -> bool:
+    if len(left) != len(right):
+        return False
+    return sorted(map(repr, left)) == sorted(map(repr, right))

@@ -1,0 +1,198 @@
+"""An enumerative SQL-query synthesizer (the SQLSynthesizer baseline).
+
+Figure 18 of the paper compares Morpheus against SQLSynthesizer
+[Zhang & Sun, ASE 2013], a tool that synthesizes *flat SQL queries* --
+selection, projection, equi-joins, grouping and aggregation -- from
+input-output examples.  The original tool is not available offline, so this
+module implements a faithful stand-in that searches the same program class:
+
+``SELECT <columns | aggregates> FROM T1 [NATURAL JOIN T2]
+  [WHERE col <op> constant] [GROUP BY columns]``
+
+Because the class contains no reshaping operators (nothing like ``gather`` /
+``spread`` / ``unite``), the baseline structurally cannot express most of the
+data-preparation benchmarks -- which is exactly the gap Figure 18 reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..components import dplyr
+from ..components.errors import PRUNABLE_ERRORS
+from ..components.values import AGGREGATORS, COMPARISON_OPERATORS
+from ..dataframe.cells import CellType
+from ..dataframe.compare import tables_match_for_synthesis
+from ..dataframe.table import Table
+
+#: Aggregate functions the SQL baseline may use.
+SQL_AGGREGATES = ("n", "sum", "mean", "min", "max")
+
+#: Comparison operators allowed in WHERE clauses.
+SQL_COMPARISONS = ("==", "!=", "<", ">", "<=", ">=")
+
+
+@dataclass(frozen=True)
+class SqlQuery:
+    """A flat SQL query over one or two tables."""
+
+    #: Indices of the input tables referenced (one or two).
+    tables: Tuple[int, ...]
+    #: Plain projected columns (SELECT list), possibly empty when aggregating.
+    projection: Tuple[str, ...]
+    #: Optional WHERE clause ``(column, operator, constant)``.
+    where: Optional[Tuple[str, str, object]] = None
+    #: GROUP BY columns (empty for none).
+    group_by: Tuple[str, ...] = ()
+    #: Optional aggregate ``(function, column)``; column is None for COUNT(*).
+    aggregate: Optional[Tuple[str, Optional[str]]] = None
+
+    def render_sql(self) -> str:
+        """Render the query as SQL text."""
+        select_items = list(self.projection)
+        if self.aggregate is not None:
+            function, column = self.aggregate
+            if function == "n":
+                select_items.append("COUNT(*)")
+            else:
+                select_items.append(f"{function.upper()}({column})")
+        sql = f"SELECT {', '.join(select_items) or '*'} FROM T{self.tables[0] + 1}"
+        if len(self.tables) > 1:
+            sql += f" NATURAL JOIN T{self.tables[1] + 1}"
+        if self.where is not None:
+            column, operator, constant = self.where
+            rendered = f"'{constant}'" if isinstance(constant, str) else str(constant)
+            operator = "=" if operator == "==" else operator
+            sql += f" WHERE {column} {operator} {rendered}"
+        if self.group_by:
+            sql += f" GROUP BY {', '.join(self.group_by)}"
+        return sql
+
+    def execute(self, inputs: Sequence[Table]) -> Table:
+        """Run the query against the input tables."""
+        table = inputs[self.tables[0]]
+        if len(self.tables) > 1:
+            table = dplyr.inner_join(table, inputs[self.tables[1]])
+        if self.where is not None:
+            column, operator, constant = self.where
+            comparator = COMPARISON_OPERATORS[operator]
+            rows = [
+                row
+                for index, row in enumerate(table.rows)
+                if comparator(table.row_dict(index)[column], constant)
+            ]
+            table = table.with_rows(rows)
+        if self.aggregate is not None:
+            function, column = self.aggregate
+            grouped = table.with_grouping(self.group_by) if self.group_by else table
+            out_rows = []
+            for key, row_indices in grouped.group_row_indices():
+                if function == "n":
+                    value = len(row_indices)
+                else:
+                    column_index = table.column_index(column)
+                    value = AGGREGATORS[function]([table.rows[i][column_index] for i in row_indices])
+                out_rows.append(tuple(key) + (value,))
+            out_columns = list(self.group_by) + ["agg"]
+            result = Table(out_columns, out_rows)
+            if self.projection:
+                result = result.select_columns(
+                    [name for name in self.projection if name in result.columns] + ["agg"]
+                )
+            return result
+        if self.projection:
+            table = table.select_columns(list(self.projection))
+        return table
+
+
+@dataclass
+class SqlSynthesisResult:
+    """Outcome of a SQL synthesis run."""
+
+    solved: bool
+    query: Optional[SqlQuery]
+    elapsed: float
+    queries_tried: int = 0
+
+
+@dataclass
+class SqlSynthesizer:
+    """Enumerative synthesis of flat SQL queries from one example."""
+
+    timeout: Optional[float] = 60.0
+    max_where_constants: int = 24
+
+    def synthesize(self, inputs: Sequence[Table], output: Table) -> SqlSynthesisResult:
+        """Search for a query whose result matches *output*."""
+        started = time.monotonic()
+        deadline = started + self.timeout if self.timeout is not None else None
+        tried = 0
+        for query in self._enumerate(inputs, output):
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            tried += 1
+            try:
+                result = query.execute(inputs)
+            except PRUNABLE_ERRORS:
+                continue
+            if tables_match_for_synthesis(result, output):
+                return SqlSynthesisResult(True, query, time.monotonic() - started, tried)
+        return SqlSynthesisResult(False, None, time.monotonic() - started, tried)
+
+    # ------------------------------------------------------------------
+    def _table_choices(self, inputs: Sequence[Table]) -> List[Tuple[int, ...]]:
+        choices: List[Tuple[int, ...]] = [(index,) for index in range(len(inputs))]
+        for left, right in itertools.permutations(range(len(inputs)), 2):
+            choices.append((left, right))
+        return choices
+
+    def _where_clauses(self, table: Table):
+        yield None
+        for name in table.columns:
+            constants = []
+            for value in table.column_values(name):
+                if value is None or value in constants:
+                    continue
+                constants.append(value)
+            operators = (
+                SQL_COMPARISONS
+                if table.column_type(name) is CellType.NUM
+                else ("==", "!=")
+            )
+            for operator in operators:
+                for constant in constants[: self.max_where_constants]:
+                    yield (name, operator, constant)
+
+    def _enumerate(self, inputs: Sequence[Table], output: Table):
+        """All queries, roughly from simplest to most complex."""
+        for tables in self._table_choices(inputs):
+            base = inputs[tables[0]]
+            if len(tables) > 1:
+                try:
+                    base = dplyr.inner_join(base, inputs[tables[1]])
+                except PRUNABLE_ERRORS:
+                    continue
+            columns = list(base.columns)
+            numeric = [name for name in columns if base.column_type(name) is CellType.NUM]
+
+            projections: List[Tuple[str, ...]] = [()]
+            for size in range(1, len(columns) + 1):
+                projections.extend(itertools.combinations(columns, size))
+
+            for where in self._where_clauses(base):
+                # Plain select-project queries.
+                for projection in projections:
+                    if projection:
+                        yield SqlQuery(tables, projection, where)
+                # Aggregation queries.
+                for group_size in range(0, min(3, len(columns)) + 1):
+                    for group in itertools.combinations(columns, group_size):
+                        for function in SQL_AGGREGATES:
+                            targets = [None] if function == "n" else numeric
+                            for target in targets:
+                                yield SqlQuery(
+                                    tables, (), where, group, (function, target)
+                                )

@@ -1,0 +1,68 @@
+"""Command-line entry point for regenerating the paper's tables and figures.
+
+Examples::
+
+    python -m repro.benchmarks.cli figure16 --timeout 20
+    python -m repro.benchmarks.cli figure17 --timeout 10 --categories C1 C2
+    python -m repro.benchmarks.cli figure18 --timeout 15
+    python -m repro.benchmarks.cli pruning
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .r_suite import r_benchmark_suite
+from .reporting import category_legend, figure16_table, figure17_table, figure18_table
+from .runner import run_figure16, run_figure17, run_figure18, run_pruning_statistics
+
+
+def _progress(outcome) -> None:
+    status = "ok" if outcome.solved else "--"
+    print(
+        f"  [{status}] {outcome.configuration:<14} {outcome.benchmark:<40} {outcome.elapsed:6.2f}s",
+        file=sys.stderr,
+    )
+
+
+def _subset(args):
+    suite = r_benchmark_suite()
+    if args.categories or args.names:
+        suite = suite.subset(names=args.names or None, categories=args.categories or None)
+    return suite
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figure", choices=["figure16", "figure17", "figure18", "pruning", "legend"])
+    parser.add_argument("--timeout", type=float, default=20.0, help="per-benchmark timeout in seconds")
+    parser.add_argument("--categories", nargs="*", default=None, help="restrict to these categories")
+    parser.add_argument("--names", nargs="*", default=None, help="restrict to these benchmark names")
+    parser.add_argument("--quiet", action="store_true", help="suppress per-benchmark progress output")
+    args = parser.parse_args(argv)
+    progress = None if args.quiet else _progress
+
+    if args.figure == "legend":
+        print(category_legend())
+        return 0
+    if args.figure == "figure16":
+        runs = run_figure16(timeout=args.timeout, suite=_subset(args), progress=progress)
+        print(figure16_table(runs))
+        return 0
+    if args.figure == "figure17":
+        runs = run_figure17(timeout=args.timeout, suite=_subset(args), progress=progress)
+        print(figure17_table(runs))
+        return 0
+    if args.figure == "figure18":
+        rows = run_figure18(timeout=args.timeout, r_suite=_subset(args))
+        print(figure18_table(rows))
+        return 0
+    if args.figure == "pruning":
+        print(run_pruning_statistics(timeout=args.timeout, suite=_subset(args)))
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

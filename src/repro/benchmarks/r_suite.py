@@ -1,0 +1,688 @@
+"""The 80-task R data-preparation benchmark suite (Figure 16 of the paper).
+
+The paper's 80 benchmarks are StackOverflow questions that cannot be
+redistributed here, so this suite recreates the *workload*: the same nine
+categories (C1-C9) with the same per-category counts, over small input tables
+in the style of the motivating examples.  Every benchmark's expected output
+is computed by running a reference tidyr/dplyr pipeline, so every task is
+expressible in the component language; the synthesizer only sees the
+input/output tables.
+
+Category definitions (column "Description" of Figure 16):
+
+C1  reshaping between long and wide form                           (4 tasks)
+C2  arithmetic computations producing new values                   (7 tasks)
+C3  reshaping combined with string manipulation of cell contents  (34 tasks)
+C4  reshaping and arithmetic computations                          (14 tasks)
+C5  arithmetic computations and consolidation of multiple tables   (11 tasks)
+C6  arithmetic computations and string manipulation                 (2 tasks)
+C7  reshaping and consolidation                                      (1 task)
+C8  reshaping, arithmetic computations and string manipulation       (6 tasks)
+C9  reshaping, arithmetic computations and consolidation             (1 task)
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..components import dplyr, tidyr
+from ..dataframe.table import Table
+from .r_suite_c3 import register_c3
+from .suite import BenchmarkSuite
+
+#: Human-readable category descriptions (Figure 16's "Description" column).
+CATEGORY_DESCRIPTIONS = {
+    "C1": "Reshaping dataframes from either 'long' to 'wide' or 'wide' to 'long'",
+    "C2": "Arithmetic computations that produce values not present in the input tables",
+    "C3": "Combination of reshaping and string manipulation of cell contents",
+    "C4": "Reshaping and arithmetic computations",
+    "C5": "Arithmetic computations and consolidation of information from multiple tables",
+    "C6": "Arithmetic computations and string manipulation tasks",
+    "C7": "Reshaping and consolidation tasks",
+    "C8": "Combination of reshaping, arithmetic computations and string manipulation",
+    "C9": "Combination of reshaping, arithmetic computations and consolidation",
+}
+
+#: Per-category benchmark counts, matching Figure 16.
+CATEGORY_COUNTS = {
+    "C1": 4, "C2": 7, "C3": 34, "C4": 14, "C5": 11, "C6": 2, "C7": 1, "C8": 6, "C9": 1,
+}
+
+
+def _register_c1(suite: BenchmarkSuite) -> None:
+    suite.add(
+        "c1_scores_wide_to_long",
+        "C1",
+        "Reshape per-round score columns into long form.",
+        [Table(["player", "round1", "round2"],
+               [["kai", 12, 15], ["lin", 9, 20], ["mo", 14, 8]])],
+        lambda tables: tidyr.gather(tables[0], "round", "score", ["round1", "round2"]),
+        ["gather"],
+    )
+    suite.add(
+        "c1_prices_long_to_wide",
+        "C1",
+        "Widen a long table of product prices per store.",
+        [Table(["product", "store", "price"],
+               [["pen", "north", 2], ["pen", "south", 3],
+                ["pad", "north", 5], ["pad", "south", 4]])],
+        lambda tables: tidyr.spread(tables[0], "store", "price"),
+        ["spread"],
+    )
+    suite.add(
+        "c1_attendance_roundtrip",
+        "C1",
+        "Gather weekday attendance columns and widen by class instead.",
+        [Table(["class", "mon", "tue"],
+               [["yoga", 12, 9], ["spin", 20, 22]])],
+        lambda tables: tidyr.spread(
+            tidyr.gather(tables[0], "day", "count", ["mon", "tue"]), "class", "count"
+        ),
+        ["gather", "spread"],
+    )
+    suite.add(
+        "c1_usage_wide_to_long_three",
+        "C1",
+        "Collapse three monthly usage columns into key/value pairs.",
+        [Table(["account", "jan", "feb", "mar"],
+               [["a1", 30, 28, 35], ["a2", 10, 15, 12]])],
+        lambda tables: tidyr.gather(tables[0], "month", "gb", ["jan", "feb", "mar"]),
+        ["gather"],
+    )
+
+
+def _register_c2(suite: BenchmarkSuite) -> None:
+    suite.add(
+        "c2_orders_count_by_region",
+        "C2",
+        "Count orders per region.",
+        [Table(["order", "region"],
+               [[1, "west"], [2, "west"], [3, "east"], [4, "west"], [5, "east"]])],
+        lambda tables: dplyr.summarise(dplyr.group_by(tables[0], ["region"]), "n", "n"),
+        ["group_by", "summarise"],
+    )
+    suite.add(
+        "c2_sales_total_per_rep",
+        "C2",
+        "Total sales amount per sales representative.",
+        [Table(["rep", "amount"],
+               [["ann", 100], ["bob", 40], ["ann", 60], ["bob", 25], ["cat", 90]])],
+        lambda tables: dplyr.summarise(dplyr.group_by(tables[0], ["rep"]), "total", "sum", "amount"),
+        ["group_by", "summarise"],
+    )
+    suite.add(
+        "c2_flights_to_seattle_share",
+        "C2",
+        "Count and share of flights to Seattle per origin (paper Example 2).",
+        [Table(["flight", "origin", "dest"],
+               [[11, "EWR", "SEA"], [725, "JFK", "BQN"], [495, "JFK", "SEA"],
+                [461, "LGA", "ATL"], [1696, "EWR", "ORD"], [1670, "EWR", "SEA"]])],
+        lambda tables: dplyr.mutate(
+            dplyr.summarise(
+                dplyr.group_by(
+                    dplyr.filter_rows(tables[0], lambda row: row["dest"] == "SEA"), ["origin"]
+                ),
+                "n", "n",
+            ),
+            "prop",
+            lambda row, group: row["n"] / sum(group.column_values("n")),
+        ),
+        ["filter", "group_by", "summarise", "mutate"],
+    )
+    suite.add(
+        "c2_grades_mean_per_student",
+        "C2",
+        "Mean grade per student.",
+        [Table(["student", "grade"],
+               [["ann", 80], ["ann", 90], ["bob", 70], ["bob", 75], ["bob", 95]])],
+        lambda tables: dplyr.summarise(dplyr.group_by(tables[0], ["student"]), "mean_grade", "mean", "grade"),
+        ["group_by", "summarise"],
+    )
+    suite.add(
+        "c2_cart_line_totals",
+        "C2",
+        "Add a line-total column (quantity times unit price).",
+        [Table(["item", "qty", "unit"],
+               [["pen", 3, 2], ["pad", 2, 5], ["ink", 4, 7]])],
+        lambda tables: dplyr.mutate(
+            tables[0], "total", lambda row, group: row["qty"] * row["unit"]
+        ),
+        ["mutate"],
+    )
+    suite.add(
+        "c2_max_temp_per_city",
+        "C2",
+        "Maximum recorded temperature per city, for warm readings only.",
+        [Table(["city", "temp"],
+               [["austin", 35], ["austin", 28], ["dallas", 31], ["dallas", 22], ["waco", 18]])],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(dplyr.filter_rows(tables[0], lambda row: row["temp"] > 20), ["city"]),
+            "hottest", "max", "temp",
+        ),
+        ["filter", "group_by", "summarise"],
+    )
+    suite.add(
+        "c2_budget_share_of_total",
+        "C2",
+        "Fraction of the total budget spent by each department.",
+        [Table(["dept", "spend"],
+               [["eng", 60], ["sales", 30], ["hr", 10]])],
+        lambda tables: dplyr.mutate(
+            tables[0], "share", lambda row, group: row["spend"] / sum(group.column_values("spend"))
+        ),
+        ["mutate"],
+    )
+
+
+def _register_c4(suite: BenchmarkSuite) -> None:
+    suite.add(
+        "c4_quarters_gather_total",
+        "C4",
+        "Gather quarterly columns and total revenue per company.",
+        [Table(["company", "q1", "q2"],
+               [["acme", 10, 14], ["bolt", 7, 9], ["core", 20, 22]])],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(
+                tidyr.gather(tables[0], "quarter", "revenue", ["q1", "q2"]), ["company"]
+            ),
+            "total", "sum", "revenue",
+        ),
+        ["gather", "group_by", "summarise"],
+    )
+    suite.add(
+        "c4_summary_then_spread",
+        "C4",
+        "Average rating per product and channel, widened by channel.",
+        [Table(["product", "channel", "rating"],
+               [["tv", "web", 4], ["tv", "store", 5], ["tv", "web", 2],
+                ["radio", "web", 3], ["radio", "store", 1], ["radio", "store", 5]])],
+        lambda tables: tidyr.spread(
+            dplyr.summarise(
+                dplyr.group_by(tables[0], ["product", "channel"]), "mean_rating", "mean", "rating"
+            ),
+            "channel", "mean_rating",
+        ),
+        ["group_by", "summarise", "spread"],
+    )
+    suite.add(
+        "c4_gather_then_mutate_share",
+        "C4",
+        "Gather medal columns and compute each row's share of all medals.",
+        [Table(["country", "gold", "silver"],
+               [["nor", 16, 8], ["ger", 12, 10]])],
+        lambda tables: dplyr.mutate(
+            tidyr.gather(tables[0], "medal", "count", ["gold", "silver"]),
+            "share", lambda row, group: row["count"] / sum(group.column_values("count")),
+        ),
+        ["gather", "mutate"],
+    )
+    suite.add(
+        "c4_spread_then_difference",
+        "C4",
+        "Widen before/after measurements and compute the improvement.",
+        [Table(["athlete", "phase", "time"],
+               [["ann", "after", 58], ["ann", "before", 61],
+                ["bob", "after", 64], ["bob", "before", 66]])],
+        lambda tables: dplyr.mutate(
+            tidyr.spread(tables[0], "phase", "time"),
+            "gain", lambda row, group: row["before"] - row["after"],
+        ),
+        ["spread", "mutate"],
+    )
+    suite.add(
+        "c4_gather_filter_mean",
+        "C4",
+        "Gather sensor columns, drop zero readings, and average per sensor.",
+        [Table(["hour", "s1", "s2"],
+               [[8, 0, 5], [9, 4, 7], [10, 6, 0], [11, 2, 3]])],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(
+                dplyr.filter_rows(
+                    tidyr.gather(tables[0], "sensor", "reading", ["s1", "s2"]),
+                    lambda row: row["reading"] > 0,
+                ),
+                ["sensor"],
+            ),
+            "mean_reading", "mean", "reading",
+        ),
+        ["gather", "filter", "group_by", "summarise"],
+    )
+    suite.add(
+        "c4_counts_per_key_spread",
+        "C4",
+        "Count observations per species and site, widened by site.",
+        [Table(["species", "site"],
+               [["owl", "north"], ["owl", "north"], ["owl", "south"],
+                ["fox", "south"], ["fox", "south"], ["fox", "north"]])],
+        lambda tables: tidyr.spread(
+            dplyr.summarise(dplyr.group_by(tables[0], ["species", "site"]), "n", "n"),
+            "site", "n",
+        ),
+        ["group_by", "summarise", "spread"],
+    )
+    suite.add(
+        "c4_mutate_then_gather",
+        "C4",
+        "Add a profit column, then gather the money columns into long form.",
+        [Table(["shop", "revenue", "cost"],
+               [["east", 100, 60], ["west", 80, 50]])],
+        lambda tables: tidyr.gather(
+            dplyr.mutate(tables[0], "profit", lambda row, group: row["revenue"] - row["cost"]),
+            "metric", "value", ["revenue", "cost", "profit"],
+        ),
+        ["mutate", "gather"],
+    )
+    suite.add(
+        "c4_totals_per_year_from_wide",
+        "C4",
+        "Gather yearly columns and total donations per year.",
+        [Table(["donor", "y2022", "y2023"],
+               [["ann", 50, 75], ["bob", 20, 10], ["eve", 100, 120]])],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(
+                tidyr.gather(tables[0], "year", "usd", ["y2022", "y2023"]), ["year"]
+            ),
+            "total", "sum", "usd",
+        ),
+        ["gather", "group_by", "summarise"],
+    )
+    suite.add(
+        "c4_min_per_route_spread",
+        "C4",
+        "Fastest delivery time per route and carrier, widened by carrier.",
+        [Table(["route", "carrier", "hours"],
+               [["r1", "ups", 30], ["r1", "dhl", 26], ["r1", "ups", 28],
+                ["r2", "dhl", 40], ["r2", "ups", 44], ["r2", "dhl", 38]])],
+        lambda tables: tidyr.spread(
+            dplyr.summarise(
+                dplyr.group_by(tables[0], ["route", "carrier"]), "fastest", "min", "hours"
+            ),
+            "carrier", "fastest",
+        ),
+        ["group_by", "summarise", "spread"],
+    )
+    suite.add(
+        "c4_gather_max_per_metric",
+        "C4",
+        "Gather KPI columns and report the maximum per KPI.",
+        [Table(["team", "velocity", "bugs"],
+               [["a", 30, 4], ["b", 25, 9], ["c", 40, 2]])],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(
+                tidyr.gather(tables[0], "kpi", "value", ["velocity", "bugs"]), ["kpi"]
+            ),
+            "best", "max", "value",
+        ),
+        ["gather", "group_by", "summarise"],
+    )
+    suite.add(
+        "c4_filter_mutate_ratio",
+        "C4",
+        "Keep completed projects and compute their cost overrun ratio.",
+        [Table(["project", "status", "budget", "actual"],
+               [["p1", "done", 100, 130], ["p2", "open", 50, 20], ["p3", "done", 80, 72]])],
+        lambda tables: dplyr.mutate(
+            dplyr.filter_rows(tables[0], lambda row: row["status"] == "done"),
+            "ratio", lambda row, group: row["actual"] / row["budget"],
+        ),
+        ["filter", "mutate"],
+    )
+    suite.add(
+        "c4_spread_counts_by_weekday",
+        "C4",
+        "Count incidents per service and weekday, widened by weekday.",
+        [Table(["service", "weekday"],
+               [["api", "mon"], ["api", "mon"], ["api", "tue"],
+                ["db", "tue"], ["db", "tue"], ["db", "mon"]])],
+        lambda tables: tidyr.spread(
+            dplyr.summarise(dplyr.group_by(tables[0], ["service", "weekday"]), "n", "n"),
+            "weekday", "n",
+        ),
+        ["group_by", "summarise", "spread"],
+    )
+    suite.add(
+        "c4_gather_then_count_large",
+        "C4",
+        "Gather exam parts and count how many scores exceed 10 per part.",
+        [Table(["student", "part1", "part2"],
+               [["ann", 12, 9], ["bob", 15, 14], ["eve", 8, 16]])],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(
+                dplyr.filter_rows(
+                    tidyr.gather(tables[0], "part", "score", ["part1", "part2"]),
+                    lambda row: row["score"] > 10,
+                ),
+                ["part"],
+            ),
+            "n", "n",
+        ),
+        ["gather", "filter", "group_by", "summarise"],
+    )
+    suite.add(
+        "c4_normalise_by_max",
+        "C4",
+        "Gather throughput columns and normalise each value by the maximum.",
+        [Table(["run", "read_mb", "write_mb"],
+               [["r1", 200, 100], ["r2", 400, 150]])],
+        lambda tables: dplyr.mutate(
+            tidyr.gather(tables[0], "op", "mb", ["read_mb", "write_mb"]),
+            "relative", lambda row, group: row["mb"] / max(group.column_values("mb")),
+        ),
+        ["gather", "mutate"],
+    )
+
+
+def _register_c5(suite: BenchmarkSuite) -> None:
+    orders = Table(["order", "customer", "amount"],
+                   [[1, "ann", 30], [2, "bob", 45], [3, "ann", 25], [4, "eve", 60]])
+    customers = Table(["customer", "city"],
+                      [["ann", "austin"], ["bob", "dallas"], ["eve", "waco"]])
+    suite.add(
+        "c5_orders_join_city",
+        "C5",
+        "Attach each order to the customer's city.",
+        [orders, customers],
+        lambda tables: dplyr.inner_join(tables[0], tables[1]),
+        ["inner_join"],
+    )
+    suite.add(
+        "c5_spend_by_city",
+        "C5",
+        "Total spend per city after joining orders with customers.",
+        [orders, customers],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(dplyr.inner_join(tables[0], tables[1]), ["city"]),
+            "total", "sum", "amount",
+        ),
+        ["inner_join", "group_by", "summarise"],
+    )
+    suite.add(
+        "c5_join_filter_large_orders",
+        "C5",
+        "Orders above 40 with their customer's city.",
+        [orders, customers],
+        lambda tables: dplyr.filter_rows(
+            dplyr.inner_join(tables[0], tables[1]), lambda row: row["amount"] > 40
+        ),
+        ["inner_join", "filter"],
+    )
+    employees = Table(["emp", "dept"],
+                      [["kim", "eng"], ["lee", "eng"], ["pat", "sales"]])
+    salaries = Table(["emp", "salary"],
+                     [["kim", 120], ["lee", 100], ["pat", 90]])
+    suite.add(
+        "c5_salary_per_department",
+        "C5",
+        "Total salary cost per department.",
+        [employees, salaries],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(dplyr.inner_join(tables[0], tables[1]), ["dept"]),
+            "payroll", "sum", "salary",
+        ),
+        ["inner_join", "group_by", "summarise"],
+    )
+    suite.add(
+        "c5_salary_share",
+        "C5",
+        "Each employee's share of the total payroll (join then mutate).",
+        [employees, salaries],
+        lambda tables: dplyr.mutate(
+            dplyr.inner_join(tables[0], tables[1]),
+            "share", lambda row, group: row["salary"] / sum(group.column_values("salary")),
+        ),
+        ["inner_join", "mutate"],
+    )
+    products = Table(["sku", "category"],
+                     [["s1", "tools"], ["s2", "toys"], ["s3", "tools"]])
+    stock = Table(["sku", "warehouse", "units"],
+                  [["s1", "east", 10], ["s2", "east", 4], ["s3", "west", 7], ["s1", "west", 2]])
+    suite.add(
+        "c5_units_per_category",
+        "C5",
+        "Units in stock per product category.",
+        [products, stock],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(dplyr.inner_join(tables[0], tables[1]), ["category"]),
+            "units", "sum", "units",
+        ),
+        ["inner_join", "group_by", "summarise"],
+    )
+    suite.add(
+        "c5_join_project_columns",
+        "C5",
+        "Join stock with categories and keep sku, category and units.",
+        [products, stock],
+        lambda tables: dplyr.select(
+            dplyr.inner_join(tables[0], tables[1]), ["sku", "category", "units"]
+        ),
+        ["inner_join", "select"],
+    )
+    visits = Table(["patient", "clinic", "charge"],
+                   [["p1", "north", 100], ["p2", "south", 250], ["p1", "north", 80], ["p3", "south", 40]])
+    insurance = Table(["patient", "plan"],
+                      [["p1", "gold"], ["p2", "silver"], ["p3", "gold"]])
+    suite.add(
+        "c5_charges_by_plan",
+        "C5",
+        "Total charges per insurance plan.",
+        [visits, insurance],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(dplyr.inner_join(tables[0], tables[1]), ["plan"]),
+            "charges", "sum", "charge",
+        ),
+        ["inner_join", "group_by", "summarise"],
+    )
+    suite.add(
+        "c5_count_visits_per_plan",
+        "C5",
+        "Number of visits per insurance plan.",
+        [visits, insurance],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(dplyr.inner_join(tables[0], tables[1]), ["plan"]), "n", "n"
+        ),
+        ["inner_join", "group_by", "summarise"],
+    )
+    suite.add(
+        "c5_gold_plan_visits",
+        "C5",
+        "Visits by gold-plan patients only.",
+        [visits, insurance],
+        lambda tables: dplyr.filter_rows(
+            dplyr.inner_join(tables[0], tables[1]), lambda row: row["plan"] == "gold"
+        ),
+        ["inner_join", "filter"],
+    )
+    suite.add(
+        "c5_expensive_visit_count",
+        "C5",
+        "Count visits charged above 75 per clinic (join brings in the plan, then filter).",
+        [visits, insurance],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(
+                dplyr.filter_rows(
+                    dplyr.inner_join(tables[0], tables[1]), lambda row: row["charge"] > 75
+                ),
+                ["clinic"],
+            ),
+            "n", "n",
+        ),
+        ["inner_join", "filter", "group_by", "summarise"],
+    )
+
+
+def _register_c6(suite: BenchmarkSuite) -> None:
+    suite.add(
+        "c6_split_code_then_total",
+        "C6",
+        "Split region_channel labels and total revenue per region.",
+        [Table(["segment", "revenue"],
+               [["emea_web", 120], ["emea_store", 60], ["apac_web", 90], ["apac_store", 30]])],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(
+                tidyr.separate(tables[0], "segment", ["region", "channel"]), ["region"]
+            ),
+            "total", "sum", "revenue",
+        ),
+        ["separate", "group_by", "summarise"],
+    )
+    suite.add(
+        "c6_unite_after_ratio",
+        "C6",
+        "Compute a win ratio and label each team with its league.",
+        [Table(["team", "league", "wins", "games"],
+               [["reds", "east", 8, 10], ["blues", "west", 5, 10]])],
+        lambda tables: tidyr.unite(
+            dplyr.mutate(tables[0], "ratio", lambda row, group: row["wins"] / row["games"]),
+            "team_league", ["team", "league"],
+        ),
+        ["mutate", "unite"],
+    )
+
+
+def _register_c7(suite: BenchmarkSuite) -> None:
+    positions = Table(["frame", "X1", "X2"],
+                      [[1, 0, 0], [2, 10, 15], [3, 15, 10]])
+    speeds = Table(["frame", "X1", "X2"],
+                   [[1, 0, 0], [2, 14.5, 12.5], [3, 13.9, 14.6]])
+    suite.add(
+        "c7_vehicle_consolidation",
+        "C7",
+        "Consolidate vehicle ids and speeds into one long table (paper Example 3, two slots).",
+        [positions, speeds],
+        lambda tables: dplyr.filter_rows(
+            dplyr.inner_join(
+                tidyr.gather(tables[0], "pos", "carid", ["X1", "X2"]),
+                tidyr.gather(tables[1], "pos", "speed", ["X1", "X2"]),
+            ),
+            lambda row: row["carid"] != 0,
+        ),
+        ["gather", "gather", "inner_join", "filter"],
+    )
+
+
+def _register_c8(suite: BenchmarkSuite) -> None:
+    suite.add(
+        "c8_split_then_count",
+        "C8",
+        "Split machine_state labels and count log lines per state.",
+        [Table(["event", "lines"],
+               [["web_up", 4], ["web_down", 2], ["db_up", 6], ["db_down", 1]])],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(tidyr.separate(tables[0], "event", ["machine", "state"]), ["state"]),
+            "total", "sum", "lines",
+        ),
+        ["separate", "group_by", "summarise"],
+    )
+    suite.add(
+        "c8_gather_split_mean",
+        "C8",
+        "Gather measurement columns, split the metric label and average per unit.",
+        [Table(["site", "co2_ppm", "no2_ppm"],
+               [["s1", 410, 30], ["s2", 390, 25]])],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(
+                tidyr.separate(
+                    tidyr.gather(tables[0], "metric", "value", ["co2_ppm", "no2_ppm"]),
+                    "metric", ["gas", "unit"],
+                ),
+                ["gas"],
+            ),
+            "mean_value", "mean", "value",
+        ),
+        ["gather", "separate", "group_by", "summarise"],
+    )
+    suite.add(
+        "c8_unite_then_spread_totals",
+        "C8",
+        "Total hours per person-project pair, widened by month label.",
+        [Table(["person", "project", "month", "hours"],
+               [["ann", "apollo", "jan", 20], ["ann", "apollo", "feb", 25],
+                ["bob", "zeus", "jan", 10], ["bob", "zeus", "feb", 15]])],
+        lambda tables: tidyr.spread(
+            tidyr.unite(tables[0], "assignment", ["person", "project"]), "month", "hours"
+        ),
+        ["unite", "spread"],
+    )
+    suite.add(
+        "c8_gather_ratio_of_total",
+        "C8",
+        "Gather channel columns and compute each channel's share per campaign.",
+        [Table(["campaign", "email", "social"],
+               [["spring", 120, 80], ["fall", 60, 140]])],
+        lambda tables: dplyr.mutate(
+            tidyr.gather(tables[0], "channel", "clicks", ["email", "social"]),
+            "share", lambda row, group: row["clicks"] / sum(group.column_values("clicks")),
+        ),
+        ["gather", "mutate"],
+    )
+    suite.add(
+        "c8_separate_filter_total",
+        "C8",
+        "Split sample ids, keep 2024 samples and total their counts.",
+        [Table(["sample", "count"],
+               [["2023_a", 5], ["2024_a", 8], ["2024_b", 12], ["2023_b", 3]])],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(
+                dplyr.filter_rows(
+                    tidyr.separate(tables[0], "sample", ["year", "batch"]),
+                    lambda row: row["year"] == "2024",
+                ),
+                ["year"],
+            ),
+            "total", "sum", "count",
+        ),
+        ["separate", "filter", "group_by", "summarise"],
+    )
+    suite.add(
+        "c8_spread_then_margin",
+        "C8",
+        "Widen income/expense rows per branch-quarter label and compute the margin.",
+        [Table(["branch", "kind", "amount"],
+               [["north", "income", 100], ["north", "expense", 70],
+                ["south", "income", 50], ["south", "expense", 30]])],
+        lambda tables: dplyr.mutate(
+            tidyr.spread(tables[0], "kind", "amount"),
+            "margin", lambda row, group: row["income"] - row["expense"],
+        ),
+        ["spread", "mutate"],
+    )
+
+
+def _register_c9(suite: BenchmarkSuite) -> None:
+    readings = Table(["station", "jan", "feb"],
+                     [["s1", 12, 18], ["s2", 20, 14]])
+    locations = Table(["station", "basin"],
+                      [["s1", "north"], ["s2", "south"]])
+    suite.add(
+        "c9_rainfall_by_basin",
+        "C9",
+        "Gather monthly rainfall, join station locations and total per basin.",
+        [readings, locations],
+        lambda tables: dplyr.summarise(
+            dplyr.group_by(
+                dplyr.inner_join(
+                    tidyr.gather(tables[0], "month", "mm", ["jan", "feb"]), tables[1]
+                ),
+                ["basin"],
+            ),
+            "total", "sum", "mm",
+        ),
+        ["gather", "inner_join", "group_by", "summarise"],
+    )
+
+
+@lru_cache(maxsize=1)
+def r_benchmark_suite() -> BenchmarkSuite:
+    """Build (and cache) the full 80-task R benchmark suite."""
+    suite = BenchmarkSuite("r-data-preparation")
+    suite.category_descriptions.update(CATEGORY_DESCRIPTIONS)
+    _register_c1(suite)
+    _register_c2(suite)
+    register_c3(suite)
+    _register_c4(suite)
+    _register_c5(suite)
+    _register_c6(suite)
+    _register_c7(suite)
+    _register_c8(suite)
+    _register_c9(suite)
+    return suite

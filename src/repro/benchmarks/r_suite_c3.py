@@ -1,0 +1,474 @@
+"""Category C3 of the R benchmark suite (34 tasks).
+
+C3 is the largest category of the paper's evaluation: *"combination of
+reshaping and string manipulation of cell contents"* -- pipelines built from
+``gather`` / ``spread`` / ``unite`` / ``separate``, optionally with a
+projection or selection.  Each task below uses a distinct schema/domain and a
+distinct reference pipeline; the expected output is computed by running the
+reference pipeline on the input.
+"""
+
+from __future__ import annotations
+
+from ..components import dplyr, tidyr
+from ..dataframe.table import Table
+from .suite import BenchmarkSuite
+
+
+def register_c3(suite: BenchmarkSuite) -> None:
+    """Register the 34 C3 benchmarks into *suite*."""
+
+    # ------------------------------------------------------------------ 1
+    suite.add(
+        "c3_grades_unite_spread",
+        "C3",
+        "Combine subject and term into one header and widen student grades.",
+        [Table(["student", "subject", "term", "grade"],
+               [["ann", "math", "t1", 91], ["ann", "math", "t2", 87],
+                ["bob", "math", "t1", 74], ["bob", "math", "t2", 79]])],
+        lambda tables: tidyr.spread(
+            tidyr.unite(tables[0], "subject_term", ["subject", "term"]), "subject_term", "grade"
+        ),
+        ["unite", "spread"],
+    )
+
+    # ------------------------------------------------------------------ 2
+    suite.add(
+        "c3_sensor_gather_separate",
+        "C3",
+        "Gather sensor reading columns and split the reading name into kind and unit.",
+        [Table(["probe", "temp_c", "hum_pct"],
+               [["p1", 20, 31], ["p2", 22, 40], ["p3", 19, 55]])],
+        lambda tables: tidyr.separate(
+            tidyr.gather(tables[0], "measure", "value", ["temp_c", "hum_pct"]),
+            "measure", ["kind", "unit"],
+        ),
+        ["gather", "separate"],
+    )
+
+    # ------------------------------------------------------------------ 3
+    suite.add(
+        "c3_sales_gather",
+        "C3",
+        "Reshape quarterly sales columns into long key/value form.",
+        [Table(["shop", "q1", "q2", "q3"],
+               [["north", 10, 12, 9], ["south", 7, 6, 11]])],
+        lambda tables: tidyr.gather(tables[0], "quarter", "sales", ["q1", "q2", "q3"]),
+        ["gather"],
+    )
+
+    # ------------------------------------------------------------------ 4
+    suite.add(
+        "c3_visits_spread",
+        "C3",
+        "Widen a long table of website visits per device.",
+        [Table(["site", "device", "visits"],
+               [["a.com", "mobile", 120], ["a.com", "desktop", 80],
+                ["b.com", "mobile", 45], ["b.com", "desktop", 60]])],
+        lambda tables: tidyr.spread(tables[0], "device", "visits"),
+        ["spread"],
+    )
+
+    # ------------------------------------------------------------------ 5
+    suite.add(
+        "c3_patient_separate",
+        "C3",
+        "Split a combined patient identifier into site and number.",
+        [Table(["pid", "score"],
+               [["mayo_001", 7], ["mayo_002", 4], ["uw_001", 9]])],
+        lambda tables: tidyr.separate(tables[0], "pid", ["site", "number"]),
+        ["separate"],
+    )
+
+    # ------------------------------------------------------------------ 6
+    suite.add(
+        "c3_flights_unite",
+        "C3",
+        "Concatenate carrier and flight number into a single key.",
+        [Table(["carrier", "number", "dest"],
+               [["AA", 11, "LAX"], ["UA", 90, "ORD"], ["DL", 5, "ATL"]])],
+        lambda tables: tidyr.unite(tables[0], "flight", ["carrier", "number"]),
+        ["unite"],
+    )
+
+    # ------------------------------------------------------------------ 7
+    suite.add(
+        "c3_weather_gather_spread",
+        "C3",
+        "Move min/max temperature columns into rows per element, then widen by day.",
+        [Table(["city", "day", "tmin", "tmax"],
+               [["austin", "mon", 15, 30], ["austin", "tue", 17, 33],
+                ["dallas", "mon", 12, 28], ["dallas", "tue", 14, 29]])],
+        lambda tables: tidyr.spread(
+            tidyr.gather(tables[0], "element", "temp", ["tmin", "tmax"]), "day", "temp"
+        ),
+        ["gather", "spread"],
+    )
+
+    # ------------------------------------------------------------------ 8
+    suite.add(
+        "c3_exam_gather_unite_spread",
+        "C3",
+        "Gather exam parts, merge part with the year and widen (Example 1 idiom).",
+        [Table(["id", "year", "A", "B"],
+               [[1, 2007, 5, 10], [2, 2007, 3, 50], [1, 2009, 5, 17], [2, 2009, 6, 17]])],
+        lambda tables: tidyr.spread(
+            tidyr.unite(
+                tidyr.gather(tables[0], "var", "val", ["A", "B"]), "yearvar", ["var", "year"]
+            ),
+            "yearvar", "val",
+        ),
+        ["gather", "unite", "spread"],
+    )
+
+    # ------------------------------------------------------------------ 9
+    suite.add(
+        "c3_stock_separate_spread",
+        "C3",
+        "Split a ticker_metric column and widen by metric.",
+        [Table(["key", "value"],
+               [["ibm_open", 140], ["ibm_close", 143], ["hp_open", 31], ["hp_close", 30]])],
+        lambda tables: tidyr.spread(
+            tidyr.separate(tables[0], "key", ["ticker", "metric"]), "metric", "value"
+        ),
+        ["separate", "spread"],
+    )
+
+    # ------------------------------------------------------------------ 10
+    suite.add(
+        "c3_survey_gather_select",
+        "C3",
+        "Gather answer columns into long form and drop the respondent age.",
+        [Table(["person", "age", "q1", "q2"],
+               [["ann", 33, "yes", "no"], ["bob", 41, "no", "no"], ["eve", 29, "yes", "yes"]])],
+        lambda tables: dplyr.select(
+            tidyr.gather(tables[0], "question", "answer", ["q1", "q2"]),
+            ["person", "question", "answer"],
+        ),
+        ["gather", "select"],
+    )
+
+    # ------------------------------------------------------------------ 11
+    suite.add(
+        "c3_energy_spread_select",
+        "C3",
+        "Widen meter readings by period and keep only the morning column.",
+        [Table(["meter", "period", "kwh"],
+               [["m1", "am", 3], ["m1", "pm", 5], ["m2", "am", 2], ["m2", "pm", 7]])],
+        lambda tables: dplyr.select(
+            tidyr.spread(tables[0], "period", "kwh"), ["meter", "am"]
+        ),
+        ["spread", "select"],
+    )
+
+    # ------------------------------------------------------------------ 12
+    suite.add(
+        "c3_books_unite_filter",
+        "C3",
+        "Join author and title into one label, keeping only post-2000 books.",
+        [Table(["author", "title", "year"],
+               [["orwell", "novel1", 1949], ["liu", "novel2", 2008], ["chiang", "novel3", 2002]])],
+        lambda tables: tidyr.unite(
+            dplyr.filter_rows(tables[0], lambda row: row["year"] > 2000), "book", ["author", "title"]
+        ),
+        ["filter", "unite"],
+    )
+
+    # ------------------------------------------------------------------ 13
+    suite.add(
+        "c3_runs_gather_filter",
+        "C3",
+        "Gather split times and keep only the second lap.",
+        [Table(["runner", "lap1", "lap2"],
+               [["ann", 61, 64], ["bob", 58, 66], ["eve", 70, 69]])],
+        lambda tables: dplyr.filter_rows(
+            tidyr.gather(tables[0], "lap", "seconds", ["lap1", "lap2"]),
+            lambda row: row["lap"] == "lap2",
+        ),
+        ["gather", "filter"],
+    )
+
+    # ------------------------------------------------------------------ 14
+    suite.add(
+        "c3_gene_separate_filter",
+        "C3",
+        "Split a sample label into tissue and replicate, keeping liver samples.",
+        [Table(["sample", "expr"],
+               [["liver_r1", 5.5], ["liver_r2", 6.1], ["brain_r1", 2.2], ["brain_r2", 2.4]])],
+        lambda tables: dplyr.filter_rows(
+            tidyr.separate(tables[0], "sample", ["tissue", "rep"]),
+            lambda row: row["tissue"] == "liver",
+        ),
+        ["separate", "filter"],
+    )
+
+    # ------------------------------------------------------------------ 15
+    suite.add(
+        "c3_menu_spread_two_keys",
+        "C3",
+        "Widen menu prices by size.",
+        [Table(["item", "size", "price"],
+               [["latte", "small", 3], ["latte", "large", 4],
+                ["tea", "small", 2], ["tea", "large", 3]])],
+        lambda tables: tidyr.spread(tables[0], "size", "price"),
+        ["spread"],
+    )
+
+    # ------------------------------------------------------------------ 16
+    suite.add(
+        "c3_city_unite_spread",
+        "C3",
+        "Combine country and city names, then widen population by census year.",
+        [Table(["country", "city", "census", "pop"],
+               [["us", "austin", 2010, 790], ["us", "austin", 2020, 960],
+                ["fr", "lyon", 2010, 480], ["fr", "lyon", 2020, 520]])],
+        lambda tables: tidyr.spread(
+            tidyr.unite(tables[0], "place", ["country", "city"]), "census", "pop"
+        ),
+        ["unite", "spread"],
+    )
+
+    # ------------------------------------------------------------------ 17
+    suite.add(
+        "c3_hr_gather_unite",
+        "C3",
+        "Gather salary components and tag each with the employee name.",
+        [Table(["emp", "base", "bonus"],
+               [["ann", 100, 10], ["bob", 90, 5]])],
+        lambda tables: tidyr.unite(
+            tidyr.gather(tables[0], "component", "amount", ["base", "bonus"]),
+            "emp_component", ["emp", "component"],
+        ),
+        ["gather", "unite"],
+    )
+
+    # ------------------------------------------------------------------ 18
+    suite.add(
+        "c3_lab_gather_three",
+        "C3",
+        "Gather three assay columns into long form.",
+        [Table(["cell", "assay_a", "assay_b", "assay_c"],
+               [["c1", 1, 4, 9], ["c2", 2, 5, 8]])],
+        lambda tables: tidyr.gather(tables[0], "assay", "result", ["assay_a", "assay_b", "assay_c"]),
+        ["gather"],
+    )
+
+    # ------------------------------------------------------------------ 19
+    suite.add(
+        "c3_poll_spread_filter",
+        "C3",
+        "Keep only the 2024 polls and widen by candidate.",
+        [Table(["state", "year", "candidate", "share"],
+               [["tx", 2020, "a", 46], ["tx", 2020, "b", 52],
+                ["tx", 2024, "a", 48], ["tx", 2024, "b", 50],
+                ["ca", 2024, "a", 61], ["ca", 2024, "b", 37]])],
+        lambda tables: tidyr.spread(
+            dplyr.filter_rows(tables[0], lambda row: row["year"] == 2024), "candidate", "share"
+        ),
+        ["filter", "spread"],
+    )
+
+    # ------------------------------------------------------------------ 20
+    suite.add(
+        "c3_recipe_separate_select",
+        "C3",
+        "Split an ingredient_unit column and drop the recipe id.",
+        [Table(["rid", "ingredient", "amount"],
+               [[1, "flour_g", 500], [1, "milk_ml", 250], [2, "sugar_g", 100]])],
+        lambda tables: dplyr.select(
+            tidyr.separate(tables[0], "ingredient", ["item", "unit"]),
+            ["item", "unit", "amount"],
+        ),
+        ["separate", "select"],
+    )
+
+    # ------------------------------------------------------------------ 21
+    suite.add(
+        "c3_traffic_gather_spread_roundtrip",
+        "C3",
+        "Turn hourly columns into rows and widen by street instead.",
+        [Table(["street", "h8", "h9"],
+               [["main", 120, 180], ["oak", 40, 70], ["pine", 15, 20]])],
+        lambda tables: tidyr.spread(
+            tidyr.gather(tables[0], "hour", "cars", ["h8", "h9"]), "street", "cars"
+        ),
+        ["gather", "spread"],
+    )
+
+    # ------------------------------------------------------------------ 22
+    suite.add(
+        "c3_inventory_unite_select",
+        "C3",
+        "Build a warehouse-bin location string and keep only sku and location.",
+        [Table(["sku", "warehouse", "bin", "stock"],
+               [["s1", "east", "b4", 12], ["s2", "west", "a1", 3], ["s3", "east", "c2", 9]])],
+        lambda tables: dplyr.select(
+            tidyr.unite(tables[0], "location", ["warehouse", "bin"]), ["sku", "location"]
+        ),
+        ["unite", "select"],
+    )
+
+    # ------------------------------------------------------------------ 23
+    suite.add(
+        "c3_music_spread_strings",
+        "C3",
+        "Widen a long table of award results (string cells).",
+        [Table(["artist", "award", "result"],
+               [["ava", "best_song", "won"], ["ava", "best_album", "lost"],
+                ["leo", "best_song", "lost"], ["leo", "best_album", "won"]])],
+        lambda tables: tidyr.spread(tables[0], "award", "result"),
+        ["spread"],
+    )
+
+    # ------------------------------------------------------------------ 24
+    suite.add(
+        "c3_shift_gather_separate_filter",
+        "C3",
+        "Gather shift columns, split the shift code, and keep night shifts.",
+        [Table(["worker", "mon_day", "mon_night"],
+               [["ann", 8, 0], ["bob", 4, 4], ["eve", 0, 8]])],
+        lambda tables: dplyr.filter_rows(
+            tidyr.separate(
+                tidyr.gather(tables[0], "shift", "hours", ["mon_day", "mon_night"]),
+                "shift", ["weekday", "period"],
+            ),
+            lambda row: row["period"] == "night",
+        ),
+        ["gather", "separate", "filter"],
+    )
+
+    # ------------------------------------------------------------------ 25
+    suite.add(
+        "c3_tickets_unite_spread_counts",
+        "C3",
+        "Combine venue and section, widening ticket counts by day.",
+        [Table(["venue", "section", "day", "sold"],
+               [["arena", "floor", "fri", 200], ["arena", "floor", "sat", 250],
+                ["arena", "balcony", "fri", 90], ["arena", "balcony", "sat", 120]])],
+        lambda tables: tidyr.spread(
+            tidyr.unite(tables[0], "seat", ["venue", "section"]), "day", "sold"
+        ),
+        ["unite", "spread"],
+    )
+
+    # ------------------------------------------------------------------ 26
+    suite.add(
+        "c3_crops_gather_select_filter",
+        "C3",
+        "Gather yield columns, drop the farm size, and keep wheat rows.",
+        [Table(["farm", "acres", "wheat", "corn"],
+               [["f1", 120, 30, 80], ["f2", 300, 55, 140], ["f3", 80, 12, 20]])],
+        lambda tables: dplyr.filter_rows(
+            dplyr.select(
+                tidyr.gather(tables[0], "crop", "yield", ["wheat", "corn"]),
+                ["farm", "crop", "yield"],
+            ),
+            lambda row: row["crop"] == "wheat",
+        ),
+        ["gather", "select", "filter"],
+    )
+
+    # ------------------------------------------------------------------ 27
+    suite.add(
+        "c3_chem_separate_spread",
+        "C3",
+        "Split compound_phase labels and widen measured density by phase.",
+        [Table(["label", "density"],
+               [["water_liquid", 1.0], ["water_solid", 0.92],
+                ["ethanol_liquid", 0.79], ["ethanol_solid", 0.81]])],
+        lambda tables: tidyr.spread(
+            tidyr.separate(tables[0], "label", ["compound", "phase"]), "phase", "density"
+        ),
+        ["separate", "spread"],
+    )
+
+    # ------------------------------------------------------------------ 28
+    suite.add(
+        "c3_league_gather_home_away",
+        "C3",
+        "Gather home/away goal columns into a single long table.",
+        [Table(["team", "home_goals", "away_goals"],
+               [["reds", 31, 22], ["blues", 28, 25], ["greens", 19, 14]])],
+        lambda tables: tidyr.gather(tables[0], "venue", "goals", ["home_goals", "away_goals"]),
+        ["gather"],
+    )
+
+    # ------------------------------------------------------------------ 29
+    suite.add(
+        "c3_device_unite_filter_strings",
+        "C3",
+        "Tag devices with their OS-version string, keeping only tablets.",
+        [Table(["device", "os", "version", "kind"],
+               [["d1", "android", 14, "phone"], ["d2", "ios", 17, "tablet"],
+                ["d3", "android", 13, "tablet"]])],
+        lambda tables: tidyr.unite(
+            dplyr.filter_rows(tables[0], lambda row: row["kind"] == "tablet"),
+            "platform", ["os", "version"],
+        ),
+        ["filter", "unite"],
+    )
+
+    # ------------------------------------------------------------------ 30
+    suite.add(
+        "c3_rainfall_spread_years",
+        "C3",
+        "Widen rainfall observations by year.",
+        [Table(["station", "year", "mm"],
+               [["s1", 2021, 700], ["s1", 2022, 650], ["s2", 2021, 820], ["s2", 2022, 790]])],
+        lambda tables: tidyr.spread(tables[0], "year", "mm"),
+        ["spread"],
+    )
+
+    # ------------------------------------------------------------------ 31
+    suite.add(
+        "c3_courses_separate_unite",
+        "C3",
+        "Split a course code into department and number, then re-join with the term.",
+        [Table(["code", "term", "enrolled"],
+               [["cs_101", "fall", 120], ["cs_301", "spring", 45], ["ee_210", "fall", 80]])],
+        lambda tables: tidyr.unite(
+            tidyr.separate(tables[0], "code", ["dept", "number"]), "offering", ["dept", "term"]
+        ),
+        ["separate", "unite"],
+    )
+
+    # ------------------------------------------------------------------ 32
+    suite.add(
+        "c3_support_gather_wide_strings",
+        "C3",
+        "Gather weekday ticket-queue columns (string severities) into long form.",
+        [Table(["agent", "monday", "tuesday"],
+               [["kim", "high", "low"], ["lee", "low", "low"], ["pat", "medium", "high"]])],
+        lambda tables: tidyr.gather(tables[0], "day", "severity", ["monday", "tuesday"]),
+        ["gather"],
+    )
+
+    # ------------------------------------------------------------------ 33
+    suite.add(
+        "c3_warehouse_spread_then_project",
+        "C3",
+        "Widen stock counts by location and keep the east-coast column only.",
+        [Table(["sku", "location", "count"],
+               [["s1", "east", 5], ["s1", "west", 9], ["s2", "east", 13], ["s2", "west", 2]])],
+        lambda tables: dplyr.select(
+            tidyr.spread(tables[0], "location", "count"), ["sku", "east"]
+        ),
+        ["spread", "select"],
+    )
+
+    # ------------------------------------------------------------------ 34
+    suite.add(
+        "c3_trial_gather_separate_spread",
+        "C3",
+        "Gather dose columns, split the dose label, and widen by arm.",
+        [Table(["patient", "low_a", "low_b"],
+               [["p1", 4, 6], ["p2", 3, 8], ["p3", 5, 5]])],
+        lambda tables: tidyr.spread(
+            tidyr.separate(
+                tidyr.gather(tables[0], "dose_arm", "response", ["low_a", "low_b"]),
+                "dose_arm", ["dose", "arm"],
+            ),
+            "arm", "response",
+        ),
+        ["gather", "separate", "spread"],
+    )

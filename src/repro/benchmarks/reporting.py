@@ -1,0 +1,113 @@
+"""Text reports that mirror the paper's tables and figures."""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Optional, Sequence
+
+from .r_suite import CATEGORY_COUNTS, CATEGORY_DESCRIPTIONS
+from .runner import Figure18Row, SuiteRun
+
+
+def _format_time(value: Optional[float]) -> str:
+    if value is None:
+        return "timeout"
+    return f"{value:.2f}"
+
+
+def figure16_table(runs: Dict[str, SuiteRun]) -> str:
+    """Render the Figure 16 summary table.
+
+    One row per category (C1..C9) plus a Total row; for every configuration
+    the number of solved benchmarks and the median time over solved
+    benchmarks (the paper reports medians the same way, with a timeout marker
+    when nothing in the category was solved).
+    """
+    labels = list(runs.keys())
+    categories = sorted({outcome.category for run in runs.values() for outcome in run.outcomes})
+
+    header = ["Category", "#"]
+    for label in labels:
+        header += [f"{label} #solved", f"{label} median(s)"]
+    lines = ["\t".join(header)]
+
+    for category in categories:
+        first = runs[labels[0]].by_category().get(category, [])
+        row = [category, str(len(first))]
+        for label in labels:
+            outcomes = runs[label].by_category().get(category, [])
+            solved = [outcome for outcome in outcomes if outcome.solved]
+            times = [outcome.elapsed for outcome in solved]
+            row.append(str(len(solved)))
+            row.append(_format_time(statistics.median(times) if times else None))
+        lines.append("\t".join(row))
+
+    total_row = ["Total", str(runs[labels[0]].total)]
+    for label in labels:
+        run = runs[label]
+        total_row.append(f"{run.solved} ({100.0 * run.solved / max(run.total, 1):.1f}%)")
+        total_row.append(_format_time(run.median_time()))
+    lines.append("\t".join(total_row))
+    return "\n".join(lines)
+
+
+def figure17_series(runs: Dict[str, SuiteRun]) -> Dict[str, List[float]]:
+    """Cumulative running-time series per configuration (Figure 17).
+
+    Each series is the sorted list of per-benchmark running times; plotting
+    index-vs-cumulative-sum reproduces the figure's curves.
+    """
+    series = {}
+    for label, run in runs.items():
+        times = run.cumulative_times()
+        cumulative = []
+        total = 0.0
+        for value in times:
+            total += value
+            cumulative.append(round(total, 3))
+        series[label] = cumulative
+    return series
+
+
+def figure17_table(runs: Dict[str, SuiteRun]) -> str:
+    """Render the Figure 17 data as a summary table (solved count + medians)."""
+    lines = ["Configuration\t#solved\tmedian time (s)\ttotal time (s)"]
+    for label, run in runs.items():
+        lines.append(
+            "\t".join(
+                [
+                    label,
+                    f"{run.solved}/{run.total}",
+                    _format_time(run.median_time()),
+                    f"{sum(run.cumulative_times()):.1f}",
+                ]
+            )
+        )
+    return "\n".join(lines)
+
+
+def figure18_table(rows: Sequence[Figure18Row]) -> str:
+    """Render the Figure 18 comparison (percentage solved per tool per suite)."""
+    lines = ["Tool\tSuite\tSolved\tTotal\tPercent\tMedian time (s)"]
+    for row in rows:
+        lines.append(
+            "\t".join(
+                [
+                    row.tool,
+                    row.suite,
+                    str(row.solved),
+                    str(row.total),
+                    f"{row.percentage:.1f}%",
+                    _format_time(row.median_time),
+                ]
+            )
+        )
+    return "\n".join(lines)
+
+
+def category_legend() -> str:
+    """The C1-C9 category descriptions (the 'Description' column of Figure 16)."""
+    lines = []
+    for category, description in CATEGORY_DESCRIPTIONS.items():
+        lines.append(f"{category} ({CATEGORY_COUNTS[category]} benchmarks): {description}")
+    return "\n".join(lines)

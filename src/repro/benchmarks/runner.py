@@ -1,0 +1,233 @@
+"""Benchmark runner: regenerates the data behind Figures 16, 17 and 18.
+
+The runner executes a benchmark suite under one or more synthesis
+configurations and aggregates per-category solve counts and median times,
+cumulative-time curves, and baseline comparisons.  Absolute numbers differ
+from the paper (different hardware, a pure-Python substrate instead of
+C++/Z3/R, a single core), but the relative shape -- which configuration
+solves more benchmarks, and faster -- is what the harness reproduces.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..baselines.configurations import ALL_FIGURE17_CONFIGS, FIGURE16_CONFIGS
+from ..baselines.lambda2 import Lambda2Synthesizer
+from ..baselines.sql_synthesizer import SqlSynthesizer
+from ..core.library import sql_library, standard_library
+from ..core.synthesizer import Example, Morpheus, SynthesisConfig
+from .r_suite import CATEGORY_DESCRIPTIONS, r_benchmark_suite
+from .sql_suite import sql_benchmark_suite
+from .suite import Benchmark, BenchmarkSuite
+
+
+@dataclass
+class BenchmarkOutcome:
+    """Result of running one benchmark under one configuration."""
+
+    benchmark: str
+    category: str
+    configuration: str
+    solved: bool
+    elapsed: float
+    program_size: Optional[int] = None
+    prune_rate: float = 0.0
+
+
+@dataclass
+class SuiteRun:
+    """All outcomes of one configuration over one suite."""
+
+    configuration: str
+    outcomes: List[BenchmarkOutcome] = field(default_factory=list)
+
+    @property
+    def solved(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.solved)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    def median_time(self, solved_only: bool = True) -> Optional[float]:
+        """Median running time (of solved benchmarks by default)."""
+        times = [o.elapsed for o in self.outcomes if o.solved or not solved_only]
+        if not times:
+            return None
+        return statistics.median(times)
+
+    def cumulative_times(self) -> List[float]:
+        """Sorted per-benchmark times with unsolved tasks charged their full timeout.
+
+        This is the data behind Figure 17's cumulative running-time curves.
+        """
+        return sorted(outcome.elapsed for outcome in self.outcomes)
+
+    def by_category(self) -> Dict[str, List[BenchmarkOutcome]]:
+        grouped: Dict[str, List[BenchmarkOutcome]] = {}
+        for outcome in self.outcomes:
+            grouped.setdefault(outcome.category, []).append(outcome)
+        return grouped
+
+
+def run_benchmark(
+    benchmark: Benchmark,
+    config: SynthesisConfig,
+    library=None,
+    label: Optional[str] = None,
+) -> BenchmarkOutcome:
+    """Run Morpheus on one benchmark under one configuration."""
+    synthesizer = Morpheus(library=library, config=config)
+    result = synthesizer.synthesize(Example.make(benchmark.inputs, benchmark.output))
+    return BenchmarkOutcome(
+        benchmark=benchmark.name,
+        category=benchmark.category,
+        configuration=label or config.describe(),
+        solved=result.solved,
+        elapsed=result.elapsed,
+        program_size=result.size,
+        prune_rate=result.stats.prune_rate,
+    )
+
+
+def run_suite(
+    suite: BenchmarkSuite,
+    config_factory: Callable[[Optional[float]], SynthesisConfig],
+    timeout: float = 20.0,
+    label: Optional[str] = None,
+    library=None,
+    progress: Optional[Callable[[BenchmarkOutcome], None]] = None,
+) -> SuiteRun:
+    """Run a whole suite under one configuration factory."""
+    config = config_factory(timeout)
+    run = SuiteRun(configuration=label or config.describe())
+    for benchmark in suite:
+        outcome = run_benchmark(benchmark, config, library=library, label=run.configuration)
+        run.outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return run
+
+
+# ----------------------------------------------------------------------
+# Figure 16: per-category solve counts and median times for three configs
+# ----------------------------------------------------------------------
+def run_figure16(
+    timeout: float = 20.0,
+    suite: Optional[BenchmarkSuite] = None,
+    configurations: Optional[Dict[str, Callable]] = None,
+    progress: Optional[Callable[[BenchmarkOutcome], None]] = None,
+) -> Dict[str, SuiteRun]:
+    """Run the Figure 16 experiment (No deduction / Spec 1 / Spec 2)."""
+    suite = suite if suite is not None else r_benchmark_suite()
+    configurations = configurations if configurations is not None else FIGURE16_CONFIGS
+    return {
+        label: run_suite(suite, factory, timeout=timeout, label=label, progress=progress)
+        for label, factory in configurations.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 17: cumulative running time for five configurations
+# ----------------------------------------------------------------------
+def run_figure17(
+    timeout: float = 20.0,
+    suite: Optional[BenchmarkSuite] = None,
+    progress: Optional[Callable[[BenchmarkOutcome], None]] = None,
+) -> Dict[str, SuiteRun]:
+    """Run the Figure 17 experiment (deduction x partial evaluation grid)."""
+    suite = suite if suite is not None else r_benchmark_suite()
+    return {
+        label: run_suite(suite, factory, timeout=timeout, label=label, progress=progress)
+        for label, factory in ALL_FIGURE17_CONFIGS.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 18: Morpheus vs the SQLSynthesizer baseline (and lambda2)
+# ----------------------------------------------------------------------
+@dataclass
+class Figure18Row:
+    """Solve-rate of one tool on one suite."""
+
+    tool: str
+    suite: str
+    solved: int
+    total: int
+    median_time: Optional[float]
+
+    @property
+    def percentage(self) -> float:
+        return 100.0 * self.solved / self.total if self.total else 0.0
+
+
+def run_figure18(
+    timeout: float = 20.0,
+    include_lambda2: bool = True,
+    r_suite: Optional[BenchmarkSuite] = None,
+    sql_suite: Optional[BenchmarkSuite] = None,
+) -> List[Figure18Row]:
+    """Compare Morpheus with the SQLSynthesizer (and lambda2) baselines."""
+    r_suite = r_suite if r_suite is not None else r_benchmark_suite()
+    sql_suite = sql_suite if sql_suite is not None else sql_benchmark_suite()
+    rows: List[Figure18Row] = []
+
+    # Morpheus on both suites.
+    morpheus_r = run_suite(r_suite, lambda t: SynthesisConfig(timeout=t), timeout=timeout, label="morpheus")
+    rows.append(Figure18Row("morpheus", "r-benchmarks", morpheus_r.solved, morpheus_r.total, morpheus_r.median_time()))
+    morpheus_sql = run_suite(
+        sql_suite, lambda t: SynthesisConfig(timeout=t), timeout=timeout,
+        label="morpheus", library=sql_library(),
+    )
+    rows.append(Figure18Row("morpheus", "sql-benchmarks", morpheus_sql.solved, morpheus_sql.total, morpheus_sql.median_time()))
+
+    # SQLSynthesizer baseline on both suites.
+    for suite, suite_label in ((r_suite, "r-benchmarks"), (sql_suite, "sql-benchmarks")):
+        solved = 0
+        times: List[float] = []
+        for benchmark in suite:
+            result = SqlSynthesizer(timeout=timeout).synthesize(list(benchmark.inputs), benchmark.output)
+            solved += int(result.solved)
+            if result.solved:
+                times.append(result.elapsed)
+        rows.append(
+            Figure18Row("sqlsynthesizer", suite_label, solved, len(suite),
+                        statistics.median(times) if times else None)
+        )
+
+    if include_lambda2:
+        solved = 0
+        times = []
+        for benchmark in r_suite:
+            result = Lambda2Synthesizer(timeout=min(timeout, 10.0)).synthesize(
+                list(benchmark.inputs), benchmark.output
+            )
+            solved += int(result.solved)
+            if result.solved:
+                times.append(result.elapsed)
+        rows.append(
+            Figure18Row("lambda2", "r-benchmarks", solved, len(r_suite),
+                        statistics.median(times) if times else None)
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Pruning statistics (Section 9, "Impact of partial evaluation")
+# ----------------------------------------------------------------------
+def run_pruning_statistics(
+    timeout: float = 20.0, suite: Optional[BenchmarkSuite] = None
+) -> Dict[str, float]:
+    """Measure how many partial programs deduction prunes before completion."""
+    suite = suite if suite is not None else r_benchmark_suite()
+    run = run_suite(suite, lambda t: SynthesisConfig(timeout=t), timeout=timeout, label="spec2")
+    rates = [outcome.prune_rate for outcome in run.outcomes if outcome.prune_rate > 0]
+    return {
+        "mean_prune_rate": statistics.mean(rates) if rates else 0.0,
+        "median_prune_rate": statistics.median(rates) if rates else 0.0,
+        "benchmarks": float(len(rates)),
+    }

@@ -1,0 +1,172 @@
+"""The 28-task SQL benchmark suite (Figure 18 of the paper).
+
+The paper's second comparison runs Morpheus and SQLSynthesizer on the 28
+benchmarks from the SQLSynthesizer evaluation [Zhang & Sun 2013] -- tasks
+that are expressible as flat SQL queries (selection, projection, joins,
+grouping and aggregation).  Those exact benchmarks are not redistributable,
+so this suite recreates 28 SQL-expressible tasks of the same flavour over
+small relational tables.  Every task is solvable both by the SQL baseline and
+by Morpheus (restricted to its SQL-relevant component subset).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..components import dplyr
+from ..dataframe.table import Table
+from .suite import BenchmarkSuite
+
+_EMPLOYEES = Table(
+    ["emp", "dept", "salary", "years"],
+    [["kim", "eng", 120, 5], ["lee", "eng", 100, 3], ["pat", "sales", 90, 7],
+     ["ana", "sales", 95, 2], ["joe", "hr", 70, 10]],
+)
+_DEPARTMENTS = Table(
+    ["dept", "floor"],
+    [["eng", 3], ["sales", 1], ["hr", 2]],
+)
+_ORDERS = Table(
+    ["order_id", "customer", "total", "status"],
+    [[1, "acme", 250, "paid"], [2, "bolt", 80, "open"], [3, "acme", 120, "paid"],
+     [4, "core", 300, "open"], [5, "bolt", 40, "paid"]],
+)
+_CUSTOMERS = Table(
+    ["customer", "country"],
+    [["acme", "us"], ["bolt", "de"], ["core", "us"]],
+)
+_COURSES = Table(
+    ["course", "credits", "level"],
+    [["cs101", 4, "intro"], ["cs301", 3, "advanced"], ["ee210", 3, "intro"], ["ma401", 4, "advanced"]],
+)
+_ENROLLMENT = Table(
+    ["student", "course", "grade"],
+    [["ann", "cs101", 92], ["bob", "cs101", 71], ["ann", "cs301", 88],
+     ["eve", "ee210", 95], ["bob", "ee210", 64], ["eve", "cs301", 79]],
+)
+
+
+@lru_cache(maxsize=1)
+def sql_benchmark_suite() -> BenchmarkSuite:
+    """Build (and cache) the 28-task SQL-expressible suite."""
+    suite = BenchmarkSuite("sql-queries")
+    suite.category_descriptions["SQL"] = "Tasks expressible as flat SQL queries"
+    add = suite.add
+
+    # --- selection / projection over a single table ----------------------
+    add("sql_select_emp_salary", "SQL", "Project employee and salary.",
+        [_EMPLOYEES], lambda t: dplyr.select(t[0], ["emp", "salary"]), ["select"])
+    add("sql_filter_high_salary", "SQL", "Employees earning more than 95.",
+        [_EMPLOYEES], lambda t: dplyr.filter_rows(t[0], lambda r: r["salary"] > 95), ["filter"])
+    add("sql_filter_engineering", "SQL", "Rows of the engineering department.",
+        [_EMPLOYEES], lambda t: dplyr.filter_rows(t[0], lambda r: r["dept"] == "eng"), ["filter"])
+    add("sql_filter_project", "SQL", "Names of employees with at least 5 years of tenure.",
+        [_EMPLOYEES],
+        lambda t: dplyr.select(dplyr.filter_rows(t[0], lambda r: r["years"] >= 5), ["emp", "years"]),
+        ["filter", "select"])
+    add("sql_select_orders_totals", "SQL", "Project order id and total.",
+        [_ORDERS], lambda t: dplyr.select(t[0], ["order_id", "total"]), ["select"])
+    add("sql_filter_paid_orders", "SQL", "Paid orders only.",
+        [_ORDERS], lambda t: dplyr.filter_rows(t[0], lambda r: r["status"] == "paid"), ["filter"])
+    add("sql_filter_large_paid", "SQL", "Paid orders above 100.",
+        [_ORDERS],
+        lambda t: dplyr.filter_rows(
+            dplyr.filter_rows(t[0], lambda r: r["status"] == "paid"), lambda r: r["total"] > 100
+        ),
+        ["filter", "filter"])
+    add("sql_intro_courses", "SQL", "Intro-level courses with their credits.",
+        [_COURSES],
+        lambda t: dplyr.select(dplyr.filter_rows(t[0], lambda r: r["level"] == "intro"), ["course", "credits"]),
+        ["filter", "select"])
+
+    # --- aggregation over a single table ---------------------------------
+    add("sql_count_per_dept", "SQL", "Number of employees per department.",
+        [_EMPLOYEES],
+        lambda t: dplyr.summarise(dplyr.group_by(t[0], ["dept"]), "n", "n"),
+        ["group_by", "summarise"])
+    add("sql_avg_salary_per_dept", "SQL", "Average salary per department.",
+        [_EMPLOYEES],
+        lambda t: dplyr.summarise(dplyr.group_by(t[0], ["dept"]), "avg_salary", "mean", "salary"),
+        ["group_by", "summarise"])
+    add("sql_max_salary_per_dept", "SQL", "Highest salary per department.",
+        [_EMPLOYEES],
+        lambda t: dplyr.summarise(dplyr.group_by(t[0], ["dept"]), "top", "max", "salary"),
+        ["group_by", "summarise"])
+    add("sql_total_per_customer", "SQL", "Total order value per customer.",
+        [_ORDERS],
+        lambda t: dplyr.summarise(dplyr.group_by(t[0], ["customer"]), "spend", "sum", "total"),
+        ["group_by", "summarise"])
+    add("sql_orders_per_status", "SQL", "Number of orders per status.",
+        [_ORDERS],
+        lambda t: dplyr.summarise(dplyr.group_by(t[0], ["status"]), "n", "n"),
+        ["group_by", "summarise"])
+    add("sql_paid_total_per_customer", "SQL", "Total of paid orders per customer.",
+        [_ORDERS],
+        lambda t: dplyr.summarise(
+            dplyr.group_by(dplyr.filter_rows(t[0], lambda r: r["status"] == "paid"), ["customer"]),
+            "paid_total", "sum", "total"),
+        ["filter", "group_by", "summarise"])
+    add("sql_min_grade_per_course", "SQL", "Lowest grade per course.",
+        [_ENROLLMENT],
+        lambda t: dplyr.summarise(dplyr.group_by(t[0], ["course"]), "lowest", "min", "grade"),
+        ["group_by", "summarise"])
+    add("sql_avg_grade_per_student", "SQL", "Average grade per student.",
+        [_ENROLLMENT],
+        lambda t: dplyr.summarise(dplyr.group_by(t[0], ["student"]), "avg", "mean", "grade"),
+        ["group_by", "summarise"])
+    add("sql_courses_per_student", "SQL", "Number of courses each student is enrolled in.",
+        [_ENROLLMENT],
+        lambda t: dplyr.summarise(dplyr.group_by(t[0], ["student"]), "n", "n"),
+        ["group_by", "summarise"])
+    add("sql_good_grades_count", "SQL", "Per student, the number of grades of 80 or more.",
+        [_ENROLLMENT],
+        lambda t: dplyr.summarise(
+            dplyr.group_by(dplyr.filter_rows(t[0], lambda r: r["grade"] >= 80), ["student"]), "n", "n"),
+        ["filter", "group_by", "summarise"])
+
+    # --- joins ------------------------------------------------------------
+    add("sql_join_emp_floor", "SQL", "Employees with the floor of their department.",
+        [_EMPLOYEES, _DEPARTMENTS],
+        lambda t: dplyr.inner_join(t[0], t[1]), ["inner_join"])
+    add("sql_join_project_floor", "SQL", "Employee name and floor only.",
+        [_EMPLOYEES, _DEPARTMENTS],
+        lambda t: dplyr.select(dplyr.inner_join(t[0], t[1]), ["emp", "floor"]),
+        ["inner_join", "select"])
+    add("sql_join_third_floor", "SQL", "Employees sitting on the third floor.",
+        [_EMPLOYEES, _DEPARTMENTS],
+        lambda t: dplyr.filter_rows(dplyr.inner_join(t[0], t[1]), lambda r: r["floor"] == 3),
+        ["inner_join", "filter"])
+    add("sql_orders_with_country", "SQL", "Orders annotated with the customer's country.",
+        [_ORDERS, _CUSTOMERS],
+        lambda t: dplyr.inner_join(t[0], t[1]), ["inner_join"])
+    add("sql_us_orders", "SQL", "Orders placed by US customers.",
+        [_ORDERS, _CUSTOMERS],
+        lambda t: dplyr.filter_rows(dplyr.inner_join(t[0], t[1]), lambda r: r["country"] == "us"),
+        ["inner_join", "filter"])
+    add("sql_spend_per_country", "SQL", "Total order value per customer country.",
+        [_ORDERS, _CUSTOMERS],
+        lambda t: dplyr.summarise(
+            dplyr.group_by(dplyr.inner_join(t[0], t[1]), ["country"]), "spend", "sum", "total"),
+        ["inner_join", "group_by", "summarise"])
+    add("sql_orders_per_country", "SQL", "Number of orders per customer country.",
+        [_ORDERS, _CUSTOMERS],
+        lambda t: dplyr.summarise(
+            dplyr.group_by(dplyr.inner_join(t[0], t[1]), ["country"]), "n", "n"),
+        ["inner_join", "group_by", "summarise"])
+    add("sql_enrollment_credits", "SQL", "Enrollments annotated with course credits.",
+        [_ENROLLMENT, _COURSES],
+        lambda t: dplyr.inner_join(t[0], t[1]), ["inner_join"])
+    add("sql_advanced_grades", "SQL", "Grades obtained in advanced courses.",
+        [_ENROLLMENT, _COURSES],
+        lambda t: dplyr.select(
+            dplyr.filter_rows(dplyr.inner_join(t[0], t[1]), lambda r: r["level"] == "advanced"),
+            ["student", "course", "grade"]),
+        ["inner_join", "filter", "select"])
+    add("sql_avg_grade_per_level", "SQL", "Average grade per course level.",
+        [_ENROLLMENT, _COURSES],
+        lambda t: dplyr.summarise(
+            dplyr.group_by(dplyr.inner_join(t[0], t[1]), ["level"]), "avg", "mean", "grade"),
+        ["inner_join", "group_by", "summarise"])
+
+    assert len(suite) == 28, f"expected 28 SQL benchmarks, got {len(suite)}"
+    return suite

@@ -1,0 +1,105 @@
+"""Benchmark infrastructure shared by the R suite and the SQL suite.
+
+A benchmark is an input-output example plus metadata: the category it belongs
+to (C1-C9, Figure 16 of the paper), a short description, and a *reference
+pipeline* written directly against the executor.  The expected output table
+is produced by running the reference pipeline, which guarantees that every
+benchmark is solvable by some program in the component language; the
+synthesizer of course never sees the pipeline, only the tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..dataframe.table import Table
+
+#: A reference solution: a function from the input tables to the output table.
+ReferencePipeline = Callable[[Sequence[Table]], Table]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One input-output synthesis task."""
+
+    name: str
+    category: str
+    description: str
+    inputs: Tuple[Table, ...]
+    output: Table
+    #: Names of the components the reference solution uses (documentation and
+    #: difficulty metadata; the synthesizer may find a different program).
+    reference_components: Tuple[str, ...] = ()
+
+    @property
+    def size(self) -> int:
+        """Number of components in the reference solution."""
+        return len(self.reference_components)
+
+
+@dataclass
+class BenchmarkSuite:
+    """An ordered collection of benchmarks with category metadata."""
+
+    name: str
+    benchmarks: List[Benchmark] = field(default_factory=list)
+    category_descriptions: Dict[str, str] = field(default_factory=dict)
+
+    def add(
+        self,
+        name: str,
+        category: str,
+        description: str,
+        inputs: Sequence[Table],
+        pipeline: ReferencePipeline,
+        components: Sequence[str],
+    ) -> Benchmark:
+        """Register a benchmark, computing its expected output from *pipeline*."""
+        inputs = tuple(inputs)
+        output = pipeline(inputs)
+        benchmark = Benchmark(
+            name=name,
+            category=category,
+            description=description,
+            inputs=inputs,
+            output=output,
+            reference_components=tuple(components),
+        )
+        self.benchmarks.append(benchmark)
+        return benchmark
+
+    def by_category(self) -> Dict[str, List[Benchmark]]:
+        """Benchmarks grouped by category, in registration order."""
+        grouped: Dict[str, List[Benchmark]] = {}
+        for benchmark in self.benchmarks:
+            grouped.setdefault(benchmark.category, []).append(benchmark)
+        return grouped
+
+    def get(self, name: str) -> Benchmark:
+        """Look up a benchmark by name."""
+        for benchmark in self.benchmarks:
+            if benchmark.name == name:
+                return benchmark
+        raise KeyError(f"unknown benchmark {name!r}")
+
+    def names(self) -> List[str]:
+        """All benchmark names, in registration order."""
+        return [benchmark.name for benchmark in self.benchmarks]
+
+    def subset(self, names: Optional[Sequence[str]] = None, categories: Optional[Sequence[str]] = None) -> "BenchmarkSuite":
+        """A suite restricted to the given benchmark names and/or categories."""
+        selected = []
+        for benchmark in self.benchmarks:
+            if names is not None and benchmark.name not in names:
+                continue
+            if categories is not None and benchmark.category not in categories:
+                continue
+            selected.append(benchmark)
+        return BenchmarkSuite(self.name, selected, dict(self.category_descriptions))
+
+    def __len__(self) -> int:
+        return len(self.benchmarks)
+
+    def __iter__(self):
+        return iter(self.benchmarks)

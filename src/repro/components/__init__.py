@@ -1,0 +1,58 @@
+"""Executable table and value transformers (the paper's component set).
+
+Table transformers (:math:`\\Lambda_T`) re-implement the tidyr and dplyr verbs
+used in the paper's evaluation; value transformers (:math:`\\Lambda_v`) are the
+first-order operators (comparisons, arithmetic, aggregates) that fill the
+non-table holes of a sketch.
+"""
+
+from .dplyr import (
+    GroupContext,
+    arrange,
+    filter_rows,
+    group_by,
+    inner_join,
+    mutate,
+    select,
+    summarise,
+)
+from .errors import (
+    ComponentError,
+    EvaluationError,
+    InvalidArgumentError,
+    PRUNABLE_ERRORS,
+)
+from .tidyr import gather, separate, spread, unite
+from .values import (
+    AGGREGATORS,
+    ARITHMETIC_OPERATORS,
+    COLUMN_AGGREGATORS,
+    COMPARISON_OPERATORS,
+    ValueComponent,
+    default_value_components,
+)
+
+__all__ = [
+    "AGGREGATORS",
+    "ARITHMETIC_OPERATORS",
+    "COLUMN_AGGREGATORS",
+    "COMPARISON_OPERATORS",
+    "ComponentError",
+    "EvaluationError",
+    "GroupContext",
+    "InvalidArgumentError",
+    "PRUNABLE_ERRORS",
+    "ValueComponent",
+    "arrange",
+    "default_value_components",
+    "filter_rows",
+    "gather",
+    "group_by",
+    "inner_join",
+    "mutate",
+    "select",
+    "separate",
+    "spread",
+    "summarise",
+    "unite",
+]

@@ -1,0 +1,196 @@
+"""Re-implementation of the dplyr verbs used by Morpheus.
+
+``select``, ``filter``, ``summarise``, ``group_by``, ``mutate``,
+``inner_join`` and ``arrange`` manipulate a data frame without changing its
+long/wide orientation.  Grouping is carried as metadata on the table (see
+:class:`repro.dataframe.Table`), exactly the information Spec 2's ``T.group``
+attribute abstracts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..dataframe.cells import CellValue, value_sort_key
+from ..dataframe.table import Table
+from .errors import EvaluationError, InvalidArgumentError
+from .values import AGGREGATORS, agg_count
+
+#: A predicate over a single row, given as ``{column: value}``.
+RowPredicate = Callable[[Dict[str, CellValue]], bool]
+
+#: A mutate expression: receives the row and the rows of the row's group.
+RowExpression = Callable[[Dict[str, CellValue], "GroupContext"], CellValue]
+
+
+class GroupContext:
+    """The rows of the group a ``mutate`` expression is evaluated in.
+
+    dplyr evaluates aggregate calls inside ``mutate`` (e.g. ``sum(n)``) over
+    the *group* of the current row, so expressions receive this context.
+    """
+
+    def __init__(self, table: Table, row_indices: Sequence[int]):
+        self._table = table
+        self._row_indices = tuple(row_indices)
+
+    def column_values(self, column: str) -> Tuple[CellValue, ...]:
+        """Values of *column* restricted to the rows of this group."""
+        index = self._table.column_index(column)
+        return tuple(self._table.rows[i][index] for i in self._row_indices)
+
+    @property
+    def size(self) -> int:
+        """Number of rows in the group."""
+        return len(self._row_indices)
+
+
+def _check_columns_exist(table: Table, columns: Sequence[str], verb: str) -> None:
+    for name in columns:
+        if not table.has_column(name):
+            raise InvalidArgumentError(f"{verb}: column {name!r} not in table {list(table.columns)}")
+
+
+def select(table: Table, columns: Sequence[str]) -> Table:
+    """Project the table onto *columns* (a strict subset, like the paper's spec)."""
+    columns = list(columns)
+    if not columns:
+        raise InvalidArgumentError("select: must keep at least one column")
+    if len(set(columns)) != len(columns):
+        raise InvalidArgumentError("select: selected columns must be distinct")
+    _check_columns_exist(table, columns, "select")
+    if len(columns) >= table.n_cols:
+        raise EvaluationError("select: selection must drop at least one column")
+    return table.select_columns(columns)
+
+
+def filter_rows(table: Table, predicate: RowPredicate) -> Table:
+    """Keep the rows satisfying *predicate*."""
+    kept = [row for index, row in enumerate(table.rows) if predicate(table.row_dict(index))]
+    if len(kept) == len(table.rows):
+        # The paper's spec requires a strictly smaller table (footnote 3):
+        # a filter that keeps everything is never needed for a minimal program.
+        raise EvaluationError("filter: predicate keeps every row")
+    return table.with_rows(kept)
+
+
+def group_by(table: Table, columns: Sequence[str]) -> Table:
+    """Attach grouping metadata to the table."""
+    columns = list(columns)
+    if not columns:
+        raise InvalidArgumentError("group_by: must group by at least one column")
+    if len(set(columns)) != len(columns):
+        raise InvalidArgumentError("group_by: grouping columns must be distinct")
+    _check_columns_exist(table, columns, "group_by")
+    return table.with_grouping(columns)
+
+
+def summarise(
+    table: Table,
+    new_column: str,
+    aggregator: str,
+    target_column: str = None,
+) -> Table:
+    """Collapse each group to a single row holding an aggregate value.
+
+    The output contains the grouping columns (one row per group) followed by
+    the new aggregate column.  Like dplyr, the result drops the *last*
+    grouping level, so ``summarise(group_by(df, g), ...)`` is ungrouped and a
+    later ``mutate`` aggregates over the whole table (this is what makes
+    ``mutate(prop = n / sum(n))`` in the paper's Example 2 work).
+    """
+    if aggregator not in AGGREGATORS:
+        raise InvalidArgumentError(f"summarise: unknown aggregator {aggregator!r}")
+    if aggregator != "n":
+        if target_column is None:
+            raise InvalidArgumentError(f"summarise: aggregator {aggregator!r} needs a target column")
+        _check_columns_exist(table, [target_column], "summarise")
+    group_columns = list(table.group_cols)
+    if new_column in group_columns:
+        raise EvaluationError(f"summarise: new column {new_column!r} collides with a grouping column")
+
+    out_rows: List[Tuple[CellValue, ...]] = []
+    for key, row_indices in table.group_row_indices():
+        if aggregator == "n":
+            value = agg_count([None] * len(row_indices))
+        else:
+            column_index = table.column_index(target_column)
+            values = [table.rows[i][column_index] for i in row_indices]
+            value = AGGREGATORS[aggregator](values)
+        out_rows.append(tuple(key) + (value,))
+
+    out_columns = group_columns + [new_column]
+    result = Table(out_columns, out_rows)
+    remaining_groups = group_columns[:-1]
+    if remaining_groups:
+        result = result.with_grouping(remaining_groups)
+    return result
+
+
+def mutate(table: Table, new_column: str, expression: RowExpression) -> Table:
+    """Add a new column computed from each row (and its group)."""
+    if table.has_column(new_column):
+        raise EvaluationError(f"mutate: column {new_column!r} already exists")
+    group_of_row: Dict[int, GroupContext] = {}
+    for _key, row_indices in table.group_row_indices():
+        context = GroupContext(table, row_indices)
+        for row_index in row_indices:
+            group_of_row[row_index] = context
+
+    values: List[CellValue] = []
+    for row_index in range(table.n_rows):
+        context = group_of_row.get(row_index, GroupContext(table, range(table.n_rows)))
+        values.append(expression(table.row_dict(row_index), context))
+    return table.with_column(new_column, values)
+
+
+def inner_join(left: Table, right: Table) -> Table:
+    """Natural inner join on all shared columns (like dplyr's default)."""
+    shared = [name for name in left.columns if right.has_column(name)]
+    if not shared:
+        raise EvaluationError("inner_join: tables share no columns")
+    left_indices = [left.column_index(name) for name in shared]
+    right_indices = [right.column_index(name) for name in shared]
+    right_extra = [name for name in right.columns if name not in shared]
+    right_extra_indices = [right.column_index(name) for name in right_extra]
+
+    # Hash the right table on the join key.
+    buckets: Dict[Tuple, List[Tuple[CellValue, ...]]] = {}
+    for row in right.rows:
+        key = tuple(_join_key(row[index]) for index in right_indices)
+        buckets.setdefault(key, []).append(row)
+
+    out_rows: List[Tuple[CellValue, ...]] = []
+    for row in left.rows:
+        key = tuple(_join_key(row[index]) for index in left_indices)
+        for match in buckets.get(key, ()):
+            out_rows.append(tuple(row) + tuple(match[index] for index in right_extra_indices))
+
+    out_columns = list(left.columns) + right_extra
+    if not out_rows:
+        raise EvaluationError("inner_join: join result is empty")
+    return Table(out_columns, out_rows)
+
+
+def _join_key(value: CellValue):
+    if value is None:
+        return (0, None)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, float(value))
+    return (2, value)
+
+
+def arrange(table: Table, columns: Sequence[str], descending: bool = False) -> Table:
+    """Sort the table by *columns* (ascending by default, like dplyr)."""
+    columns = list(columns)
+    if not columns:
+        raise InvalidArgumentError("arrange: must sort by at least one column")
+    if len(set(columns)) != len(columns):
+        raise InvalidArgumentError("arrange: sort columns must be distinct")
+    _check_columns_exist(table, columns, "arrange")
+    indices = [table.column_index(name) for name in columns]
+
+    def key(row):
+        return tuple(value_sort_key(row[index]) for index in indices)
+
+    return table.with_rows(sorted(table.rows, key=key, reverse=descending))

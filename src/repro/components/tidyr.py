@@ -1,0 +1,209 @@
+"""Re-implementation of the four tidyr verbs used by Morpheus.
+
+``gather``, ``spread``, ``separate`` and ``unite`` reshape a data frame
+between its "wide" and "long" representations.  The semantics follow tidyr
+closely enough for the synthesis benchmarks: the executor is what candidate
+programs are run on, and the specs in :mod:`repro.core.specs` only need to
+over-approximate it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from ..dataframe.cells import CellType, CellValue, format_value, value_sort_key
+from ..dataframe.table import Table
+from .errors import EvaluationError, InvalidArgumentError
+
+#: Separator used by ``unite`` and (by default) by ``separate``.
+DEFAULT_SEPARATOR = "_"
+
+_SEPARATE_PATTERN = re.compile(r"[^0-9A-Za-z.]+")
+
+
+def _check_columns_exist(table: Table, columns: Sequence[str], verb: str) -> None:
+    for name in columns:
+        if not table.has_column(name):
+            raise InvalidArgumentError(f"{verb}: column {name!r} not in table {list(table.columns)}")
+
+
+def gather(table: Table, key: str, value: str, columns: Sequence[str]) -> Table:
+    """Collapse *columns* into key/value pairs (wide to long).
+
+    Every remaining column is duplicated for each gathered column, the *key*
+    column holds the gathered column's name and the *value* column holds the
+    cell value.
+    """
+    columns = list(columns)
+    if len(columns) < 2:
+        raise InvalidArgumentError("gather: must gather at least two columns")
+    _check_columns_exist(table, columns, "gather")
+    if len(columns) >= table.n_cols:
+        raise EvaluationError("gather: cannot gather every column of the table")
+    id_columns = [name for name in table.columns if name not in set(columns)]
+    if key in id_columns or value in id_columns or key == value:
+        raise InvalidArgumentError("gather: key/value names collide with remaining columns")
+
+    gathered_types = {table.column_type(name) for name in columns}
+    value_type = CellType.NUM if gathered_types == {CellType.NUM} else CellType.STR
+
+    id_indices = [table.column_index(name) for name in id_columns]
+    out_rows: List[Tuple[CellValue, ...]] = []
+    for gathered in columns:
+        gathered_index = table.column_index(gathered)
+        for row in table.rows:
+            cell = row[gathered_index]
+            if value_type is CellType.STR and cell is not None:
+                cell = format_value(cell)
+            out_rows.append(tuple(row[index] for index in id_indices) + (gathered, cell))
+
+    out_columns = id_columns + [key, value]
+    out_types = [table.column_type(name) for name in id_columns] + [CellType.STR, value_type]
+    return Table(out_columns, out_rows, out_types)
+
+
+def spread(table: Table, key: str, value: str) -> Table:
+    """Spread a key/value pair across multiple columns (long to wide)."""
+    if key == value:
+        raise InvalidArgumentError("spread: key and value must be different columns")
+    _check_columns_exist(table, [key, value], "spread")
+
+    id_columns = [name for name in table.columns if name not in (key, value)]
+    if not id_columns:
+        raise EvaluationError("spread: no identifier columns remain")
+    id_indices = [table.column_index(name) for name in id_columns]
+    key_index = table.column_index(key)
+    value_index = table.column_index(value)
+
+    # New columns are the distinct key values, in sorted order (like tidyr).
+    key_values: List[CellValue] = []
+    for row in table.rows:
+        if row[key_index] is None:
+            raise EvaluationError("spread: key column contains a missing value")
+        if row[key_index] not in key_values:
+            key_values.append(row[key_index])
+    key_values.sort(key=value_sort_key)
+    new_columns = [format_value(key_value) for key_value in key_values]
+    if len(set(new_columns)) != len(new_columns):
+        raise EvaluationError("spread: key values collide after formatting")
+    for name in new_columns:
+        if name in id_columns:
+            raise EvaluationError(f"spread: new column {name!r} collides with an existing column")
+
+    groups: List[Tuple[CellValue, ...]] = []
+    cells = {}
+    for row in table.rows:
+        group_key = tuple(row[index] for index in id_indices)
+        if group_key not in cells:
+            groups.append(group_key)
+            cells[group_key] = {}
+        column_name = format_value(row[key_index])
+        if column_name in cells[group_key]:
+            raise EvaluationError("spread: duplicate identifiers for rows")
+        cells[group_key][column_name] = row[value_index]
+
+    out_rows = []
+    for group_key in groups:
+        out_rows.append(group_key + tuple(cells[group_key].get(name) for name in new_columns))
+
+    out_columns = id_columns + new_columns
+    return Table(out_columns, out_rows)
+
+
+def separate(
+    table: Table,
+    column: str,
+    into: Sequence[str],
+    separator: Optional[str] = None,
+) -> Table:
+    """Split one (string) column into two columns.
+
+    By default the split happens at the first run of non-alphanumeric
+    characters, mirroring tidyr's default separator.
+    """
+    _check_columns_exist(table, [column], "separate")
+    into = list(into)
+    if len(into) != 2:
+        raise InvalidArgumentError("separate: exactly two target column names are supported")
+    if len(set(into)) != len(into):
+        raise InvalidArgumentError("separate: target column names must be distinct")
+    for name in into:
+        if name != column and table.has_column(name):
+            raise EvaluationError(f"separate: column {name!r} already exists")
+
+    column_index = table.column_index(column)
+    left_values: List[CellValue] = []
+    right_values: List[CellValue] = []
+    for row in table.rows:
+        cell = row[column_index]
+        if cell is None:
+            left_values.append(None)
+            right_values.append(None)
+            continue
+        text = format_value(cell)
+        if separator is not None:
+            parts = text.split(separator, 1)
+        else:
+            parts = _SEPARATE_PATTERN.split(text, maxsplit=1)
+        if len(parts) != 2 or not parts[0] or not parts[1]:
+            raise EvaluationError(f"separate: value {text!r} cannot be split into two pieces")
+        left_values.append(parts[0])
+        right_values.append(parts[1])
+
+    out_columns = []
+    out_rows_columns = []
+    for name in table.columns:
+        if name == column:
+            out_columns.extend(into)
+            out_rows_columns.append(left_values)
+            out_rows_columns.append(right_values)
+        else:
+            out_columns.append(name)
+            out_rows_columns.append(list(table.column_values(name)))
+
+    out_rows = list(zip(*out_rows_columns)) if out_rows_columns else []
+    return Table(out_columns, out_rows)
+
+
+def unite(
+    table: Table,
+    new_column: str,
+    columns: Sequence[str],
+    separator: str = DEFAULT_SEPARATOR,
+) -> Table:
+    """Paste several columns into one, separated by ``separator``."""
+    columns = list(columns)
+    if len(columns) < 2:
+        raise InvalidArgumentError("unite: need at least two columns to unite")
+    if len(set(columns)) != len(columns):
+        raise InvalidArgumentError("unite: columns to unite must be distinct")
+    _check_columns_exist(table, columns, "unite")
+    if table.has_column(new_column) and new_column not in columns:
+        raise EvaluationError(f"unite: column {new_column!r} already exists")
+
+    column_indices = [table.column_index(name) for name in columns]
+    united_values = []
+    for row in table.rows:
+        pieces = [format_value(row[index]) for index in column_indices]
+        united_values.append(separator.join(pieces))
+
+    first_position = min(table.column_index(name) for name in columns)
+    out_columns: List[str] = []
+    out_columns_values: List[List[CellValue]] = []
+    inserted = False
+    for position, name in enumerate(table.columns):
+        if name in columns:
+            if position == first_position and not inserted:
+                out_columns.append(new_column)
+                out_columns_values.append(united_values)
+                inserted = True
+            continue
+        out_columns.append(name)
+        out_columns_values.append(list(table.column_values(name)))
+    if not inserted:
+        out_columns.insert(0, new_column)
+        out_columns_values.insert(0, united_values)
+
+    out_rows = list(zip(*out_columns_values)) if out_columns_values else []
+    return Table(out_columns, out_rows)

@@ -1,0 +1,210 @@
+"""First-order value transformers (the paper's :math:`\\Lambda_v`).
+
+These are the building blocks of the first-order functions that fill the
+non-table holes of a sketch: aggregate functions used by ``summarise`` and
+``mutate``, and binary operators used by ``filter`` predicates and ``mutate``
+expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+from ..dataframe.cells import CellValue, is_missing, is_numeric, normalize_number
+from .errors import EvaluationError
+
+
+# ----------------------------------------------------------------------
+# Aggregate functions (list of values -> single value)
+# ----------------------------------------------------------------------
+def _numeric_values(values: Sequence[CellValue], operation: str) -> Tuple[float, ...]:
+    present = [value for value in values if not is_missing(value)]
+    if not present:
+        raise EvaluationError(f"{operation}() applied to an empty column")
+    for value in present:
+        if not is_numeric(value):
+            raise EvaluationError(f"{operation}() applied to non-numeric value {value!r}")
+    return tuple(float(value) for value in present)
+
+
+def agg_sum(values: Sequence[CellValue]) -> CellValue:
+    """``sum``: the sum of a numeric column."""
+    return normalize_number(sum(_numeric_values(values, "sum")))
+
+
+def agg_mean(values: Sequence[CellValue]) -> CellValue:
+    """``mean``: the arithmetic mean of a numeric column."""
+    numbers = _numeric_values(values, "mean")
+    return normalize_number(sum(numbers) / len(numbers))
+
+
+def agg_min(values: Sequence[CellValue]) -> CellValue:
+    """``min``: the minimum of a numeric column."""
+    return normalize_number(min(_numeric_values(values, "min")))
+
+
+def agg_max(values: Sequence[CellValue]) -> CellValue:
+    """``max``: the maximum of a numeric column."""
+    return normalize_number(max(_numeric_values(values, "max")))
+
+
+def agg_count(values: Sequence[CellValue]) -> CellValue:
+    """``n()``: the number of rows (missing values included, like dplyr)."""
+    return len(values)
+
+
+def agg_n_distinct(values: Sequence[CellValue]) -> CellValue:
+    """``n_distinct()``: the number of distinct values."""
+    seen = set()
+    for value in values:
+        seen.add(None if is_missing(value) else str(value) if not is_numeric(value) else float(value))
+    return len(seen)
+
+
+#: Aggregate functions by their surface (R) name.
+AGGREGATORS: Dict[str, Callable[[Sequence[CellValue]], CellValue]] = {
+    "sum": agg_sum,
+    "mean": agg_mean,
+    "min": agg_min,
+    "max": agg_max,
+    "n": agg_count,
+    "n_distinct": agg_n_distinct,
+}
+
+#: Aggregators that require a target column (``n()`` does not).
+COLUMN_AGGREGATORS: Tuple[str, ...] = ("sum", "mean", "min", "max", "n_distinct")
+
+
+# ----------------------------------------------------------------------
+# Binary operators
+# ----------------------------------------------------------------------
+def _comparable(left: CellValue, right: CellValue, operator: str) -> Tuple[CellValue, CellValue]:
+    if is_missing(left) or is_missing(right):
+        raise EvaluationError(f"{operator} applied to a missing value")
+    if is_numeric(left) != is_numeric(right):
+        raise EvaluationError(
+            f"{operator} applied to incompatible operands {left!r} and {right!r}"
+        )
+    return left, right
+
+
+def op_eq(left: CellValue, right: CellValue) -> bool:
+    """``==`` on cells (numeric comparison uses float equality with tolerance)."""
+    if is_missing(left) or is_missing(right):
+        return is_missing(left) and is_missing(right)
+    if is_numeric(left) and is_numeric(right):
+        return abs(float(left) - float(right)) <= 1e-9
+    return left == right
+
+
+def op_neq(left: CellValue, right: CellValue) -> bool:
+    """``!=`` on cells."""
+    return not op_eq(left, right)
+
+
+def op_lt(left: CellValue, right: CellValue) -> bool:
+    """``<`` on cells."""
+    left, right = _comparable(left, right, "<")
+    return left < right
+
+
+def op_gt(left: CellValue, right: CellValue) -> bool:
+    """``>`` on cells."""
+    left, right = _comparable(left, right, ">")
+    return left > right
+
+
+def op_le(left: CellValue, right: CellValue) -> bool:
+    """``<=`` on cells."""
+    left, right = _comparable(left, right, "<=")
+    return left <= right
+
+
+def op_ge(left: CellValue, right: CellValue) -> bool:
+    """``>=`` on cells."""
+    left, right = _comparable(left, right, ">=")
+    return left >= right
+
+
+def _arith_operands(left: CellValue, right: CellValue, operator: str) -> Tuple[float, float]:
+    if is_missing(left) or is_missing(right):
+        raise EvaluationError(f"{operator} applied to a missing value")
+    if not (is_numeric(left) and is_numeric(right)):
+        raise EvaluationError(f"{operator} applied to non-numeric operands")
+    return float(left), float(right)
+
+
+def op_add(left: CellValue, right: CellValue) -> CellValue:
+    """``+`` on numeric cells."""
+    lvalue, rvalue = _arith_operands(left, right, "+")
+    return normalize_number(lvalue + rvalue)
+
+
+def op_sub(left: CellValue, right: CellValue) -> CellValue:
+    """``-`` on numeric cells."""
+    lvalue, rvalue = _arith_operands(left, right, "-")
+    return normalize_number(lvalue - rvalue)
+
+
+def op_mul(left: CellValue, right: CellValue) -> CellValue:
+    """``*`` on numeric cells."""
+    lvalue, rvalue = _arith_operands(left, right, "*")
+    return normalize_number(lvalue * rvalue)
+
+
+def op_div(left: CellValue, right: CellValue) -> CellValue:
+    """``/`` on numeric cells."""
+    lvalue, rvalue = _arith_operands(left, right, "/")
+    if rvalue == 0:
+        raise EvaluationError("division by zero")
+    return normalize_number(lvalue / rvalue)
+
+
+#: Boolean-valued binary operators (usable in ``filter`` predicates).
+COMPARISON_OPERATORS: Dict[str, Callable[[CellValue, CellValue], bool]] = {
+    "==": op_eq,
+    "!=": op_neq,
+    "<": op_lt,
+    ">": op_gt,
+    "<=": op_le,
+    ">=": op_ge,
+}
+
+#: Numeric binary operators (usable in ``mutate`` expressions).
+ARITHMETIC_OPERATORS: Dict[str, Callable[[CellValue, CellValue], CellValue]] = {
+    "+": op_add,
+    "-": op_sub,
+    "*": op_mul,
+    "/": op_div,
+}
+
+
+@dataclass(frozen=True)
+class ValueComponent:
+    """A named first-order component of :math:`\\Lambda_v`."""
+
+    name: str
+    kind: str  # "aggregate", "comparison" or "arithmetic"
+    arity: int
+    func: Callable
+
+    def __call__(self, *args):
+        return self.func(*args)
+
+
+def default_value_components() -> Tuple[ValueComponent, ...]:
+    """The ten first-order value transformers used in the paper's evaluation.
+
+    Standard comparison operators plus aggregate functions such as ``mean``
+    and ``sum`` (Section 9 of the paper).
+    """
+    components = []
+    for name, func in COMPARISON_OPERATORS.items():
+        components.append(ValueComponent(name, "comparison", 2, func))
+    for name in ("sum", "mean", "min", "max"):
+        components.append(ValueComponent(name, "aggregate", 1, AGGREGATORS[name]))
+    components.append(ValueComponent("n", "aggregate", 0, AGGREGATORS["n"]))
+    for name, func in ARITHMETIC_OPERATORS.items():
+        components.append(ValueComponent(name, "arithmetic", 2, func))
+    return tuple(components)

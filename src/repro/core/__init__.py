@@ -1,0 +1,99 @@
+"""The Morpheus synthesis engine (the paper's primary contribution).
+
+Public entry points:
+
+* :func:`repro.core.synthesize` / :class:`repro.core.Morpheus` -- synthesize a
+  table transformation program from an input-output example.
+* :class:`repro.core.SynthesisConfig` -- ablation knobs (deduction, Spec 1 vs
+  Spec 2, partial evaluation, cost model).
+* :func:`repro.core.standard_library` -- the tidyr/dplyr component set.
+"""
+
+from .abstraction import ExampleBaseline, SpecLevel, TableVars, abstract_table
+from .arguments import (
+    Aggregation,
+    ColumnList,
+    ColumnRef,
+    Constant,
+    MutationExpr,
+    Predicate,
+    ValueArgument,
+)
+from .component import Component, ComponentLibrary, ValueParam
+from .cost import CostModel, NGramModel, UniformCostModel, default_ngram_model
+from .deduction import DeductionEngine, DeductionStats
+from .hypothesis import (
+    Apply,
+    Hole,
+    Hypothesis,
+    component_sequence,
+    evaluate,
+    hypothesis_size,
+    initial_hypothesis,
+    is_complete,
+    is_sketch,
+    partial_evaluate,
+    refine,
+    render_program,
+    sketches,
+)
+from .inhabitation import enumerate_arguments
+from .library import sql_library, standard_library
+from .specs import SPECIFICATIONS
+from .synthesizer import (
+    Example,
+    Morpheus,
+    SynthesisConfig,
+    SynthesisResult,
+    SynthesisStats,
+    synthesize,
+)
+from .types import Type
+
+__all__ = [
+    "Aggregation",
+    "Apply",
+    "ColumnList",
+    "ColumnRef",
+    "Component",
+    "ComponentLibrary",
+    "Constant",
+    "CostModel",
+    "DeductionEngine",
+    "DeductionStats",
+    "Example",
+    "ExampleBaseline",
+    "Hole",
+    "Hypothesis",
+    "Morpheus",
+    "MutationExpr",
+    "NGramModel",
+    "Predicate",
+    "SPECIFICATIONS",
+    "SpecLevel",
+    "SynthesisConfig",
+    "SynthesisResult",
+    "SynthesisStats",
+    "TableVars",
+    "Type",
+    "UniformCostModel",
+    "ValueArgument",
+    "ValueParam",
+    "abstract_table",
+    "component_sequence",
+    "default_ngram_model",
+    "enumerate_arguments",
+    "evaluate",
+    "hypothesis_size",
+    "initial_hypothesis",
+    "is_complete",
+    "is_sketch",
+    "partial_evaluate",
+    "refine",
+    "render_program",
+    "sketches",
+    "sql_library",
+    "standard_library",
+    "synthesize",
+    "Type",
+]

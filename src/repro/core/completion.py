@@ -1,0 +1,227 @@
+"""Sketch completion (Section 7, Figure 14 of the paper).
+
+``fill_sketch`` takes a sketch (a hypothesis whose table holes are all bound
+to input variables) and enumerates complete programs.  The completion is
+*bottom-up*: the table arguments of a component are completed (and therefore
+concretely evaluated) before its first-order arguments are enumerated, so the
+universe of column names and constants for each hole is the concrete table
+produced by partial evaluation.  After every single hole is filled the
+deduction engine re-checks the partially filled sketch, which is where most
+of the pruning reported in the paper happens.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from ..dataframe.table import Table
+from .arguments import ValueArgument
+from .deduction import DeductionEngine
+from .hypothesis import (
+    Apply,
+    Hole,
+    Hypothesis,
+    fill_value_hole,
+    is_complete,
+    partial_evaluate,
+    unfilled_value_holes,
+    EvaluationFailure,
+)
+from .inhabitation import enumerate_arguments
+from .types import Type
+
+
+class CompletionTimeout(Exception):
+    """Raised when the per-task deadline expires during sketch completion."""
+
+
+class CompletionBudgetExceeded(Exception):
+    """Raised when one sketch has used up its completion budget.
+
+    The budget bounds how many candidate hole fillings a single sketch may
+    try, so that one unpromising sketch with a huge argument space cannot
+    monopolise the search (the paper's implementation side-steps the same
+    issue by running one search thread per program size).
+    """
+
+
+@dataclass
+class CompletionStats:
+    """Counters describing the sketch completion search."""
+
+    partial_programs: int = 0
+    pruned_partial: int = 0
+    complete_programs: int = 0
+
+    def merge(self, other: "CompletionStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.partial_programs += other.partial_programs
+        self.pruned_partial += other.pruned_partial
+        self.complete_programs += other.complete_programs
+
+
+@dataclass
+class SketchCompleter:
+    """Implements the FILLSKETCH procedure for one synthesis problem."""
+
+    engine: DeductionEngine
+    deadline: Optional[float] = None
+    budget: Optional[int] = None
+    stats: CompletionStats = field(default_factory=CompletionStats)
+
+    def _check_deadline(self) -> None:
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise CompletionTimeout()
+
+    def _charge_budget(self) -> None:
+        if self.budget is None:
+            return
+        self._spent += 1
+        if self._spent > self.budget:
+            raise CompletionBudgetExceeded()
+
+    # ------------------------------------------------------------------
+    def fill_sketch(self, sketch: Hypothesis) -> Iterator[Hypothesis]:
+        """Enumerate complete programs refining *sketch* (rule 4 of Figure 14)."""
+        self._spent = 0
+        yield from self._complete_subtree(sketch, self._node_order(sketch))
+
+    def _node_order(self, sketch: Hypothesis) -> List[int]:
+        """Post-order list of application node ids (bottom-up completion order)."""
+        order: List[int] = []
+
+        def walk(node: Hypothesis) -> None:
+            if isinstance(node, Apply):
+                for child in node.table_children:
+                    walk(child)
+                order.append(node.node_id)
+
+        walk(sketch)
+        return order
+
+    def _complete_subtree(self, sketch: Hypothesis, order: Sequence[int]) -> Iterator[Hypothesis]:
+        if not order:
+            if is_complete(sketch):
+                self.stats.complete_programs += 1
+                yield sketch
+            return
+        node_id, rest = order[0], order[1:]
+        for filled in self._fill_node(sketch, node_id):
+            yield from self._complete_subtree(filled, rest)
+
+    # ------------------------------------------------------------------
+    def _find_node(self, sketch: Hypothesis, node_id: int) -> Apply:
+        for node in _iter_applications(sketch):
+            if node.node_id == node_id:
+                return node
+        raise KeyError(f"node {node_id} not found in sketch")
+
+    def _fill_node(self, sketch: Hypothesis, node_id: int) -> Iterator[Hypothesis]:
+        """Fill the first-order holes of one application node (rules 1 and 3)."""
+        node = self._find_node(sketch, node_id)
+        holes = [hole for hole in node.value_children if not hole.is_bound]
+        if not holes:
+            # Components without first-order parameters (e.g. inner_join)
+            # still become evaluable once their table children are complete,
+            # so rule 3's deduction check applies here too: the node's
+            # concrete abstraction may already contradict the example.
+            self._charge_budget()
+            self.stats.partial_programs += 1
+            if not self.engine.deduce(sketch):
+                self.stats.pruned_partial += 1
+                return
+            yield sketch
+            return
+        context_table = self._context_table(sketch, node)
+        if context_table is None:
+            # The table children failed to evaluate; no completion can succeed.
+            return
+        yield from self._fill_holes(sketch, node, holes, context_table)
+
+    def _context_table(self, sketch: Hypothesis, node: Apply) -> Optional[Table]:
+        """The concrete table the node's first-order holes are enumerated against.
+
+        For single-input components this is the (already completed and
+        evaluated) table argument; components with several table arguments
+        and first-order holes would use the concatenation of their columns
+        (``T1 x ... x Tn`` in the paper) -- the built-in library has none.
+        """
+        try:
+            evaluated = partial_evaluate(
+                sketch, self.engine.inputs, memo=self.engine.evaluation_memo
+            )
+        except EvaluationFailure:
+            return None
+        tables = []
+        for child in node.table_children:
+            table = evaluated.get(child.node_id)
+            if table is None:
+                return None
+            tables.append(table)
+        if len(tables) == 1:
+            return tables[0]
+        return _concatenate_schemas(tables)
+
+    def _fill_holes(
+        self,
+        sketch: Hypothesis,
+        node: Apply,
+        holes: Sequence[Hole],
+        context_table: Table,
+    ) -> Iterator[Hypothesis]:
+        self._check_deadline()
+        if not holes:
+            yield sketch
+            return
+        hole, rest = holes[0], holes[1:]
+        param = self._param_of(node, hole)
+        # When this fill produces a fully complete program, the synthesizer is
+        # about to evaluate and CHECK it anyway, which subsumes (and is cheaper
+        # than) another deduction query; only partially-filled sketches are
+        # worth a deduction call.
+        completes_program = not rest and len(unfilled_value_holes(sketch)) == 1
+        for argument in enumerate_arguments(node.component, param, context_table):
+            self._check_deadline()
+            self._charge_budget()
+            candidate = fill_value_hole(sketch, hole, argument)
+            self.stats.partial_programs += 1
+            if not completes_program and not self.engine.deduce(candidate):
+                self.stats.pruned_partial += 1
+                continue
+            yield from self._fill_holes(candidate, node, rest, context_table)
+
+    def _param_of(self, node: Apply, hole: Hole):
+        for index, child in enumerate(node.value_children):
+            if child.node_id == hole.node_id:
+                return node.component.value_params[index]
+        raise KeyError(f"hole {hole.node_id} is not a parameter of node {node.node_id}")
+
+
+def _iter_applications(node: Hypothesis) -> Iterator[Apply]:
+    if isinstance(node, Apply):
+        yield node
+        for child in node.table_children:
+            yield from _iter_applications(child)
+
+
+def _concatenate_schemas(tables: Sequence[Table]) -> Table:
+    """The schema product ``T1 x ... x Tn`` used by rule 3 of Figure 14.
+
+    Only the header and a small sample of values matter for inhabitation, so
+    the tables are concatenated column-wise, padding shorter tables with
+    missing values and renaming duplicate columns.
+    """
+    columns: List[str] = []
+    column_values: List[List] = []
+    height = max(table.n_rows for table in tables)
+    for table_index, table in enumerate(tables):
+        for name in table.columns:
+            unique_name = name if name not in columns else f"{name}.{table_index}"
+            values = list(table.column_values(name))
+            values += [None] * (height - len(values))
+            columns.append(unique_name)
+            column_values.append(values)
+    rows = list(zip(*column_values)) if column_values else []
+    return Table(columns, rows)

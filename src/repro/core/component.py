@@ -1,0 +1,112 @@
+"""Component descriptors (Definition 2 of the paper).
+
+A component is a triple ``(name, type signature, specification)``.  The
+descriptor additionally carries the executable semantics (the tidyr/dplyr
+re-implementation from :mod:`repro.components`) and an R renderer so that
+synthesized programs can be printed the way the paper presents them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, Tuple
+
+from ..dataframe.table import Table
+from ..smt.terms import Formula
+from .abstraction import SpecLevel, TableVars
+from .arguments import ValueArgument
+from .specs import SPECIFICATIONS, SpecFunction, spec_true
+from .types import Type
+
+#: Executor signature: (input tables, value arguments, fresh-name prefix) -> table.
+Executor = Callable[[Sequence[Table], Sequence[ValueArgument], str], Table]
+
+#: Renderer signature: (rendered table arguments, value arguments) -> R call text.
+Renderer = Callable[[Sequence[str], Sequence[ValueArgument]], str]
+
+
+@dataclass(frozen=True)
+class ValueParam:
+    """A first-order parameter of a table transformer."""
+
+    name: str
+    param_type: Type
+
+
+@dataclass(frozen=True)
+class Component:
+    """A higher-order table transformer with executable semantics and a spec."""
+
+    name: str
+    table_arity: int
+    value_params: Tuple[ValueParam, ...]
+    executor: Executor
+    renderer: Renderer = None
+    description: str = ""
+    spec: SpecFunction = field(default=None)
+
+    def __post_init__(self):
+        if self.spec is None:
+            object.__setattr__(self, "spec", SPECIFICATIONS.get(self.name, spec_true))
+
+    @property
+    def arity(self) -> int:
+        """Total number of arguments (tables + first-order)."""
+        return self.table_arity + len(self.value_params)
+
+    def specification(
+        self, output: TableVars, inputs: Sequence[TableVars], level: SpecLevel
+    ) -> Formula:
+        """The first-order specification relating output attributes to inputs."""
+        return self.spec(output, inputs, level)
+
+    def execute(
+        self,
+        tables: Sequence[Table],
+        arguments: Sequence[ValueArgument],
+        fresh_prefix: str,
+    ) -> Table:
+        """Run the component on concrete tables and argument values."""
+        return self.executor(tables, arguments, fresh_prefix)
+
+    def render_r(self, table_args: Sequence[str], arguments: Sequence[ValueArgument]) -> str:
+        """Render a call to this component as R source text."""
+        if self.renderer is not None:
+            return self.renderer(table_args, arguments)
+        rendered = list(table_args) + [argument.render_r() for argument in arguments]
+        return f"{self.name}({', '.join(rendered)})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Component {self.name}/{self.arity}>"
+
+
+@dataclass(frozen=True)
+class ComponentLibrary:
+    """The component set :math:`\\Lambda = \\Lambda_T \\cup \\Lambda_v` of a synthesis problem."""
+
+    table_transformers: Tuple[Component, ...]
+    value_transformer_names: Tuple[str, ...] = ()
+
+    def by_name(self, name: str) -> Component:
+        """Look up a table transformer by name."""
+        for component in self.table_transformers:
+            if component.name == name:
+                return component
+        raise KeyError(f"unknown component {name!r}")
+
+    def names(self) -> Tuple[str, ...]:
+        """Names of all table transformers, in registration order."""
+        return tuple(component.name for component in self.table_transformers)
+
+    def restricted_to(self, names: Sequence[str]) -> "ComponentLibrary":
+        """A library containing only the named table transformers."""
+        return ComponentLibrary(
+            tuple(component for component in self.table_transformers if component.name in set(names)),
+            self.value_transformer_names,
+        )
+
+    def __iter__(self):
+        return iter(self.table_transformers)
+
+    def __len__(self) -> int:
+        return len(self.table_transformers)

@@ -1,0 +1,90 @@
+"""A built-in corpus of tidyr/dplyr pipelines for the statistical cost model.
+
+Section 8 of the paper trains a 2-gram model (using SRILM) on code snippets
+collected from existing R code, where every snippet is the sequence of table
+transformers it applies.  The snippets below play that role offline: they are
+the idiomatic pipelines that appear over and over in data-preparation answers
+on Stack Overflow -- reshape chains (``gather`` -> ``spread``), split-apply-
+combine chains (``group_by`` -> ``summarise`` -> ``mutate``), consolidation
+chains (``gather`` -> ``inner_join``), and so on.
+
+Each entry is one "sentence"; words are component names.
+"""
+
+from typing import List, Tuple
+
+#: Training sentences for the 2-gram model.
+TRAINING_CORPUS: Tuple[Tuple[str, ...], ...] = (
+    # --- plain reshaping -------------------------------------------------
+    ("gather", "spread"),
+    ("gather", "spread"),
+    ("spread",),
+    ("gather",),
+    ("gather", "unite", "spread"),
+    ("gather", "unite", "spread"),
+    ("gather", "separate", "spread"),
+    ("separate", "spread"),
+    ("unite", "spread"),
+    ("gather", "spread", "select"),
+    # --- split-apply-combine ---------------------------------------------
+    ("group_by", "summarise"),
+    ("group_by", "summarise"),
+    ("group_by", "summarise"),
+    ("group_by", "summarise", "mutate"),
+    ("group_by", "summarise", "mutate"),
+    ("filter", "group_by", "summarise"),
+    ("filter", "group_by", "summarise", "mutate"),
+    ("group_by", "summarise", "filter"),
+    ("group_by", "summarise", "arrange"),
+    ("group_by", "mutate"),
+    ("mutate", "group_by", "summarise"),
+    # --- selection / projection pipelines --------------------------------
+    ("filter", "select"),
+    ("select", "filter"),
+    ("filter",),
+    ("select",),
+    ("mutate",),
+    ("mutate", "select"),
+    ("mutate", "filter"),
+    ("filter", "mutate"),
+    ("select", "arrange"),
+    ("filter", "arrange"),
+    # --- consolidation ----------------------------------------------------
+    ("inner_join",),
+    ("inner_join", "filter"),
+    ("inner_join", "select"),
+    ("inner_join", "group_by", "summarise"),
+    ("gather", "inner_join"),
+    ("gather", "gather", "inner_join"),
+    ("gather", "inner_join", "filter"),
+    ("gather", "inner_join", "filter", "arrange"),
+    ("inner_join", "mutate"),
+    ("inner_join", "arrange"),
+    # --- reshaping + computation ------------------------------------------
+    ("gather", "group_by", "summarise"),
+    ("gather", "group_by", "summarise", "spread"),
+    ("group_by", "summarise", "spread"),
+    ("gather", "mutate", "spread"),
+    ("mutate", "spread"),
+    ("gather", "filter"),
+    ("gather", "filter", "spread"),
+    ("spread", "mutate"),
+    ("spread", "mutate", "select"),
+    ("gather", "separate", "group_by", "summarise"),
+    # --- string manipulation chains ----------------------------------------
+    ("separate",),
+    ("unite",),
+    ("separate", "select"),
+    ("unite", "select"),
+    ("separate", "filter"),
+    ("unite", "mutate"),
+    ("separate", "group_by", "summarise"),
+    ("mutate", "unite"),
+    ("separate", "spread", "mutate"),
+    ("gather", "unite", "spread", "mutate"),
+)
+
+
+def training_sentences() -> List[Tuple[str, ...]]:
+    """Return a mutable copy of the training corpus."""
+    return [tuple(sentence) for sentence in TRAINING_CORPUS]

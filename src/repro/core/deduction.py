@@ -1,0 +1,288 @@
+"""SMT-based deduction (Section 6, Algorithm 2 of the paper).
+
+Given a hypothesis and the input-output example, the deduction engine builds
+a Presburger-arithmetic formula combining
+
+* the specification :math:`\\Phi(H)` of the hypothesis (Figure 12), obtained
+  by conjoining the first-order specs of its components, with complete
+  subterms replaced by the abstraction of their partially-evaluated value;
+* :math:`\\varphi_{in}`: every unbound table hole must correspond to one of
+  the input tables;
+* :math:`\\varphi_{out}`: the root must correspond to the output table;
+* the abstraction :math:`\\alpha` of every example table,
+
+and checks satisfiability.  UNSAT means the hypothesis can never be completed
+into a program consistent with the example and is pruned.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..dataframe.table import Table
+from ..smt.solver import CheckResult, Solver
+from ..smt.terms import Formula, conjoin, disjoin
+from .abstraction import ExampleBaseline, SpecLevel, TableVars, nonnegativity
+from .hypothesis import (
+    Apply,
+    EvaluationFailure,
+    Hole,
+    Hypothesis,
+    iter_nodes,
+    partial_evaluate,
+)
+from .types import Type
+
+
+@dataclass
+class DeductionStats:
+    """Counters describing the work done by the deduction engine."""
+
+    smt_calls: int = 0
+    smt_time: float = 0.0
+    hypotheses_checked: int = 0
+    hypotheses_rejected: int = 0
+    evaluation_failures: int = 0
+
+    def merge(self, other: "DeductionStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.smt_calls += other.smt_calls
+        self.smt_time += other.smt_time
+        self.hypotheses_checked += other.hypotheses_checked
+        self.hypotheses_rejected += other.hypotheses_rejected
+        self.evaluation_failures += other.evaluation_failures
+
+
+@dataclass
+class DeductionEngine:
+    """Builds and discharges the deduction queries for one synthesis problem."""
+
+    inputs: Sequence[Table]
+    output: Table
+    level: SpecLevel = SpecLevel.SPEC2
+    use_partial_evaluation: bool = True
+    enabled: bool = True
+    stats: DeductionStats = field(default_factory=DeductionStats)
+
+    def __post_init__(self):
+        self.baseline = ExampleBaseline.from_tables(self.inputs)
+        self._input_vars = [TableVars(f"x{i + 1}") for i in range(len(self.inputs))]
+        self._output_vars = TableVars("y")
+        #: Cross-candidate cache of subtree evaluations (see partial_evaluate).
+        self.evaluation_memo: Dict = {}
+        #: Cache of table attribute vectors used by the abstraction function.
+        self._attribute_cache: Dict[Table, tuple] = {}
+        #: Caches of formula fragments (abstractions, specs, bindings) -- the
+        #: same fragments are re-assembled for thousands of deduction queries.
+        self._abstract_cache: Dict[tuple, Formula] = {}
+        self._spec_cache: Dict[tuple, Formula] = {}
+        self._binding_cache: Dict[tuple, Formula] = {}
+        self._nonneg_cache: Dict[tuple, Formula] = {}
+        #: Cache of deduction verdicts.  The SMT query depends only on the
+        #: hypothesis *structure* (components, bindings, which holes are
+        #: filled) and on the attribute vectors of the evaluated subterms --
+        #: not on the literal hole values -- so candidates whose completions
+        #: produce tables with identical abstractions share a single query.
+        self._verdict_cache: Dict[tuple, bool] = {}
+        self._example_formula = self._build_example_formula()
+
+    # ------------------------------------------------------------------
+    def _build_example_formula(self) -> Formula:
+        constraints = []
+        for table, variables in zip(self.inputs, self._input_vars):
+            constraints.append(self._abstract(table, variables))
+        constraints.append(
+            self._abstract(self.output, self._output_vars, symbolic_group=True)
+        )
+        return conjoin(constraints)
+
+    # ------------------------------------------------------------------
+    def node_vars(self, node_id: int) -> TableVars:
+        """The symbolic attribute vector of hypothesis node *node_id*."""
+        return TableVars(f"n{node_id}")
+
+    def table_attributes(self, table: Table) -> tuple:
+        """The (row, col, group, newCols, newVals) attribute vector of a table."""
+        attributes = self._attribute_cache.get(table)
+        if attributes is None:
+            attributes = (
+                table.n_rows,
+                table.n_cols,
+                table.n_groups,
+                self.baseline.new_cols(table),
+                self.baseline.new_vals(table),
+            )
+            self._attribute_cache[table] = attributes
+        return attributes
+
+    def _abstract(self, table: Table, variables: TableVars, symbolic_group: bool = False):
+        """Cached version of :func:`abstract_table` (attribute vectors are memoised)."""
+        attributes = self.table_attributes(table)
+        formula_key = (attributes, variables.name, symbolic_group)
+        cached = self._abstract_cache.get(formula_key)
+        if cached is not None:
+            return cached
+        rows, cols, groups, new_cols, new_vals = attributes
+        constraints = [variables.row.equals(rows), variables.col.equals(cols)]
+        if self.level is SpecLevel.SPEC2:
+            if symbolic_group:
+                constraints.append(variables.group >= 1)
+                constraints.append(variables.group <= max(rows, 1))
+            else:
+                constraints.append(variables.group.equals(groups))
+            constraints.append(variables.new_cols.equals(new_cols))
+            constraints.append(variables.new_vals.equals(new_vals))
+        formula = conjoin(constraints)
+        self._abstract_cache[formula_key] = formula
+        return formula
+
+    def _component_spec(self, node: Apply) -> Formula:
+        """Cached first-order specification of one application node."""
+        key = (node.component.name, node.node_id, tuple(child.node_id for child in node.table_children))
+        cached = self._spec_cache.get(key)
+        if cached is None:
+            inputs = [self.node_vars(child.node_id) for child in node.table_children]
+            cached = node.component.specification(self.node_vars(node.node_id), inputs, self.level)
+            self._spec_cache[key] = cached
+        return cached
+
+    def _binding(self, node_id: int, input_index: Optional[int]) -> Formula:
+        """Cached phi_in constraint for one table hole."""
+        key = (node_id, input_index)
+        cached = self._binding_cache.get(key)
+        if cached is None:
+            variables = self.node_vars(node_id)
+            if input_index is not None:
+                cached = variables.equal_to(self._input_vars[input_index], self.level)
+            else:
+                cached = disjoin(
+                    variables.equal_to(input_vars, self.level)
+                    for input_vars in self._input_vars
+                )
+            self._binding_cache[key] = cached
+        return cached
+
+    def _nonnegativity(self, node_ids: tuple) -> Formula:
+        """Cached sanity constraints for a set of hypothesis nodes."""
+        cached = self._nonneg_cache.get(node_ids)
+        if cached is None:
+            variables = [self.node_vars(node_id) for node_id in node_ids]
+            cached = nonnegativity(
+                variables + self._input_vars + [self._output_vars], self.level
+            )
+            self._nonneg_cache[node_ids] = cached
+        return cached
+
+    def specification(
+        self, hypothesis: Hypothesis, evaluated: Dict[int, Table]
+    ) -> Formula:
+        """The formula :math:`\\Phi(H)` of Figure 12."""
+        constraints = []
+
+        def walk(node: Hypothesis) -> None:
+            variables = self.node_vars(node.node_id)
+            if node.node_id in evaluated:
+                # Complete subterm: use the abstraction of its concrete value.
+                constraints.append(self._abstract(evaluated[node.node_id], variables))
+                return
+            if isinstance(node, Hole):
+                # Unknown leaf: no information (the spec is "true").
+                return
+            constraints.append(self._component_spec(node))
+            for child in node.table_children:
+                walk(child)
+
+        walk(hypothesis)
+        return conjoin(constraints)
+
+    def build_query(
+        self, hypothesis: Hypothesis, evaluated: Dict[int, Table]
+    ) -> Formula:
+        """The full satisfiability query :math:`\\psi` of Algorithm 2."""
+        node_ids = tuple(
+            sorted(
+                node.node_id
+                for node in iter_nodes(hypothesis)
+                if not isinstance(node, Hole) or node.hole_type is Type.TABLE
+            )
+        )
+        constraints = [
+            self.specification(hypothesis, evaluated),
+            self._example_formula,
+            self._nonnegativity(node_ids),
+        ]
+
+        # phi_in: every table hole corresponds to one of the input variables.
+        for node in iter_nodes(hypothesis):
+            if isinstance(node, Hole) and node.hole_type is Type.TABLE:
+                constraints.append(self._binding(node.node_id, node.binding))
+
+        # phi_out: the root corresponds to the output table.
+        constraints.append(
+            self.node_vars(hypothesis.node_id).equal_to(self._output_vars, self.level)
+        )
+        return conjoin(constraints)
+
+    # ------------------------------------------------------------------
+    def deduce(self, hypothesis: Hypothesis) -> bool:
+        """Algorithm 2: return ``False`` when the hypothesis can be rejected."""
+        self.stats.hypotheses_checked += 1
+        evaluated: Dict[int, Table] = {}
+        if self.use_partial_evaluation:
+            try:
+                evaluated = partial_evaluate(hypothesis, self.inputs, memo=self.evaluation_memo)
+            except EvaluationFailure:
+                self.stats.evaluation_failures += 1
+                self.stats.hypotheses_rejected += 1
+                return False
+        if not self.enabled:
+            return True
+
+        cache_key = self._verdict_key(hypothesis, evaluated)
+        cached = self._verdict_cache.get(cache_key)
+        if cached is not None:
+            if not cached:
+                self.stats.hypotheses_rejected += 1
+            return cached
+
+        query = self.build_query(hypothesis, evaluated)
+        solver = Solver()
+        solver.add(query)
+        started = time.perf_counter()
+        result = solver.check()
+        self.stats.smt_calls += 1
+        self.stats.smt_time += time.perf_counter() - started
+        feasible = result is not CheckResult.UNSAT
+        self._verdict_cache[cache_key] = feasible
+        if not feasible:
+            self.stats.hypotheses_rejected += 1
+        return feasible
+
+    def _verdict_key(self, hypothesis: Hypothesis, evaluated: Dict[int, Table]) -> tuple:
+        """A cache key capturing everything the deduction query depends on."""
+        parts = []
+
+        def walk(node: Hypothesis) -> None:
+            if node.node_id in evaluated:
+                parts.append((node.node_id, "t", self.table_attributes(evaluated[node.node_id])))
+                return
+            if isinstance(node, Hole):
+                if node.hole_type is Type.TABLE:
+                    parts.append((node.node_id, "x", node.binding))
+                return
+            parts.append((node.node_id, "c", node.component.name))
+            for child in node.table_children:
+                walk(child)
+
+        walk(hypothesis)
+        return tuple(parts)
+
+    # ------------------------------------------------------------------
+    def evaluate_if_possible(self, hypothesis: Hypothesis) -> Optional[Dict[int, Table]]:
+        """Partially evaluate, returning ``None`` when a complete subterm fails."""
+        try:
+            return partial_evaluate(hypothesis, self.inputs, memo=self.evaluation_memo)
+        except EvaluationFailure:
+            return None

@@ -1,0 +1,333 @@
+"""Hypotheses as refinement trees (Section 4 of the paper).
+
+A hypothesis is a partial program: a tree whose internal nodes are
+applications of table transformers and whose leaves are holes.  A *table*
+hole may carry a qualifier binding it to one of the example's input tables; a
+*first-order* hole may carry a qualifier holding the concrete
+:class:`~repro.core.arguments.ValueArgument` that fills it.
+
+* A hypothesis with no table holes left unbound is a **sketch**
+  (Definition 6).
+* A hypothesis whose every hole carries a qualifier is a **complete program**
+  (Definition 7).
+
+Hypotheses are immutable; refinement and hole filling return new trees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..components.errors import PRUNABLE_ERRORS
+from ..dataframe.table import Table
+from .arguments import ValueArgument
+from .component import Component
+from .types import Type
+
+
+@dataclass(frozen=True)
+class Hole:
+    """An unknown expression ``?i : tau``, optionally with a qualifier."""
+
+    node_id: int
+    hole_type: Type
+    #: For TABLE holes: the index of the input table this hole is bound to.
+    binding: Optional[int] = None
+    #: For first-order holes: the concrete argument value filling the hole.
+    value: Optional[ValueArgument] = None
+
+    @property
+    def is_bound(self) -> bool:
+        """True when the hole carries a qualifier."""
+        if self.hole_type is Type.TABLE:
+            return self.binding is not None
+        return self.value is not None
+
+    def __repr__(self) -> str:
+        if self.hole_type is Type.TABLE and self.binding is not None:
+            return f"?{self.node_id}@x{self.binding + 1}"
+        if self.value is not None:
+            return f"?{self.node_id}@{self.value.render_r()}"
+        return f"?{self.node_id}:{self.hole_type.value}"
+
+
+@dataclass(frozen=True)
+class Apply:
+    """An application node ``?X_i(H_1, ..., H_n)``.
+
+    ``table_children`` are sub-hypotheses (holes or nested applications) for
+    the component's table arguments; ``value_children`` are the first-order
+    holes for its remaining parameters.
+    """
+
+    node_id: int
+    component: Component
+    table_children: Tuple["Hypothesis", ...]
+    value_children: Tuple[Hole, ...]
+
+    def __repr__(self) -> str:
+        children = list(self.table_children) + list(self.value_children)
+        rendered = ", ".join(repr(child) for child in children)
+        return f"?{self.component.name}_{self.node_id}({rendered})"
+
+
+Hypothesis = Union[Hole, Apply]
+
+
+def initial_hypothesis() -> Hole:
+    """The most general hypothesis ``?0 : tbl``."""
+    return Hole(0, Type.TABLE)
+
+
+# ----------------------------------------------------------------------
+# Tree traversal helpers
+# ----------------------------------------------------------------------
+def iter_nodes(hypothesis: Hypothesis) -> Iterable[Hypothesis]:
+    """Pre-order traversal of every node in the tree."""
+    yield hypothesis
+    if isinstance(hypothesis, Apply):
+        for child in hypothesis.table_children:
+            yield from iter_nodes(child)
+        for child in hypothesis.value_children:
+            yield child
+
+
+def table_holes(hypothesis: Hypothesis, unbound_only: bool = True) -> List[Hole]:
+    """All TABLE holes (optionally only the unbound ones)."""
+    holes = []
+    for node in iter_nodes(hypothesis):
+        if isinstance(node, Hole) and node.hole_type is Type.TABLE:
+            if not unbound_only or not node.is_bound:
+                holes.append(node)
+    return holes
+
+
+def unfilled_value_holes(hypothesis: Hypothesis) -> List[Hole]:
+    """All first-order holes that do not yet carry a value."""
+    holes = []
+    for node in iter_nodes(hypothesis):
+        if isinstance(node, Hole) and node.hole_type is not Type.TABLE and not node.is_bound:
+            holes.append(node)
+    return holes
+
+
+def is_sketch(hypothesis: Hypothesis) -> bool:
+    """Definition 6: every table leaf is bound to an input variable."""
+    return not table_holes(hypothesis, unbound_only=True)
+
+
+def is_complete(hypothesis: Hypothesis) -> bool:
+    """Definition 7: every hole carries a qualifier."""
+    for node in iter_nodes(hypothesis):
+        if isinstance(node, Hole) and not node.is_bound:
+            return False
+    return True
+
+
+def hypothesis_size(hypothesis: Hypothesis) -> int:
+    """The number of component applications in the hypothesis."""
+    return sum(1 for node in iter_nodes(hypothesis) if isinstance(node, Apply))
+
+
+def component_sequence(hypothesis: Hypothesis) -> Tuple[str, ...]:
+    """Post-order sequence of component names (used by the n-gram cost model)."""
+    sequence: List[str] = []
+
+    def walk(node: Hypothesis) -> None:
+        if isinstance(node, Apply):
+            for child in node.table_children:
+                walk(child)
+            sequence.append(node.component.name)
+
+    walk(hypothesis)
+    return tuple(sequence)
+
+
+def max_node_id(hypothesis: Hypothesis) -> int:
+    """The largest node id used in the tree."""
+    return max(node.node_id for node in iter_nodes(hypothesis))
+
+
+# ----------------------------------------------------------------------
+# Tree rewriting
+# ----------------------------------------------------------------------
+def replace_node(hypothesis: Hypothesis, node_id: int, new_node: Hypothesis) -> Hypothesis:
+    """Return a copy of the tree with the node *node_id* replaced."""
+    if hypothesis.node_id == node_id:
+        return new_node
+    if isinstance(hypothesis, Hole):
+        return hypothesis
+    table_children = tuple(
+        replace_node(child, node_id, new_node) for child in hypothesis.table_children
+    )
+    value_children = tuple(
+        new_node if child.node_id == node_id and isinstance(new_node, Hole) else child
+        for child in hypothesis.value_children
+    )
+    return Apply(hypothesis.node_id, hypothesis.component, table_children, value_children)
+
+
+def refine(
+    hypothesis: Hypothesis,
+    hole: Hole,
+    component: Component,
+    next_id: Callable[[], int],
+) -> Hypothesis:
+    """Definition 5: replace a table hole by an application of *component*.
+
+    The component's table arguments become fresh table holes and its
+    first-order parameters become fresh unfilled value holes.
+    """
+    table_children = tuple(Hole(next_id(), Type.TABLE) for _ in range(component.table_arity))
+    value_children = tuple(
+        Hole(next_id(), param.param_type) for param in component.value_params
+    )
+    application = Apply(hole.node_id, component, table_children, value_children)
+    return replace_node(hypothesis, hole.node_id, application)
+
+
+def bind_table_hole(hypothesis: Hypothesis, hole: Hole, input_index: int) -> Hypothesis:
+    """Attach the qualifier ``(x_j, T_j)`` to a table hole."""
+    return replace_node(hypothesis, hole.node_id, replace(hole, binding=input_index))
+
+
+def fill_value_hole(hypothesis: Hypothesis, hole: Hole, value: ValueArgument) -> Hypothesis:
+    """Attach a concrete first-order argument to a value hole."""
+    return replace_node(hypothesis, hole.node_id, replace(hole, value=value))
+
+
+def sketches(hypothesis: Hypothesis, num_inputs: int) -> Iterable[Hypothesis]:
+    """Figure 11: all ways of binding the unbound table holes to input variables."""
+    holes = table_holes(hypothesis, unbound_only=True)
+    if not holes:
+        yield hypothesis
+        return
+    for assignment in itertools.product(range(num_inputs), repeat=len(holes)):
+        candidate = hypothesis
+        for hole, input_index in zip(holes, assignment):
+            candidate = bind_table_hole(candidate, hole, input_index)
+        yield candidate
+
+
+# ----------------------------------------------------------------------
+# Partial evaluation (Figure 7)
+# ----------------------------------------------------------------------
+class EvaluationFailure(Exception):
+    """A complete subterm of the hypothesis cannot be evaluated.
+
+    Raised when a component application fails on its concrete arguments
+    (e.g. ``spread`` over duplicate identifiers); the enclosing hypothesis can
+    never satisfy the example and is pruned.
+    """
+
+
+def partial_evaluate(
+    hypothesis: Hypothesis,
+    inputs: Sequence[Table],
+    memo: Optional[Dict[Hypothesis, object]] = None,
+) -> Dict[int, Table]:
+    """Evaluate every *complete* subterm of the hypothesis.
+
+    Returns a mapping from node id to the concrete table the subterm
+    evaluates to.  Nodes whose subtree still contains unbound holes are
+    simply absent from the mapping (they are "partial" in the sense of
+    Figure 7).  Raises :class:`EvaluationFailure` if evaluation of a complete
+    subterm fails.
+
+    ``memo`` is an optional cross-call cache keyed by (structurally equal)
+    subtrees; during sketch completion the same lower subtrees are evaluated
+    for every candidate filling of the upper holes, so memoisation avoids the
+    repeated work.  The cache must only be shared between calls that use the
+    same ``inputs``.
+    """
+    results: Dict[int, Table] = {}
+
+    def walk(node: Hypothesis) -> Optional[Table]:
+        if node.node_id in results:
+            return results[node.node_id]
+        if isinstance(node, Hole):
+            if node.hole_type is Type.TABLE and node.binding is not None:
+                table = inputs[node.binding]
+                results[node.node_id] = table
+                return table
+            return None
+        if memo is not None and node in memo:
+            cached = memo[node]
+            if isinstance(cached, EvaluationFailure):
+                raise cached
+            results[node.node_id] = cached
+            return cached
+        child_tables = [walk(child) for child in node.table_children]
+        if any(table is None for table in child_tables):
+            return None
+        arguments = []
+        for hole in node.value_children:
+            if hole.value is None:
+                return None
+            arguments.append(hole.value)
+        try:
+            table = node.component.execute(child_tables, arguments, f"_n{node.node_id}_")
+        except PRUNABLE_ERRORS as error:
+            failure = EvaluationFailure(str(error))
+            if memo is not None:
+                memo[node] = failure
+            raise failure from error
+        if memo is not None:
+            memo[node] = table
+        results[node.node_id] = table
+        return table
+
+    walk(hypothesis)
+    return results
+
+
+def evaluate(hypothesis: Hypothesis, inputs: Sequence[Table]) -> Table:
+    """Evaluate a complete hypothesis to its output table."""
+    if not is_complete(hypothesis):
+        raise ValueError("cannot fully evaluate a hypothesis that still has holes")
+    results = partial_evaluate(hypothesis, inputs)
+    return results[hypothesis.node_id]
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_program(hypothesis: Hypothesis, input_names: Optional[Sequence[str]] = None) -> str:
+    """Render a (complete) hypothesis as a sequence of R assignments.
+
+    The output mirrors the paper's presentation::
+
+        df1 = gather(table1, key, value, X1, X2, X3)
+        df2 = inner_join(df1, table2)
+    """
+    lines: List[str] = []
+    counter = itertools.count(1)
+
+    def name_of_input(index: int) -> str:
+        if input_names is not None and index < len(input_names):
+            return input_names[index]
+        return f"table{index + 1}"
+
+    def walk(node: Hypothesis) -> str:
+        if isinstance(node, Hole):
+            if node.hole_type is Type.TABLE:
+                return name_of_input(node.binding) if node.binding is not None else f"?{node.node_id}"
+            return node.value.render_r() if node.value is not None else f"?{node.node_id}"
+        table_args = [walk(child) for child in node.table_children]
+        arguments = [child.value for child in node.value_children]
+        if any(argument is None for argument in arguments):
+            rendered_arguments = ", ".join(
+                child.value.render_r() if child.value is not None else f"?{child.node_id}"
+                for child in node.value_children
+            )
+            call = f"{node.component.name}({', '.join(table_args)}, {rendered_arguments})"
+        else:
+            call = node.component.render_r(table_args, arguments)
+        result_name = f"df{next(counter)}"
+        lines.append(f"{result_name} = {call}")
+        return result_name
+
+    walk(hypothesis)
+    return "\n".join(lines)

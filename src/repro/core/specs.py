@@ -1,0 +1,242 @@
+"""First-order component specifications (Tables 1, 2 and 3 of the paper).
+
+Every table transformer is equipped with an over-approximate first-order
+specification relating the attributes of its output table to the attributes
+of its input table(s).  Two levels are provided:
+
+* :data:`SpecLevel.SPEC1` -- constraints over ``row`` / ``col`` only
+  (Table 2 of the paper).
+* :data:`SpecLevel.SPEC2` -- additionally constrains ``group``, ``newCols``
+  and ``newVals`` (Table 3).
+
+The constraints below are *sound* for the executor in
+:mod:`repro.components`; where the paper's published inequality is not sound
+for faithful tidyr/dplyr semantics (e.g. ``unite`` can *remove* previously-new
+column names, ``spread`` over a single key value can shrink the table), the
+bound is relaxed just enough to stay an over-approximation.  DESIGN.md lists
+these adjustments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..smt.terms import Formula, Or, conjoin
+from .abstraction import SpecLevel, TableVars
+
+#: The type of a component specification: ``spec(output, inputs, level)``.
+SpecFunction = Callable[[TableVars, Sequence[TableVars], SpecLevel], Formula]
+
+
+def spec_gather(out: TableVars, ins: Sequence[TableVars], level: SpecLevel) -> Formula:
+    """``gather`` collapses >=2 columns into key/value pairs."""
+    (t,) = ins
+    constraints = [
+        out.row >= t.row,
+        out.col <= t.col,
+        out.col >= 3,
+    ]
+    if level is SpecLevel.SPEC2:
+        constraints += [
+            out.group <= t.group,
+            out.new_vals <= t.new_vals + 2,
+            out.new_cols <= t.new_cols + 2,
+        ]
+    return conjoin(constraints)
+
+
+def spec_spread(out: TableVars, ins: Sequence[TableVars], level: SpecLevel) -> Formula:
+    """``spread`` turns a key/value pair of columns into one column per key."""
+    (t,) = ins
+    constraints = [
+        out.row <= t.row,
+        out.col >= t.col - 1,
+        out.row >= 1,
+    ]
+    if level is SpecLevel.SPEC2:
+        constraints += [
+            out.group <= t.group,
+            out.new_vals <= t.new_vals,
+            out.new_cols <= t.new_vals,
+        ]
+    return conjoin(constraints)
+
+
+def spec_separate(out: TableVars, ins: Sequence[TableVars], level: SpecLevel) -> Formula:
+    """``separate`` splits one column into two."""
+    (t,) = ins
+    constraints = [
+        out.row.equals(t.row),
+        out.col.equals(t.col + 1),
+    ]
+    if level is SpecLevel.SPEC2:
+        constraints += [
+            out.group <= t.group,
+            out.new_vals >= t.new_vals + 2,
+            out.new_cols <= t.new_cols + 2,
+            out.new_cols >= 2,
+        ]
+    return conjoin(constraints)
+
+
+def spec_unite(out: TableVars, ins: Sequence[TableVars], level: SpecLevel) -> Formula:
+    """``unite`` pastes two columns into one."""
+    (t,) = ins
+    constraints = [
+        out.row.equals(t.row),
+        out.col.equals(t.col - 1),
+    ]
+    if level is SpecLevel.SPEC2:
+        constraints += [
+            out.group <= t.group,
+            # The united column gets a fresh name (+1) but the two source
+            # columns disappear from the header (each may have been new).
+            out.new_vals >= t.new_vals - 1,
+            out.new_vals <= t.new_vals + t.row + 1,
+            out.new_cols <= t.new_cols + 1,
+            out.new_cols >= t.new_cols - 1,
+            out.new_cols >= 1,
+        ]
+    return conjoin(constraints)
+
+
+def spec_select(out: TableVars, ins: Sequence[TableVars], level: SpecLevel) -> Formula:
+    """``select`` projects onto a strict subset of the columns."""
+    (t,) = ins
+    constraints = [
+        out.row.equals(t.row),
+        out.col < t.col,
+    ]
+    if level is SpecLevel.SPEC2:
+        constraints += [
+            out.group <= t.group,
+            out.new_vals <= t.new_vals,
+            out.new_cols <= t.new_cols,
+        ]
+    return conjoin(constraints)
+
+
+def spec_filter(out: TableVars, ins: Sequence[TableVars], level: SpecLevel) -> Formula:
+    """``filter`` keeps a strict subset of the rows."""
+    (t,) = ins
+    constraints = [
+        out.row < t.row,
+        out.col.equals(t.col),
+    ]
+    if level is SpecLevel.SPEC2:
+        constraints += [
+            out.group <= t.group,
+            out.new_vals <= t.new_vals,
+            out.new_cols.equals(t.new_cols),
+        ]
+    return conjoin(constraints)
+
+
+def spec_summarise(out: TableVars, ins: Sequence[TableVars], level: SpecLevel) -> Formula:
+    """``summarise`` collapses each group to one row with one aggregate column."""
+    (t,) = ins
+    constraints = [
+        out.row <= t.row,
+        out.col <= t.col + 1,
+        out.col >= 1,
+    ]
+    if level is SpecLevel.SPEC2:
+        constraints += [
+            out.row.equals(t.group),
+            out.group <= t.group,
+            out.new_vals <= t.new_vals + t.group + 1,
+            out.new_cols <= t.new_cols + 1,
+            out.new_cols >= 1,
+        ]
+    return conjoin(constraints)
+
+
+def spec_group_by(out: TableVars, ins: Sequence[TableVars], level: SpecLevel) -> Formula:
+    """``group_by`` only attaches grouping metadata."""
+    (t,) = ins
+    constraints = [
+        out.row.equals(t.row),
+        out.col.equals(t.col),
+    ]
+    if level is SpecLevel.SPEC2:
+        constraints += [
+            out.group >= 1,
+            out.group <= t.row,
+            out.new_vals.equals(t.new_vals),
+            out.new_cols.equals(t.new_cols),
+        ]
+    return conjoin(constraints)
+
+
+def spec_mutate(out: TableVars, ins: Sequence[TableVars], level: SpecLevel) -> Formula:
+    """``mutate`` adds one computed column."""
+    (t,) = ins
+    constraints = [
+        out.row.equals(t.row),
+        out.col.equals(t.col + 1),
+    ]
+    if level is SpecLevel.SPEC2:
+        constraints += [
+            out.group.equals(t.group),
+            out.new_cols.equals(t.new_cols + 1),
+            out.new_vals > t.new_vals,
+            out.new_vals <= t.new_vals + t.row + 1,
+        ]
+    return conjoin(constraints)
+
+
+def spec_inner_join(out: TableVars, ins: Sequence[TableVars], level: SpecLevel) -> Formula:
+    """``inner_join`` performs a natural join of two tables."""
+    t1, t2 = ins
+    constraints = [
+        # Min(r1, r2) <= out.row <= Max(r1, r2): encoded with disjunctions.
+        Or(t1.row <= out.row, t2.row <= out.row),
+        Or(out.row <= t1.row, out.row <= t2.row),
+        out.col <= t1.col + t2.col - 1,
+        out.col >= t1.col,
+        out.col >= t2.col,
+    ]
+    if level is SpecLevel.SPEC2:
+        constraints += [
+            out.group.equals(1),
+            out.new_cols <= t1.new_cols + t2.new_cols,
+            out.new_vals <= t1.new_vals + t2.new_vals,
+        ]
+    return conjoin(constraints)
+
+
+def spec_arrange(out: TableVars, ins: Sequence[TableVars], level: SpecLevel) -> Formula:
+    """``arrange`` reorders rows."""
+    (t,) = ins
+    constraints = [
+        out.row.equals(t.row),
+        out.col.equals(t.col),
+    ]
+    if level is SpecLevel.SPEC2:
+        constraints += [
+            out.group.equals(t.group),
+            out.new_vals.equals(t.new_vals),
+            out.new_cols.equals(t.new_cols),
+        ]
+    return conjoin(constraints)
+
+
+def spec_true(out: TableVars, ins: Sequence[TableVars], level: SpecLevel) -> Formula:
+    """The trivial specification ``true`` (always a valid over-approximation)."""
+    return conjoin([])
+
+
+#: Specification of every built-in table transformer, by component name.
+SPECIFICATIONS: Dict[str, SpecFunction] = {
+    "gather": spec_gather,
+    "spread": spec_spread,
+    "separate": spec_separate,
+    "unite": spec_unite,
+    "select": spec_select,
+    "filter": spec_filter,
+    "summarise": spec_summarise,
+    "group_by": spec_group_by,
+    "mutate": spec_mutate,
+    "inner_join": spec_inner_join,
+    "arrange": spec_arrange,
+}

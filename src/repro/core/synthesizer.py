@@ -1,0 +1,325 @@
+"""The top-level synthesis algorithm (Section 5, Algorithm 1 of the paper).
+
+:class:`Morpheus` maintains a worklist of hypotheses ordered by the cost
+model.  Each iteration pops the most promising hypothesis, asks the deduction
+engine whether it could possibly be turned into a sketch consistent with the
+example, completes the surviving sketches bottom-up (with further deduction
+inside the completion), checks every complete program against the example,
+and finally refines the hypothesis by replacing one of its table holes with a
+component application.
+
+Ablations used by the evaluation harness are exposed through
+:class:`SynthesisConfig`: deduction on/off, Spec 1 vs Spec 2, partial
+evaluation on/off, and n-gram vs uniform hypothesis ranking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..components.errors import PRUNABLE_ERRORS
+from ..dataframe.compare import tables_match_for_synthesis
+from ..dataframe.table import Table
+from .abstraction import SpecLevel
+from .completion import (
+    CompletionBudgetExceeded,
+    CompletionStats,
+    CompletionTimeout,
+    SketchCompleter,
+)
+from .component import ComponentLibrary
+from .cost import CostModel, UniformCostModel
+from .deduction import DeductionEngine, DeductionStats
+from .hypothesis import (
+    Apply,
+    EvaluationFailure,
+    Hole,
+    Hypothesis,
+    component_sequence,
+    evaluate,
+    hypothesis_size,
+    initial_hypothesis,
+    is_complete,
+    iter_nodes,
+    max_node_id,
+    refine,
+    render_program,
+    sketches,
+    table_holes,
+)
+from .library import standard_library
+from .types import Type
+
+
+@dataclass(frozen=True)
+class Example:
+    """An input-output example (Definition 3 of the paper)."""
+
+    inputs: Tuple[Table, ...]
+    output: Table
+
+    @staticmethod
+    def make(inputs: Sequence[Table], output: Table) -> "Example":
+        """Convenience constructor accepting any sequence of input tables."""
+        return Example(tuple(inputs), output)
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Knobs of the synthesis algorithm (defaults reproduce full Morpheus)."""
+
+    #: Use SMT-based deduction to reject hypotheses / partial programs.
+    deduction: bool = True
+    #: Which component specification to use for deduction.
+    spec_level: SpecLevel = SpecLevel.SPEC2
+    #: Use partial evaluation inside deduction.
+    partial_evaluation: bool = True
+    #: Use the statistical (bigram) cost model; otherwise order by size only.
+    ngram_ranking: bool = True
+    #: Largest number of component applications to consider.
+    max_size: int = 6
+    #: Wall-clock budget in seconds (None = unlimited).
+    timeout: Optional[float] = 60.0
+    #: Weight of program size in the hypothesis score (see CostModel).  Large
+    #: values approximate a strictly smallest-first search.
+    size_weight: float = 1.0
+    #: Maximum number of candidate hole fillings tried per sketch (None =
+    #: unlimited).  Bounds the damage of a single sketch with a huge
+    #: first-order argument space.
+    completion_budget: Optional[int] = 6000
+
+    def describe(self) -> str:
+        """Short human-readable description used by the benchmark reports."""
+        if not self.deduction:
+            return "no-deduction"
+        name = "spec1" if self.spec_level is SpecLevel.SPEC1 else "spec2"
+        if not self.partial_evaluation:
+            name += "-no-pe"
+        return name
+
+
+@dataclass
+class SynthesisStats:
+    """Aggregated search statistics for one synthesis run."""
+
+    hypotheses_expanded: int = 0
+    hypotheses_enqueued: int = 0
+    sketches_generated: int = 0
+    sketches_rejected: int = 0
+    programs_checked: int = 0
+    deduction: DeductionStats = field(default_factory=DeductionStats)
+    completion: CompletionStats = field(default_factory=CompletionStats)
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of partially-filled sketches pruned before completion."""
+        if self.completion.partial_programs == 0:
+            return 0.0
+        return self.completion.pruned_partial / self.completion.partial_programs
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of a synthesis run."""
+
+    solved: bool
+    program: Optional[Hypothesis]
+    elapsed: float
+    stats: SynthesisStats
+    config: SynthesisConfig
+
+    def render(self, input_names: Optional[Sequence[str]] = None) -> str:
+        """The synthesized program as R-style source text."""
+        if self.program is None:
+            return "<no program found>"
+        return render_program(self.program, input_names)
+
+    @property
+    def size(self) -> Optional[int]:
+        """Number of components in the synthesized program."""
+        return hypothesis_size(self.program) if self.program is not None else None
+
+
+class Morpheus:
+    """Example-driven synthesizer for table transformation programs."""
+
+    def __init__(
+        self,
+        library: Optional[ComponentLibrary] = None,
+        config: Optional[SynthesisConfig] = None,
+    ) -> None:
+        self.library = library if library is not None else standard_library()
+        self.config = config if config is not None else SynthesisConfig()
+        if self.config.ngram_ranking:
+            self.cost_model: CostModel = CostModel(size_weight=self.config.size_weight)
+        else:
+            self.cost_model = UniformCostModel(size_weight=self.config.size_weight)
+
+    # ------------------------------------------------------------------
+    def synthesize(self, example: Example) -> SynthesisResult:
+        """Algorithm 1: search for a program consistent with *example*."""
+        started = time.monotonic()
+        deadline = (
+            started + self.config.timeout if self.config.timeout is not None else None
+        )
+        stats = SynthesisStats()
+        engine = DeductionEngine(
+            inputs=example.inputs,
+            output=example.output,
+            level=self.config.spec_level,
+            use_partial_evaluation=self.config.partial_evaluation,
+            enabled=self.config.deduction,
+            stats=stats.deduction,
+        )
+        completer = SketchCompleter(
+            engine,
+            deadline=deadline,
+            budget=self.config.completion_budget,
+            stats=stats.completion,
+        )
+
+        counter = itertools.count()
+        node_counter = itertools.count(1)
+        worklist = _Worklist(self.cost_model)
+        visited = set()
+
+        def push(hypothesis: Hypothesis) -> None:
+            signature = _signature(hypothesis)
+            if signature in visited:
+                return
+            visited.add(signature)
+            worklist.push(hypothesis, next(counter))
+            stats.hypotheses_enqueued += 1
+
+        push(initial_hypothesis())
+
+        program: Optional[Hypothesis] = None
+        try:
+            while worklist:
+                if deadline is not None and time.monotonic() > deadline:
+                    break
+                hypothesis = worklist.pop()
+                stats.hypotheses_expanded += 1
+
+                feasible = engine.deduce(hypothesis)
+                if feasible:
+                    program = self._complete_hypothesis(
+                        hypothesis, example, completer, stats
+                    )
+                    if program is not None:
+                        break
+
+                # Hypothesis refinement (lines 15-18 of Algorithm 1).
+                if hypothesis_size(hypothesis) >= self.config.max_size:
+                    continue
+                for hole in table_holes(hypothesis, unbound_only=True):
+                    for component in self.library:
+                        refined = refine(
+                            hypothesis, hole, component, lambda: next(node_counter)
+                        )
+                        push(refined)
+        except CompletionTimeout:
+            program = None
+
+        elapsed = time.monotonic() - started
+        return SynthesisResult(
+            solved=program is not None,
+            program=program,
+            elapsed=elapsed,
+            stats=stats,
+            config=self.config,
+        )
+
+    # ------------------------------------------------------------------
+    def _complete_hypothesis(
+        self,
+        hypothesis: Hypothesis,
+        example: Example,
+        completer: SketchCompleter,
+        stats: SynthesisStats,
+    ) -> Optional[Hypothesis]:
+        """Lines 11-14 of Algorithm 1: sketch generation, completion, checking."""
+        if isinstance(hypothesis, Hole):
+            # The bare hypothesis ?0 can only be "the identity program", which
+            # is never the answer to a non-trivial task; skip it.
+            return None
+        for sketch in sketches(hypothesis, len(example.inputs)):
+            stats.sketches_generated += 1
+            if not completer.engine.deduce(sketch):
+                stats.sketches_rejected += 1
+                continue
+            try:
+                for candidate in completer.fill_sketch(sketch):
+                    stats.programs_checked += 1
+                    if self._check(candidate, example):
+                        return candidate
+            except CompletionBudgetExceeded:
+                # This sketch used up its budget; move on to the next one.
+                continue
+        return None
+
+    def _check(self, candidate: Hypothesis, example: Example) -> bool:
+        """CHECK(p, E): run the program and compare against the expected output."""
+        if not is_complete(candidate):
+            return False
+        try:
+            actual = evaluate(candidate, example.inputs)
+        except (EvaluationFailure, *PRUNABLE_ERRORS):
+            return False
+        return tables_match_for_synthesis(actual, example.output)
+
+
+class _Worklist:
+    """The priority queue of Algorithm 1.
+
+    Hypotheses are ordered by the cost model's score, which blends program
+    size (Occam's razor) with the statistical likelihood of the component
+    sequence (Section 8 of the paper).
+    """
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self._cost_model = cost_model
+        self._heap: List[Tuple[Tuple[float, int], int, Hypothesis]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, hypothesis: Hypothesis, tiebreak: int) -> None:
+        priority = self._cost_model.priority(
+            hypothesis_size(hypothesis), component_sequence(hypothesis)
+        )
+        heapq.heappush(self._heap, (priority, tiebreak, hypothesis))
+
+    def pop(self) -> Hypothesis:
+        _, _, hypothesis = heapq.heappop(self._heap)
+        return hypothesis
+
+
+def _signature(hypothesis: Hypothesis) -> str:
+    """A canonical string describing the tree shape (for duplicate detection)."""
+    def walk(node: Hypothesis) -> str:
+        if isinstance(node, Hole):
+            if node.hole_type is Type.TABLE:
+                return f"x{node.binding}" if node.binding is not None else "?"
+            return "v"
+        children = ",".join(walk(child) for child in node.table_children)
+        return f"{node.component.name}({children})"
+
+    return walk(hypothesis)
+
+
+def synthesize(
+    inputs: Sequence[Table],
+    output: Table,
+    library: Optional[ComponentLibrary] = None,
+    config: Optional[SynthesisConfig] = None,
+) -> SynthesisResult:
+    """One-call convenience API: synthesize a program from input/output tables."""
+    return Morpheus(library, config).synthesize(Example.make(inputs, output))

@@ -1,0 +1,157 @@
+"""Table equivalence used by the synthesizer's ``CHECK`` step.
+
+Stack Overflow posters rarely care about row order, and the column order of a
+``spread`` result depends on the key ordering, so the synthesizer compares the
+candidate output against the expected output with configurable leniency.  The
+default (:data:`DEFAULT_POLICY`) ignores row order but requires identical
+column names; this matches how the paper's motivating examples are judged
+(Example 3 uses an explicit ``arrange`` when the asker requested an order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cells import value_sort_key, values_equal
+from .table import Table
+
+
+@dataclass(frozen=True)
+class ComparePolicy:
+    """How strictly two tables are compared.
+
+    Attributes
+    ----------
+    ignore_row_order:
+        Treat rows as a multiset rather than a sequence.
+    ignore_col_order:
+        Allow columns to appear in a different order (names must still match).
+    ignore_col_names:
+        Compare by position only; column names are not required to match.
+        (Used by the SQL baseline, whose synthesized aggregate columns have
+        machine-generated names.)
+    """
+
+    ignore_row_order: bool = True
+    ignore_col_order: bool = False
+    ignore_col_names: bool = False
+
+
+#: The policy used by the synthesizer unless a task overrides it.
+DEFAULT_POLICY = ComparePolicy()
+
+#: Strict, positional comparison (exact reproduction of Definition 1 equality).
+STRICT_POLICY = ComparePolicy(ignore_row_order=False, ignore_col_order=False)
+
+#: Lenient comparison used for the SQL baseline of Figure 18.
+POSITIONAL_POLICY = ComparePolicy(ignore_row_order=True, ignore_col_order=False, ignore_col_names=True)
+
+
+def _rows_equal(left, right) -> bool:
+    return all(values_equal(lvalue, rvalue) for lvalue, rvalue in zip(left, right))
+
+
+def _multiset_rows_equal(left_rows, right_rows) -> bool:
+    def canonical(rows):
+        return sorted(
+            rows, key=lambda row: tuple(value_sort_key(value) for value in row)
+        )
+
+    left_sorted = canonical(left_rows)
+    right_sorted = canonical(right_rows)
+    return all(_rows_equal(lrow, rrow) for lrow, rrow in zip(left_sorted, right_sorted))
+
+
+def _column_fingerprint(table: Table, index: int):
+    """A canonical multiset of the values of one column (float-tolerant)."""
+    values = []
+    for row in table.rows:
+        value = row[index]
+        if isinstance(value, float):
+            value = round(value, 6)
+        values.append(value if not isinstance(value, float) or not value.is_integer() else int(value))
+    return tuple(sorted(values, key=value_sort_key))
+
+
+def align_columns(actual: Table, expected: Table):
+    """Find a permutation of *actual*'s columns matching *expected*.
+
+    Synthesized programs give machine-generated names to new columns, so the
+    candidate output is compared to the expected output up to a bijection
+    between columns.  Returns the list of actual column names in expected
+    order, or ``None`` if no alignment reproduces the expected rows (as a
+    multiset).
+
+    Columns with matching names are preferred; the remaining columns are
+    matched by backtracking over columns with identical value multisets.
+    """
+    if actual.n_rows != expected.n_rows or actual.n_cols != expected.n_cols:
+        return None
+
+    expected_count = expected.n_cols
+    candidates = []
+    for expected_index in range(expected_count):
+        expected_name = expected.columns[expected_index]
+        fingerprint = _column_fingerprint(expected, expected_index)
+        matching = []
+        for actual_index in range(actual.n_cols):
+            if _column_fingerprint(actual, actual_index) == fingerprint:
+                matching.append(actual_index)
+        if not matching:
+            return None
+        # Prefer a same-named column when one exists.
+        matching.sort(key=lambda index: (actual.columns[index] != expected_name, index))
+        candidates.append(matching)
+
+    assignment = [None] * expected_count
+    used = set()
+
+    def backtrack(position: int) -> bool:
+        if position == expected_count:
+            aligned = actual.select_columns([actual.columns[i] for i in assignment])
+            return _multiset_rows_equal(aligned.rows, expected.rows)
+        for actual_index in candidates[position]:
+            if actual_index in used:
+                continue
+            used.add(actual_index)
+            assignment[position] = actual_index
+            if backtrack(position + 1):
+                return True
+            used.discard(actual_index)
+        return False
+
+    if backtrack(0):
+        return [actual.columns[i] for i in assignment]
+    return None
+
+
+def tables_match_for_synthesis(actual: Table, expected: Table) -> bool:
+    """The CHECK used by the synthesizer: rows as a multiset, columns up to renaming."""
+    return align_columns(actual, expected) is not None
+
+
+def tables_equivalent(
+    actual: Table, expected: Table, policy: ComparePolicy = DEFAULT_POLICY
+) -> bool:
+    """Return ``True`` if *actual* matches *expected* under *policy*."""
+    if actual.n_rows != expected.n_rows or actual.n_cols != expected.n_cols:
+        return False
+
+    if policy.ignore_col_names:
+        actual_rows = actual.rows
+        expected_rows = expected.rows
+    elif policy.ignore_col_order:
+        if actual.header_set() != expected.header_set():
+            return False
+        actual = actual.select_columns(list(expected.columns))
+        actual_rows = actual.rows
+        expected_rows = expected.rows
+    else:
+        if actual.columns != expected.columns:
+            return False
+        actual_rows = actual.rows
+        expected_rows = expected.rows
+
+    if policy.ignore_row_order:
+        return _multiset_rows_equal(actual_rows, expected_rows)
+    return all(_rows_equal(arow, erow) for arow, erow in zip(actual_rows, expected_rows))

@@ -1,0 +1,28 @@
+"""Exceptions raised by the dataframe substrate."""
+
+
+class DataFrameError(Exception):
+    """Base class for all errors raised by :mod:`repro.dataframe`."""
+
+
+class SchemaError(DataFrameError):
+    """A table was constructed or queried with an inconsistent schema."""
+
+
+class ColumnNotFoundError(SchemaError):
+    """A referenced column does not exist in the table."""
+
+    def __init__(self, column, available):
+        self.column = column
+        self.available = tuple(available)
+        super().__init__(
+            f"column {column!r} not found; available columns: {list(available)}"
+        )
+
+
+class DuplicateColumnError(SchemaError):
+    """A table would end up with two columns of the same name."""
+
+
+class CellTypeError(DataFrameError):
+    """A cell value does not match the declared type of its column."""

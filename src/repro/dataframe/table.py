@@ -1,0 +1,388 @@
+"""The :class:`Table` data structure.
+
+A table (Definition 1 of the paper) is a tuple ``(r, c, tau, sigma)`` where
+``r`` and ``c`` are the number of rows and columns, ``tau`` is a record type
+mapping column names to cell types, and ``sigma`` maps each cell to a value.
+
+This module provides an immutable, pure-Python implementation of that
+definition together with the handful of extras the rest of the system needs:
+
+* *grouping metadata* -- ``dplyr::group_by`` does not change the contents of a
+  data frame, it only attaches grouping information that later verbs
+  (``summarise``, ``mutate``) consult.  ``Table.group_cols`` records that
+  information, and ``Table.n_groups`` is exactly the ``T.group`` attribute used
+  by Spec 2 (Table 3 of the paper).
+* *value/column-name sets* -- Spec 2 constrains ``T.newCols`` / ``T.newVals``,
+  the number of column names / values of a table that do not already appear in
+  the input tables.  :meth:`Table.header_set` and :meth:`Table.value_set`
+  expose the underlying sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .cells import (
+    CellType,
+    CellValue,
+    coerce_value,
+    format_value,
+    infer_column_type,
+    value_sort_key,
+    values_equal,
+)
+from .errors import ColumnNotFoundError, DuplicateColumnError, SchemaError
+
+
+class Table:
+    """An immutable table of typed cells.
+
+    Parameters
+    ----------
+    columns:
+        Ordered column names.
+    rows:
+        Row-major cell values.  Every row must have exactly ``len(columns)``
+        entries.
+    col_types:
+        Optional explicit column types.  When omitted the types are inferred
+        from the data.
+    group_cols:
+        Names of the columns the table is currently grouped by (attached by
+        ``group_by``, consumed by ``summarise``).
+    """
+
+    __slots__ = ("_columns", "_col_types", "_rows", "_group_cols")
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[CellValue]],
+        col_types: Optional[Sequence[CellType]] = None,
+        group_cols: Sequence[str] = (),
+    ) -> None:
+        columns = tuple(str(c) for c in columns)
+        if len(set(columns)) != len(columns):
+            raise DuplicateColumnError(f"duplicate column names in {list(columns)}")
+        materialized: List[Tuple[CellValue, ...]] = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != len(columns):
+                raise SchemaError(
+                    f"row {row!r} has {len(row)} cells but the table has "
+                    f"{len(columns)} columns"
+                )
+            materialized.append(row)
+
+        if col_types is None:
+            inferred = []
+            for index in range(len(columns)):
+                inferred.append(infer_column_type(row[index] for row in materialized))
+            col_types = inferred
+        col_types = tuple(col_types)
+        if len(col_types) != len(columns):
+            raise SchemaError("col_types must have one entry per column")
+
+        coerced_rows = [
+            tuple(coerce_value(value, col_types[index]) for index, value in enumerate(row))
+            for row in materialized
+        ]
+
+        for name in group_cols:
+            if name not in columns:
+                raise ColumnNotFoundError(name, columns)
+
+        self._columns = columns
+        self._col_types = col_types
+        self._rows = tuple(coerced_rows)
+        self._group_cols = tuple(group_cols)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[Mapping[str, CellValue]],
+        columns: Optional[Sequence[str]] = None,
+    ) -> "Table":
+        """Build a table from a list of dictionaries (one per row)."""
+        if columns is None:
+            if not records:
+                raise SchemaError("cannot infer columns from an empty record list")
+            columns = list(records[0].keys())
+        rows = [[record.get(column) for column in columns] for record in records]
+        return cls(columns, rows)
+
+    @classmethod
+    def from_columns(cls, data: Mapping[str, Sequence[CellValue]]) -> "Table":
+        """Build a table from a mapping of column name to column values."""
+        columns = list(data.keys())
+        lengths = {len(values) for values in data.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"columns have inconsistent lengths: {sorted(lengths)}")
+        n_rows = lengths.pop() if lengths else 0
+        rows = [[data[column][index] for column in columns] for index in range(n_rows)]
+        return cls(columns, rows)
+
+    @classmethod
+    def empty(cls, columns: Sequence[str], col_types: Optional[Sequence[CellType]] = None) -> "Table":
+        """Build an empty table with the given schema."""
+        return cls(columns, [], col_types=col_types)
+
+    # ------------------------------------------------------------------
+    # Basic accessors (Definition 1: T.row, T.col, type(T), T_{i,j})
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """Ordered column names."""
+        return self._columns
+
+    @property
+    def col_types(self) -> Tuple[CellType, ...]:
+        """Column types, aligned with :attr:`columns`."""
+        return self._col_types
+
+    @property
+    def rows(self) -> Tuple[Tuple[CellValue, ...], ...]:
+        """All rows as tuples of cell values."""
+        return self._rows
+
+    @property
+    def group_cols(self) -> Tuple[str, ...]:
+        """Columns the table is grouped by (empty when ungrouped)."""
+        return self._group_cols
+
+    @property
+    def n_rows(self) -> int:
+        """``T.row`` in the paper's notation."""
+        return len(self._rows)
+
+    @property
+    def n_cols(self) -> int:
+        """``T.col`` in the paper's notation."""
+        return len(self._columns)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(rows, columns)``."""
+        return (self.n_rows, self.n_cols)
+
+    def schema(self) -> Dict[str, CellType]:
+        """``type(T)``: mapping from column name to cell type."""
+        return dict(zip(self._columns, self._col_types))
+
+    def has_column(self, name: str) -> bool:
+        """Return ``True`` if *name* is a column of this table."""
+        return name in self._columns
+
+    def column_index(self, name: str) -> int:
+        """Return the position of column *name*, raising if it is absent."""
+        try:
+            return self._columns.index(name)
+        except ValueError:
+            raise ColumnNotFoundError(name, self._columns) from None
+
+    def column_type(self, name: str) -> CellType:
+        """Return the :class:`CellType` of column *name*."""
+        return self._col_types[self.column_index(name)]
+
+    def column_values(self, name: str) -> Tuple[CellValue, ...]:
+        """Return all values of column *name*, in row order."""
+        index = self.column_index(name)
+        return tuple(row[index] for row in self._rows)
+
+    def cell(self, row_index: int, column: str) -> CellValue:
+        """Return the value stored at ``(row_index, column)``."""
+        return self._rows[row_index][self.column_index(column)]
+
+    def row_dict(self, row_index: int) -> Dict[str, CellValue]:
+        """Return row *row_index* as an ordered ``{column: value}`` mapping."""
+        return dict(zip(self._columns, self._rows[row_index]))
+
+    def iter_records(self) -> Iterable[Dict[str, CellValue]]:
+        """Iterate over all rows as dictionaries."""
+        for index in range(self.n_rows):
+            yield self.row_dict(index)
+
+    # ------------------------------------------------------------------
+    # Grouping (used by Spec 2's T.group attribute)
+    # ------------------------------------------------------------------
+    def with_grouping(self, group_cols: Sequence[str]) -> "Table":
+        """Return a copy of this table grouped by *group_cols*."""
+        for name in group_cols:
+            if name not in self._columns:
+                raise ColumnNotFoundError(name, self._columns)
+        return Table(self._columns, self._rows, self._col_types, tuple(group_cols))
+
+    def ungrouped(self) -> "Table":
+        """Return a copy of this table with grouping metadata removed."""
+        if not self._group_cols:
+            return self
+        return Table(self._columns, self._rows, self._col_types, ())
+
+    def group_keys(self) -> List[Tuple[CellValue, ...]]:
+        """Distinct values of the grouping columns, in first-appearance order."""
+        if not self._group_cols:
+            return [()] if self._rows else []
+        indices = [self.column_index(name) for name in self._group_cols]
+        seen: List[Tuple[CellValue, ...]] = []
+        for row in self._rows:
+            key = tuple(row[index] for index in indices)
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    def group_row_indices(self) -> List[Tuple[Tuple[CellValue, ...], List[int]]]:
+        """Rows of each group as ``(key, row_indices)`` pairs."""
+        if not self._group_cols:
+            return [((), list(range(self.n_rows)))] if self._rows else []
+        indices = [self.column_index(name) for name in self._group_cols]
+        buckets: Dict[Tuple[CellValue, ...], List[int]] = {}
+        order: List[Tuple[CellValue, ...]] = []
+        for row_index, row in enumerate(self._rows):
+            key = tuple(row[index] for index in indices)
+            if key not in buckets:
+                buckets[key] = []
+                order.append(key)
+            buckets[key].append(row_index)
+        return [(key, buckets[key]) for key in order]
+
+    @property
+    def n_groups(self) -> int:
+        """``T.group``: the number of groups.
+
+        An ungrouped non-empty table forms a single group; an empty table has
+        no groups; a grouped table has one group per distinct key.
+        """
+        if not self._group_cols:
+            return 1 if self._rows else 0
+        return len(self.group_keys())
+
+    # ------------------------------------------------------------------
+    # Sets used by the Spec 2 abstraction (T.newCols / T.newVals)
+    # ------------------------------------------------------------------
+    def header_set(self) -> frozenset:
+        """The set of column names of this table."""
+        return frozenset(self._columns)
+
+    def value_set(self) -> frozenset:
+        """The set of values of this table.
+
+        Following the appendix of the paper, the value set of a table contains
+        its column names *and* its cell contents (cells are canonicalised via
+        :func:`repro.dataframe.cells.format_value` so ``5`` and ``5.0`` are the
+        same value).
+        """
+        values = set(self._columns)
+        for row in self._rows:
+            for value in row:
+                values.add(format_value(value))
+        return frozenset(values)
+
+    # ------------------------------------------------------------------
+    # Derived tables
+    # ------------------------------------------------------------------
+    def with_rows(self, rows: Iterable[Sequence[CellValue]]) -> "Table":
+        """Return a table with the same schema but different rows."""
+        return Table(self._columns, rows, self._col_types, self._group_cols)
+
+    def select_columns(self, names: Sequence[str]) -> "Table":
+        """Project this table onto *names* (in the given order)."""
+        indices = [self.column_index(name) for name in names]
+        rows = [tuple(row[index] for index in indices) for row in self._rows]
+        col_types = [self._col_types[index] for index in indices]
+        group_cols = [name for name in self._group_cols if name in names]
+        return Table(names, rows, col_types, group_cols)
+
+    def drop_columns(self, names: Sequence[str]) -> "Table":
+        """Remove *names* from this table."""
+        keep = [name for name in self._columns if name not in set(names)]
+        return self.select_columns(keep)
+
+    def rename_column(self, old: str, new: str) -> "Table":
+        """Rename a single column."""
+        index = self.column_index(old)
+        if new in self._columns and new != old:
+            raise DuplicateColumnError(f"column {new!r} already exists")
+        columns = list(self._columns)
+        columns[index] = new
+        group_cols = [new if name == old else name for name in self._group_cols]
+        return Table(columns, self._rows, self._col_types, group_cols)
+
+    def with_column(self, name: str, values: Sequence[CellValue]) -> "Table":
+        """Append a new column called *name* with the given values."""
+        if name in self._columns:
+            raise DuplicateColumnError(f"column {name!r} already exists")
+        if len(values) != self.n_rows:
+            raise SchemaError(
+                f"new column has {len(values)} values but the table has {self.n_rows} rows"
+            )
+        columns = list(self._columns) + [name]
+        rows = [tuple(row) + (values[index],) for index, row in enumerate(self._rows)]
+        col_types = list(self._col_types) + [infer_column_type(values)]
+        return Table(columns, rows, col_types, self._group_cols)
+
+    def sorted_by(self, names: Sequence[str]) -> "Table":
+        """Return this table sorted (ascending) by the given columns."""
+        indices = [self.column_index(name) for name in names]
+
+        def key(row):
+            return tuple(value_sort_key(row[index]) for index in indices)
+
+        return self.with_rows(sorted(self._rows, key=key))
+
+    def canonical_rows(self) -> Tuple[Tuple[CellValue, ...], ...]:
+        """Rows sorted into a canonical order (used for order-insensitive comparison)."""
+        return tuple(
+            sorted(self._rows, key=lambda row: tuple(value_sort_key(value) for value in row))
+        )
+
+    # ------------------------------------------------------------------
+    # Equality / rendering
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: schema, grouping metadata and cell contents.
+
+        Grouping is part of a table's identity -- ``group_by`` changes how
+        later verbs behave even though the cells are untouched.
+        """
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self._columns != other._columns or self.n_rows != other.n_rows:
+            return False
+        if self._group_cols != other._group_cols:
+            return False
+        for left, right in zip(self._rows, other._rows):
+            for lvalue, rvalue in zip(left, right):
+                if not values_equal(lvalue, rvalue):
+                    return False
+        return True
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self._columns,
+                self._group_cols,
+                tuple(tuple(format_value(v) for v in row) for row in self._rows),
+            )
+        )
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def to_markdown(self) -> str:
+        """Render this table as a GitHub-flavoured markdown table."""
+        header = "| " + " | ".join(self._columns) + " |"
+        separator = "| " + " | ".join("---" for _ in self._columns) + " |"
+        lines = [header, separator]
+        for row in self._rows:
+            lines.append("| " + " | ".join(format_value(value) for value in row) + " |")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        grouped = f", grouped by {list(self._group_cols)}" if self._group_cols else ""
+        return f"<Table {self.n_rows}x{self.n_cols} columns={list(self._columns)}{grouped}>"
+
+    def __str__(self) -> str:
+        return self.to_markdown()

@@ -1,0 +1,83 @@
+"""Tseitin conversion of formulas to CNF.
+
+The SAT engine (:mod:`repro.smt.sat`) works on clauses over propositional
+variables numbered from 1; theory atoms are mapped to propositional variables
+and the mapping is returned so the DPLL(T) driver can translate boolean
+assignments back into conjunctions of theory literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .terms import And, Atom, BoolVal, Formula, Not, Or
+
+
+@dataclass
+class CNF:
+    """A CNF instance plus the mapping from atoms to propositional variables."""
+
+    clauses: List[List[int]] = field(default_factory=list)
+    num_vars: int = 0
+    atom_of_var: Dict[int, Atom] = field(default_factory=dict)
+    var_of_atom: Dict[Atom, int] = field(default_factory=dict)
+    #: True when the input formula was trivially false (e.g. contained FALSE
+    #: as a top-level conjunct); the clause set then contains the empty clause.
+    trivially_false: bool = False
+
+    def new_var(self) -> int:
+        """Allocate a fresh propositional variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def var_for_atom(self, atom: Atom) -> int:
+        """The propositional variable standing for *atom* (allocated on demand)."""
+        if atom not in self.var_of_atom:
+            var = self.new_var()
+            self.var_of_atom[atom] = var
+            self.atom_of_var[var] = atom
+        return self.var_of_atom[atom]
+
+    def add_clause(self, literals: List[int]) -> None:
+        """Add a clause (a list of non-zero literals)."""
+        self.clauses.append(list(literals))
+
+
+def tseitin(formula: Formula) -> CNF:
+    """Encode *formula* into CNF using the Tseitin transformation.
+
+    Every subformula gets a definitional variable; the root variable is
+    asserted as a unit clause.
+    """
+    cnf = CNF()
+
+    def encode(node: Formula) -> int:
+        """Return a literal equivalent to *node*."""
+        if isinstance(node, BoolVal):
+            var = cnf.new_var()
+            cnf.add_clause([var] if node.value else [-var])
+            return var
+        if isinstance(node, Atom):
+            return cnf.var_for_atom(node)
+        if isinstance(node, Not):
+            return -encode(node.operand)
+        if isinstance(node, And):
+            literals = [encode(operand) for operand in node.operands]
+            out = cnf.new_var()
+            for literal in literals:
+                cnf.add_clause([-out, literal])
+            cnf.add_clause([out] + [-literal for literal in literals])
+            return out
+        if isinstance(node, Or):
+            literals = [encode(operand) for operand in node.operands]
+            out = cnf.new_var()
+            for literal in literals:
+                cnf.add_clause([-literal, out])
+            cnf.add_clause([-out] + literals)
+            return out
+        raise TypeError(f"cannot encode {node!r}")
+
+    root = encode(formula)
+    cnf.add_clause([root])
+    return cnf

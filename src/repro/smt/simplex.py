@@ -1,0 +1,175 @@
+"""Rational feasibility via the two-phase simplex method.
+
+This is the arithmetic core of the LIA theory solver: given a conjunction of
+linear equalities and non-strict inequalities over rational-valued variables,
+decide feasibility and produce a witness.  The implementation is a textbook
+phase-1 simplex over exact :class:`fractions.Fraction` arithmetic with Bland's
+anti-cycling rule, which is more than fast enough for the small residual
+systems the deduction engine produces (a handful of variables after constant
+and equality propagation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """``sum(coeffs[i] * vars[i]) <rel> rhs`` with ``rel`` one of ``"<="``, ``"=="``."""
+
+    coeffs: Tuple[Tuple[str, Fraction], ...]
+    rel: str
+    rhs: Fraction
+
+    def __post_init__(self):
+        if self.rel not in ("<=", "=="):
+            raise ValueError(f"unsupported relation {self.rel!r}")
+
+
+def _build_standard_form(
+    constraints: Sequence[LinearConstraint], variables: Sequence[str]
+) -> Tuple[List[List[Fraction]], List[Fraction], int, int]:
+    """Convert constraints to ``A x = b`` with ``b >= 0`` and slack columns.
+
+    Free variables are split into a positive and a negative part.  Returns the
+    matrix, the right-hand side, the number of structural columns (before the
+    artificial block) and the number of rows.
+    """
+    var_index = {name: index for index, name in enumerate(variables)}
+    n_free_cols = 2 * len(variables)
+    n_slack = sum(1 for constraint in constraints if constraint.rel == "<=")
+
+    n_rows = len(constraints)
+    n_struct_cols = n_free_cols + n_slack
+    matrix: List[List[Fraction]] = []
+    rhs: List[Fraction] = []
+
+    slack_cursor = 0
+    for constraint in constraints:
+        row = [Fraction(0)] * n_struct_cols
+        for name, coeff in constraint.coeffs:
+            column = var_index[name]
+            row[2 * column] += coeff
+            row[2 * column + 1] -= coeff
+        b = constraint.rhs
+        if constraint.rel == "<=":
+            row[n_free_cols + slack_cursor] = Fraction(1)
+            slack_cursor += 1
+        if b < 0:
+            row = [-value for value in row]
+            b = -b
+        matrix.append(row)
+        rhs.append(b)
+    return matrix, rhs, n_struct_cols, n_rows
+
+
+def solve_rational(
+    constraints: Sequence[LinearConstraint],
+) -> Optional[Dict[str, Fraction]]:
+    """Return a rational assignment satisfying *constraints*, or ``None``.
+
+    All variables are unrestricted in sign.
+    """
+    variables = sorted({name for constraint in constraints for name, _ in constraint.coeffs})
+    if not constraints:
+        return {}
+    if not variables:
+        # Ground system: every constraint must hold with an empty assignment.
+        for constraint in constraints:
+            if constraint.rel == "<=" and not Fraction(0) <= constraint.rhs:
+                return None
+            if constraint.rel == "==" and constraint.rhs != 0:
+                return None
+        return {}
+
+    matrix, rhs, n_struct_cols, n_rows = _build_standard_form(constraints, variables)
+
+    # Phase 1: add one artificial variable per row and minimise their sum.
+    n_cols = n_struct_cols + n_rows
+    tableau = [row + [Fraction(0)] * n_rows for row in matrix]
+    for row_index in range(n_rows):
+        tableau[row_index][n_struct_cols + row_index] = Fraction(1)
+    basis = [n_struct_cols + row_index for row_index in range(n_rows)]
+
+    # Objective row: minimise sum of artificials == maximise -(sum of artificials).
+    # Reduced costs start as the negated sum of the constraint rows on the
+    # structural columns (standard phase-1 initialisation).
+    objective = [Fraction(0)] * n_cols
+    objective_value = Fraction(0)
+    for row_index in range(n_rows):
+        for column in range(n_struct_cols):
+            objective[column] -= tableau[row_index][column]
+        objective_value -= rhs[row_index]
+
+    def pivot(pivot_row: int, pivot_col: int) -> None:
+        nonlocal objective_value
+        pivot_value = tableau[pivot_row][pivot_col]
+        tableau[pivot_row] = [value / pivot_value for value in tableau[pivot_row]]
+        rhs[pivot_row] /= pivot_value
+        for row_index in range(n_rows):
+            if row_index == pivot_row:
+                continue
+            factor = tableau[row_index][pivot_col]
+            if factor == 0:
+                continue
+            tableau[row_index] = [
+                value - factor * pivot_cell
+                for value, pivot_cell in zip(tableau[row_index], tableau[pivot_row])
+            ]
+            rhs[row_index] -= factor * rhs[pivot_row]
+        factor = objective[pivot_col]
+        if factor != 0:
+            for column in range(n_cols):
+                objective[column] -= factor * tableau[pivot_row][column]
+            objective_value -= factor * rhs[pivot_row]
+        basis[pivot_row] = pivot_col
+
+    max_iterations = 200 * (n_rows + n_cols)
+    for _ in range(max_iterations):
+        # Bland's rule: entering column is the smallest index with a negative
+        # reduced cost.
+        entering = None
+        for column in range(n_cols):
+            if objective[column] < 0:
+                entering = column
+                break
+        if entering is None:
+            break
+        # Leaving row: minimum ratio, ties broken by smallest basis index.
+        leaving = None
+        best_ratio = None
+        for row_index in range(n_rows):
+            coeff = tableau[row_index][entering]
+            if coeff > 0:
+                ratio = rhs[row_index] / coeff
+                if (
+                    best_ratio is None
+                    or ratio < best_ratio
+                    or (ratio == best_ratio and basis[row_index] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = row_index
+        if leaving is None:
+            # Unbounded phase-1 objective cannot happen (it is bounded below by 0),
+            # but guard against it anyway.
+            return None
+        pivot(leaving, entering)
+    else:  # pragma: no cover - defensive: iteration limit reached
+        return None
+
+    if objective_value < 0:
+        # The artificials could not be driven to zero: infeasible.
+        return None
+
+    # Read the solution off the basis.
+    solution_columns = [Fraction(0)] * n_cols
+    for row_index, column in enumerate(basis):
+        solution_columns[column] = rhs[row_index]
+
+    assignment: Dict[str, Fraction] = {}
+    for index, name in enumerate(variables):
+        assignment[name] = solution_columns[2 * index] - solution_columns[2 * index + 1]
+    return assignment

@@ -1,0 +1,230 @@
+"""The public SMT solver facade (lazy DPLL(T) over LIA).
+
+:class:`Solver` mimics the small slice of the z3 API the paper's deduction
+engine needs: assert formulas, ask for satisfiability, read back a model.
+
+Two solving strategies are used:
+
+* If the asserted formula is a pure conjunction of atoms (the common case for
+  hypothesis specifications over a single input table), the LIA theory solver
+  is called directly.
+* Otherwise the boolean structure is Tseitin-encoded, the SAT engine
+  enumerates boolean models, and each model's theory literals are checked by
+  the LIA solver; theory conflicts are returned to the SAT engine as blocking
+  clauses (lazy SMT).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .cnf import tseitin
+from .lia import TheoryResult, check_conjunction
+from .sat import SatSolver
+from .terms import And, Atom, BoolVal, Formula, Not, Or, conjoin
+
+#: Upper bound on theory-refinement rounds of the lazy loop; reaching it is
+#: treated as SAT (sound for a deduction engine that prunes only on UNSAT).
+MAX_THEORY_ROUNDS = 200
+
+
+class CheckResult(enum.Enum):
+    """Result of :meth:`Solver.check`."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+class Solver:
+    """An incremental-in-spirit SMT solver for quantifier-free LIA."""
+
+    def __init__(self) -> None:
+        self._assertions: List[Formula] = []
+        self._model: Optional[Dict[str, int]] = None
+
+    def add(self, *formulas: Formula) -> None:
+        """Assert one or more formulas."""
+        self._assertions.extend(formulas)
+
+    def assertions(self) -> Tuple[Formula, ...]:
+        """The formulas asserted so far."""
+        return tuple(self._assertions)
+
+    def reset(self) -> None:
+        """Remove all assertions."""
+        self._assertions.clear()
+        self._model = None
+
+    def model(self) -> Optional[Dict[str, int]]:
+        """The model found by the last successful :meth:`check`."""
+        return self._model
+
+    # ------------------------------------------------------------------
+    def check(self) -> CheckResult:
+        """Decide satisfiability of the conjunction of all assertions."""
+        self._model = None
+        formula = conjoin(self._assertions)
+        if isinstance(formula, BoolVal):
+            return CheckResult.SAT if formula.value else CheckResult.UNSAT
+
+        flat = _as_conjunction_of_atoms(formula)
+        if flat is not None:
+            result = check_conjunction(flat)
+            return self._finish(result)
+
+        clausal = _as_clausal_conjunction(formula)
+        if clausal is not None:
+            atoms, clauses = clausal
+            result = _check_clausal(atoms, clauses)
+            if result is None:
+                return CheckResult.UNSAT
+            return self._finish(result)
+        return self._solve_lazy(formula)
+
+    # ------------------------------------------------------------------
+    def _finish(self, result: TheoryResult) -> CheckResult:
+        if not result.satisfiable:
+            return CheckResult.UNSAT
+        self._model = result.model
+        return CheckResult.SAT
+
+    def _solve_lazy(self, formula: Formula) -> CheckResult:
+        cnf = tseitin(formula)
+        sat = SatSolver(cnf.num_vars, cnf.clauses)
+        for _ in range(MAX_THEORY_ROUNDS):
+            assignment = sat.solve()
+            if assignment is None:
+                return CheckResult.UNSAT
+            atoms: List[Atom] = []
+            disequalities: List[Atom] = []
+            blocking: List[int] = []
+            for variable, atom in cnf.atom_of_var.items():
+                value = assignment.get(variable)
+                if value is None:
+                    continue
+                blocking.append(-variable if value else variable)
+                if value:
+                    atoms.append(atom)
+                elif atom.op == "<=":
+                    atoms.extend(atom.negated_atoms())
+                else:
+                    # A negated equality is a disjunction of two inequalities;
+                    # it is handled by case splitting inside the theory check.
+                    disequalities.append(atom)
+            result = _case_split(atoms, disequalities)
+            if result.satisfiable:
+                return self._finish(result)
+            # Theory conflict: block this boolean assignment (restricted to the
+            # theory variables) and ask the SAT engine for another one.
+            if not blocking:
+                return CheckResult.UNSAT
+            sat.add_clause(blocking)
+        return CheckResult.UNKNOWN
+
+
+def _case_split(atoms: List[Atom], disequalities: List[Atom]) -> TheoryResult:
+    if not disequalities:
+        return check_conjunction(atoms)
+    head, *rest = disequalities
+    for branch in head.negated_atoms():
+        result = _case_split(atoms + [branch], rest)
+        if result.satisfiable:
+            return result
+    return TheoryResult(satisfiable=False)
+
+
+#: Maximum number of atomic disjunctions handled by the case-split fast path.
+MAX_CASE_SPLIT_CLAUSES = 8
+
+
+def _as_clausal_conjunction(formula: Formula):
+    """Recognise ``And(Atom | Or(Atom...), ...)`` formulas.
+
+    The deduction queries of the synthesizer have exactly this shape: a large
+    conjunction of atoms plus a handful of small disjunctions (the
+    ``Min``/``Max`` bounds of ``inner_join`` and the input-binding constraint
+    :math:`\\varphi_{in}` when there are several input tables).  For those, a
+    direct case split over the disjunctions is far cheaper than the full
+    Tseitin/SAT pipeline.  Returns ``(atoms, clauses)`` or ``None``.
+    """
+    atoms: List[Atom] = []
+    clauses: List[List[List[Atom]]] = []
+
+    def clause_branches(node: Formula) -> Optional[List[List[Atom]]]:
+        """Each branch of a disjunction as a conjunction of atoms."""
+        branches: List[List[Atom]] = []
+        for operand in node.operands:
+            if isinstance(operand, Atom):
+                branches.append([operand])
+            elif isinstance(operand, And):
+                flat = _as_conjunction_of_atoms(operand)
+                if flat is None:
+                    return None
+                branches.append(flat)
+            elif isinstance(operand, BoolVal):
+                if operand.value:
+                    branches.append([])
+            else:
+                return None
+        return branches
+
+    def walk(node: Formula) -> bool:
+        if isinstance(node, Atom):
+            atoms.append(node)
+            return True
+        if isinstance(node, BoolVal):
+            return node.value
+        if isinstance(node, And):
+            return all(walk(operand) for operand in node.operands)
+        if isinstance(node, Or):
+            branches = clause_branches(node)
+            if branches is None:
+                return False
+            clauses.append(branches)
+            return True
+        return False
+
+    if walk(formula) and len(clauses) <= MAX_CASE_SPLIT_CLAUSES:
+        return atoms, clauses
+    return None
+
+
+def _check_clausal(atoms: List[Atom], clauses) -> Optional[TheoryResult]:
+    """Case split over the clauses; return a SAT result or ``None`` for UNSAT."""
+    if not clauses:
+        result = check_conjunction(atoms)
+        return result if result.satisfiable else None
+    head, *rest = clauses
+    for branch in head:
+        result = _check_clausal(atoms + branch, rest)
+        if result is not None:
+            return result
+    return None
+
+
+def _as_conjunction_of_atoms(formula: Formula) -> Optional[List[Atom]]:
+    """Flatten *formula* into a list of atoms, or ``None`` if it has boolean structure."""
+    atoms: List[Atom] = []
+
+    def walk(node: Formula) -> bool:
+        if isinstance(node, Atom):
+            atoms.append(node)
+            return True
+        if isinstance(node, BoolVal):
+            return node.value
+        if isinstance(node, And):
+            return all(walk(operand) for operand in node.operands)
+        return False
+
+    if walk(formula):
+        return atoms
+    return None
+
+
+def is_satisfiable(formulas: Iterable[Formula]) -> bool:
+    """Convenience wrapper: SAT/UNKNOWN count as satisfiable (sound pruning)."""
+    solver = Solver()
+    solver.add(*formulas)
+    return solver.check() is not CheckResult.UNSAT

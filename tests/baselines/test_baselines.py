@@ -1,0 +1,119 @@
+"""Tests for the baseline synthesizers and configuration presets."""
+
+from repro.baselines import (
+    ALL_FIGURE17_CONFIGS,
+    FIGURE16_CONFIGS,
+    Lambda2Synthesizer,
+    SqlSynthesizer,
+    no_deduction_config,
+    spec1_config,
+    spec2_config,
+    spec2_no_partial_eval_config,
+)
+from repro.core.abstraction import SpecLevel
+from repro.dataframe import Table
+
+EMPLOYEES = Table(
+    ["emp", "dept", "salary"],
+    [["kim", "eng", 120], ["lee", "eng", 100], ["pat", "sales", 90]],
+)
+DEPARTMENTS = Table(["dept", "floor"], [["eng", 3], ["sales", 1]])
+
+
+class TestConfigurations:
+    def test_presets_have_expected_settings(self):
+        assert no_deduction_config().deduction is False
+        assert spec1_config().spec_level is SpecLevel.SPEC1
+        assert spec2_config().spec_level is SpecLevel.SPEC2
+        assert spec2_no_partial_eval_config().partial_evaluation is False
+
+    def test_figure16_has_three_columns(self):
+        assert set(FIGURE16_CONFIGS) == {"no-deduction", "spec1", "spec2"}
+
+    def test_figure17_has_five_curves(self):
+        assert set(ALL_FIGURE17_CONFIGS) == {
+            "no-deduction", "spec1-no-pe", "spec2-no-pe", "spec1-pe", "spec2-pe",
+        }
+
+    def test_timeout_is_passed_through(self):
+        assert spec2_config(timeout=5.0).timeout == 5.0
+
+
+class TestSqlSynthesizer:
+    def test_projection_query(self):
+        output = Table(["emp", "salary"], [["kim", 120], ["lee", 100], ["pat", 90]])
+        result = SqlSynthesizer(timeout=10).synthesize([EMPLOYEES], output)
+        assert result.solved
+        assert "SELECT" in result.query.render_sql()
+
+    def test_selection_query(self):
+        output = Table(["emp", "dept", "salary"], [["kim", "eng", 120], ["lee", "eng", 100]])
+        result = SqlSynthesizer(timeout=10).synthesize([EMPLOYEES], output)
+        assert result.solved
+        assert "WHERE" in result.query.render_sql()
+
+    def test_aggregation_query(self):
+        output = Table(["dept", "n"], [["eng", 2], ["sales", 1]])
+        result = SqlSynthesizer(timeout=10).synthesize([EMPLOYEES], output)
+        assert result.solved
+        assert "GROUP BY" in result.query.render_sql()
+
+    def test_join_query(self):
+        output = Table(
+            ["emp", "dept", "salary", "floor"],
+            [["kim", "eng", 120, 3], ["lee", "eng", 100, 3], ["pat", "sales", 90, 1]],
+        )
+        result = SqlSynthesizer(timeout=10).synthesize([EMPLOYEES, DEPARTMENTS], output)
+        assert result.solved
+        assert "JOIN" in result.query.render_sql()
+
+    def test_reshaping_is_out_of_scope(self):
+        # A gather-style output cannot be expressed as a flat SQL query.
+        from repro.components import gather
+
+        wide = Table(["id", "a", "b"], [[1, 10, 20], [2, 30, 40]])
+        output = gather(wide, "k", "v", ["a", "b"])
+        result = SqlSynthesizer(timeout=5).synthesize([wide], output)
+        assert not result.solved
+
+    def test_query_execution_matches_sql_semantics(self):
+        from repro.baselines.sql_synthesizer import SqlQuery
+
+        query = SqlQuery(tables=(0,), projection=(), where=("dept", "==", "eng"),
+                         group_by=("dept",), aggregate=("sum", "salary"))
+        result = query.execute([EMPLOYEES])
+        assert result.rows == (("eng", 220),)
+
+
+class TestLambda2:
+    def test_projection_is_solvable(self):
+        output = Table(["emp", "salary"], [["kim", 120], ["lee", 100], ["pat", 90]])
+        result = Lambda2Synthesizer(timeout=10).synthesize([EMPLOYEES], output)
+        assert result.solved
+        assert "map" in result.render()
+
+    def test_selection_is_solvable(self):
+        output = Table(["emp", "dept", "salary"], [["kim", "eng", 120], ["lee", "eng", 100]])
+        result = Lambda2Synthesizer(timeout=10).synthesize([EMPLOYEES], output)
+        assert result.solved
+        assert "filter" in result.render()
+
+    def test_aggregation_is_not_solvable(self):
+        output = Table(["dept", "n"], [["eng", 2], ["sales", 1]])
+        result = Lambda2Synthesizer(timeout=5).synthesize([EMPLOYEES], output)
+        assert not result.solved
+
+    def test_reshaping_is_not_solvable(self):
+        from repro.components import spread
+
+        long = Table(["product", "store", "price"],
+                     [["pen", "north", 2], ["pen", "south", 3],
+                      ["pad", "north", 5], ["pad", "south", 4]])
+        output = spread(long, "store", "price")
+        result = Lambda2Synthesizer(timeout=5).synthesize([long], output)
+        assert not result.solved
+
+    def test_unsolved_render(self):
+        output = Table(["dept", "n"], [["eng", 2], ["sales", 1]])
+        result = Lambda2Synthesizer(timeout=2).synthesize([EMPLOYEES], output)
+        assert result.render() == "<no program found>"

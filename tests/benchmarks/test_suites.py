@@ -1,0 +1,130 @@
+"""Tests for the benchmark suites and the runner/reporting infrastructure."""
+
+import pytest
+
+from repro.benchmarks import (
+    CATEGORY_COUNTS,
+    CATEGORY_DESCRIPTIONS,
+    figure16_table,
+    figure17_series,
+    figure17_table,
+    figure18_table,
+    r_benchmark_suite,
+    run_figure16,
+    run_figure18,
+    run_suite,
+    sql_benchmark_suite,
+)
+from repro.benchmarks.runner import Figure18Row, run_benchmark
+from repro.benchmarks.suite import BenchmarkSuite
+from repro.baselines import spec2_config
+from repro.components import PRUNABLE_ERRORS
+from repro.core import SynthesisConfig
+from repro.dataframe import Table
+
+
+class TestRSuite:
+    def test_has_eighty_benchmarks(self):
+        assert len(r_benchmark_suite()) == 80
+
+    def test_category_counts_match_figure16(self):
+        suite = r_benchmark_suite()
+        by_category = suite.by_category()
+        for category, count in CATEGORY_COUNTS.items():
+            assert len(by_category[category]) == count, category
+
+    def test_every_category_is_described(self):
+        assert set(CATEGORY_DESCRIPTIONS) == set(CATEGORY_COUNTS)
+
+    def test_names_are_unique(self):
+        names = r_benchmark_suite().names()
+        assert len(names) == len(set(names))
+
+    def test_outputs_differ_from_inputs(self):
+        # A benchmark whose output equals its input would be trivial.
+        for benchmark in r_benchmark_suite():
+            assert all(benchmark.output != table for table in benchmark.inputs), benchmark.name
+
+    def test_reference_components_are_recorded(self):
+        for benchmark in r_benchmark_suite():
+            assert benchmark.size >= 1
+
+    def test_subset_by_category(self):
+        subset = r_benchmark_suite().subset(categories=["C1"])
+        assert len(subset) == CATEGORY_COUNTS["C1"]
+
+    def test_lookup_by_name(self):
+        suite = r_benchmark_suite()
+        benchmark = suite.get("c2_flights_to_seattle_share")
+        assert benchmark.category == "C2"
+        with pytest.raises(KeyError):
+            suite.get("does_not_exist")
+
+
+class TestSqlSuite:
+    def test_has_twenty_eight_benchmarks(self):
+        assert len(sql_benchmark_suite()) == 28
+
+    def test_all_single_or_two_table(self):
+        for benchmark in sql_benchmark_suite():
+            assert 1 <= len(benchmark.inputs) <= 2
+
+
+class TestSuiteInfrastructure:
+    def test_add_computes_output(self):
+        suite = BenchmarkSuite("tiny")
+        table = Table(["a", "b"], [[1, 2], [3, 4]])
+        benchmark = suite.add(
+            "t1", "C1", "projection", [table],
+            lambda tables: tables[0].select_columns(["a"]), ["select"],
+        )
+        assert benchmark.output.columns == ("a",)
+        assert len(suite) == 1
+
+    def test_run_benchmark_on_easy_task(self):
+        suite = r_benchmark_suite()
+        benchmark = suite.get("c1_prices_long_to_wide")
+        outcome = run_benchmark(benchmark, SynthesisConfig(timeout=15))
+        assert outcome.solved
+        assert outcome.category == "C1"
+        assert outcome.elapsed < 15
+
+    def test_run_suite_aggregates(self):
+        suite = r_benchmark_suite().subset(names=["c1_scores_wide_to_long", "c3_sales_gather"])
+        run = run_suite(suite, spec2_config, timeout=15)
+        assert run.total == 2
+        assert run.solved >= 1
+        assert run.median_time() is not None
+        assert len(run.cumulative_times()) == 2
+
+
+class TestReporting:
+    @pytest.fixture(scope="class")
+    def figure16_runs(self):
+        suite = r_benchmark_suite().subset(
+            names=["c1_prices_long_to_wide", "c2_orders_count_by_region"]
+        )
+        return run_figure16(timeout=15, suite=suite)
+
+    def test_figure16_table_structure(self, figure16_runs):
+        text = figure16_table(figure16_runs)
+        assert "Category" in text
+        assert "Total" in text
+        assert "spec2" in text
+
+    def test_figure17_series_monotone(self, figure16_runs):
+        series = figure17_series(figure16_runs)
+        for values in series.values():
+            assert values == sorted(values)
+
+    def test_figure17_table(self, figure16_runs):
+        assert "Configuration" in figure17_table(figure16_runs)
+
+    def test_figure18_table_rendering(self):
+        rows = [
+            Figure18Row("morpheus", "sql-benchmarks", 27, 28, 1.0),
+            Figure18Row("sqlsynthesizer", "sql-benchmarks", 20, 28, 11.0),
+        ]
+        text = figure18_table(rows)
+        assert "morpheus" in text
+        assert "96.4%" in text

@@ -1,0 +1,208 @@
+"""Tests for the tidyr verbs: gather, spread, separate, unite."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.components import EvaluationError, InvalidArgumentError, gather, separate, spread, unite
+from repro.dataframe import CellType, Table
+
+
+@pytest.fixture
+def wide():
+    return Table(
+        ["id", "year", "A", "B"],
+        [[1, 2007, 5, 10], [2, 2007, 3, 50], [1, 2009, 5, 17], [2, 2009, 6, 17]],
+    )
+
+
+@pytest.fixture
+def long():
+    return Table(
+        ["product", "store", "price"],
+        [["pen", "north", 2], ["pen", "south", 3], ["pad", "north", 5], ["pad", "south", 4]],
+    )
+
+
+class TestGather:
+    def test_shape(self, wide):
+        result = gather(wide, "var", "val", ["A", "B"])
+        assert result.columns == ("id", "year", "var", "val")
+        assert result.n_rows == 8
+
+    def test_key_column_holds_source_names(self, wide):
+        result = gather(wide, "var", "val", ["A", "B"])
+        assert set(result.column_values("var")) == {"A", "B"}
+
+    def test_values_preserved(self, wide):
+        result = gather(wide, "var", "val", ["A", "B"])
+        assert sorted(result.column_values("val")) == sorted([5, 3, 5, 6, 10, 50, 17, 17])
+
+    def test_requires_two_columns(self, wide):
+        with pytest.raises(InvalidArgumentError):
+            gather(wide, "var", "val", ["A"])
+
+    def test_cannot_gather_everything(self, wide):
+        with pytest.raises(EvaluationError):
+            gather(wide, "var", "val", ["id", "year", "A", "B"])
+
+    def test_unknown_column(self, wide):
+        with pytest.raises(InvalidArgumentError):
+            gather(wide, "var", "val", ["A", "nope"])
+
+    def test_mixed_types_coerce_to_string(self):
+        table = Table(["id", "num", "word"], [[1, 3, "x"], [2, 4, "y"]])
+        result = gather(table, "k", "v", ["num", "word"])
+        assert result.column_type("v") is CellType.STR
+        assert "3" in result.column_values("v")
+
+    def test_key_name_collision_rejected(self, wide):
+        with pytest.raises(InvalidArgumentError):
+            gather(wide, "id", "val", ["A", "B"])
+
+
+class TestSpread:
+    def test_shape(self, long):
+        result = spread(long, "store", "price")
+        assert result.columns == ("product", "north", "south")
+        assert result.n_rows == 2
+
+    def test_cell_placement(self, long):
+        result = spread(long, "store", "price")
+        by_product = {row[0]: row for row in result.rows}
+        assert by_product["pen"] == ("pen", 2, 3)
+        assert by_product["pad"] == ("pad", 5, 4)
+
+    def test_missing_combination_becomes_na(self):
+        table = Table(["id", "k", "v"], [[1, "a", 10], [1, "b", 20], [2, "a", 30]])
+        result = spread(table, "k", "v")
+        assert result.cell(1, "b") is None
+
+    def test_duplicate_identifiers_rejected(self):
+        table = Table(["id", "k", "v"], [[1, "a", 10], [1, "a", 20]])
+        with pytest.raises(EvaluationError):
+            spread(table, "k", "v")
+
+    def test_missing_key_rejected(self):
+        table = Table(["id", "k", "v"], [[1, None, 10], [2, "a", 20]])
+        with pytest.raises(EvaluationError):
+            spread(table, "k", "v")
+
+    def test_key_equals_value_rejected(self, long):
+        with pytest.raises(InvalidArgumentError):
+            spread(long, "price", "price")
+
+    def test_needs_identifier_columns(self):
+        table = Table(["k", "v"], [["a", 1], ["b", 2]])
+        with pytest.raises(EvaluationError):
+            spread(table, "k", "v")
+
+    def test_numeric_keys_become_column_names(self):
+        table = Table(["id", "year", "v"], [[1, 2020, 7], [1, 2021, 9]])
+        result = spread(table, "year", "v")
+        assert result.columns == ("id", "2020", "2021")
+
+    def test_gather_spread_roundtrip(self, wide):
+        gathered = gather(wide, "var", "val", ["A", "B"])
+        widened = spread(gathered, "var", "val")
+        assert widened.header_set() == wide.header_set()
+        assert widened.n_rows == wide.n_rows
+
+
+class TestSeparate:
+    def test_default_separator(self):
+        table = Table(["key", "v"], [["a_1", 10], ["b_2", 20]])
+        result = separate(table, "key", ["letter", "number"])
+        assert result.columns == ("letter", "number", "v")
+        assert result.column_values("letter") == ("a", "b")
+        assert result.column_values("number") == ("1", "2")
+
+    def test_explicit_separator(self):
+        table = Table(["key"], [["a-1"], ["b-2"]], )
+        result = separate(table, "key", ["l", "r"], separator="-")
+        assert result.column_values("r") == ("1", "2")
+
+    def test_unsplittable_value_rejected(self):
+        table = Table(["key"], [["plain"]])
+        with pytest.raises(EvaluationError):
+            separate(table, "key", ["l", "r"])
+
+    def test_missing_cell_stays_missing(self):
+        table = Table(["key", "x"], [["a_1", 1], [None, 2]])
+        result = separate(table, "key", ["l", "r"])
+        assert result.cell(1, "l") is None
+
+    def test_existing_target_name_rejected(self):
+        table = Table(["key", "l"], [["a_1", 1]])
+        with pytest.raises(EvaluationError):
+            separate(table, "key", ["l", "r"])
+
+    def test_two_targets_required(self):
+        table = Table(["key"], [["a_1"]])
+        with pytest.raises(InvalidArgumentError):
+            separate(table, "key", ["only"])
+
+
+class TestUnite:
+    def test_basic(self):
+        table = Table(["a", "b", "x"], [["p", "q", 1], ["r", "s", 2]])
+        result = unite(table, "ab", ["a", "b"])
+        assert result.columns == ("ab", "x")
+        assert result.column_values("ab") == ("p_q", "r_s")
+
+    def test_numbers_are_formatted(self):
+        table = Table(["name", "year", "x"], [["a", 2020, 1]])
+        result = unite(table, "label", ["name", "year"])
+        assert result.column_values("label") == ("a_2020",)
+
+    def test_order_matters(self):
+        table = Table(["a", "b", "x"], [["p", "q", 1]])
+        assert unite(table, "u", ["b", "a"]).column_values("u") == ("q_p",)
+
+    def test_position_of_new_column(self):
+        table = Table(["x", "a", "b"], [[1, "p", "q"]])
+        assert unite(table, "u", ["a", "b"]).columns == ("x", "u")
+
+    def test_requires_two_distinct_columns(self):
+        table = Table(["a", "b"], [["p", "q"]])
+        with pytest.raises(InvalidArgumentError):
+            unite(table, "u", ["a"])
+        with pytest.raises(InvalidArgumentError):
+            unite(table, "u", ["a", "a"])
+
+    def test_separate_unite_roundtrip(self):
+        table = Table(["key", "v"], [["a_1", 10], ["b_2", 20]])
+        split = separate(table, "key", ["l", "r"])
+        rejoined = unite(split, "key", ["l", "r"])
+        assert rejoined.column_values("key") == ("a_1", "b_2")
+
+
+class TestReshapeProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(-10, 10), st.integers(-10, 10)),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_gather_row_count(self, rows):
+        # Make identifiers unique to keep the example well-formed.
+        rows = [(index, a, b) for index, (_, a, b) in enumerate(rows)]
+        table = Table(["id", "p", "q"], rows)
+        gathered = gather(table, "k", "v", ["p", "q"])
+        assert gathered.n_rows == 2 * table.n_rows
+        assert gathered.n_cols == table.n_cols
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(-10, 10), st.integers(-10, 10)),
+            min_size=1,
+            max_size=10,
+            unique_by=lambda row: row[0],
+        )
+    )
+    def test_gather_spread_is_identity_on_values(self, rows):
+        table = Table(["id", "p", "q"], rows)
+        roundtrip = spread(gather(table, "k", "v", ["p", "q"]), "k", "v")
+        assert roundtrip.header_set() == table.header_set()
+        assert sorted(roundtrip.column_values("p")) == sorted(table.column_values("p"))

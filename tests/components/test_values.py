@@ -1,0 +1,127 @@
+"""Tests for the first-order value transformers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.components import EvaluationError
+from repro.components.values import (
+    AGGREGATORS,
+    ARITHMETIC_OPERATORS,
+    COMPARISON_OPERATORS,
+    agg_count,
+    agg_max,
+    agg_mean,
+    agg_min,
+    agg_n_distinct,
+    agg_sum,
+    default_value_components,
+)
+
+
+class TestAggregates:
+    def test_sum_mean_min_max(self):
+        values = [1, 2, 3, 6]
+        assert agg_sum(values) == 12
+        assert agg_mean(values) == 3
+        assert agg_min(values) == 1
+        assert agg_max(values) == 6
+
+    def test_missing_values_ignored(self):
+        assert agg_sum([1, None, 2]) == 3
+        assert agg_mean([None, 4]) == 4
+
+    def test_count_includes_missing(self):
+        assert agg_count([1, None, 2]) == 3
+
+    def test_n_distinct(self):
+        assert agg_n_distinct([1, 1.0, 2, "a", "a", None]) == 4
+
+    def test_empty_column_rejected(self):
+        with pytest.raises(EvaluationError):
+            agg_sum([])
+        with pytest.raises(EvaluationError):
+            agg_mean([None, None])
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(EvaluationError):
+            agg_sum([1, "x"])
+
+    def test_registry_contains_all_names(self):
+        assert set(AGGREGATORS) == {"sum", "mean", "min", "max", "n", "n_distinct"}
+
+
+class TestComparisons:
+    def test_numeric_comparisons(self):
+        assert COMPARISON_OPERATORS["<"](1, 2)
+        assert COMPARISON_OPERATORS[">="](2, 2)
+        assert not COMPARISON_OPERATORS[">"](1, 2)
+
+    def test_equality_with_tolerance(self):
+        assert COMPARISON_OPERATORS["=="](0.1 + 0.2, 0.3)
+        assert COMPARISON_OPERATORS["!="](0.1, 0.3)
+
+    def test_string_equality(self):
+        assert COMPARISON_OPERATORS["=="]("a", "a")
+        assert COMPARISON_OPERATORS["!="]("a", "b")
+
+    def test_mixed_operands_rejected_for_order(self):
+        with pytest.raises(EvaluationError):
+            COMPARISON_OPERATORS["<"]("a", 1)
+
+    def test_missing_operand_rejected_for_order(self):
+        with pytest.raises(EvaluationError):
+            COMPARISON_OPERATORS["<"](None, 1)
+
+    def test_missing_equality(self):
+        assert COMPARISON_OPERATORS["=="](None, None)
+        assert COMPARISON_OPERATORS["!="](None, 3)
+
+
+class TestArithmetic:
+    def test_basic_operations(self):
+        assert ARITHMETIC_OPERATORS["+"](2, 3) == 5
+        assert ARITHMETIC_OPERATORS["-"](2, 3) == -1
+        assert ARITHMETIC_OPERATORS["*"](2, 3) == 6
+        assert ARITHMETIC_OPERATORS["/"](3, 2) == 1.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError):
+            ARITHMETIC_OPERATORS["/"](1, 0)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(EvaluationError):
+            ARITHMETIC_OPERATORS["+"]("a", 1)
+
+    def test_integral_results_normalise(self):
+        assert ARITHMETIC_OPERATORS["/"](4, 2) == 2
+        assert isinstance(ARITHMETIC_OPERATORS["/"](4, 2), int)
+
+
+class TestComponentSet:
+    def test_default_components_cover_the_paper(self):
+        components = default_value_components()
+        names = {component.name for component in components}
+        assert {"==", "!=", "<", ">", "<=", ">="} <= names
+        assert {"sum", "mean", "min", "max", "n"} <= names
+        assert len(components) >= 10
+
+    def test_components_are_callable(self):
+        by_name = {component.name: component for component in default_value_components()}
+        assert by_name["sum"]([1, 2]) == 3
+        assert by_name["<"](1, 2) is True
+
+
+class TestProperties:
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=30))
+    def test_sum_matches_python(self, values):
+        assert agg_sum(values) == sum(values)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=30))
+    def test_min_le_mean_le_max(self, values):
+        assert agg_min(values) <= agg_mean(values) <= agg_max(values)
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_comparisons_are_consistent(self, a, b):
+        assert COMPARISON_OPERATORS["<"](a, b) == (not COMPARISON_OPERATORS[">="](a, b))
+        assert COMPARISON_OPERATORS["=="](a, b) == (not COMPARISON_OPERATORS["!="](a, b))

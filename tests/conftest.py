@@ -1,0 +1,18 @@
+"""Shared pytest configuration."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running synthesis integration tests (deselect with '-m \"not slow\"')"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("-m"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow synthesis test; run with -m slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

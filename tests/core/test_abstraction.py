@@ -1,0 +1,110 @@
+"""Tests for table abstraction (alpha) and the Spec 2 attributes."""
+
+from repro.core.abstraction import (
+    ExampleBaseline,
+    SpecLevel,
+    TableVars,
+    abstract_table,
+    nonnegativity,
+    table_group_count,
+)
+from repro.dataframe import Table
+from repro.smt import Solver, CheckResult
+
+
+EX1_INPUT = Table(
+    ["id", "year", "A", "B"],
+    [[1, 2007, 5, 10], [2, 2009, 3, 50], [1, 2007, 5, 17], [2, 2009, 6, 17]],
+)
+EX1_OUTPUT = Table(
+    ["id", "A_2007", "B_2007", "A_2009", "B_2009"],
+    [[1, 5, 10, 5, 17], [2, 3, 50, 6, 17]],
+)
+
+
+class TestBaseline:
+    def test_input_has_no_new_values(self):
+        baseline = ExampleBaseline.from_tables([EX1_INPUT])
+        assert baseline.new_cols(EX1_INPUT) == 0
+        assert baseline.new_vals(EX1_INPUT) == 0
+
+    def test_example13_from_the_appendix(self):
+        baseline = ExampleBaseline.from_tables([EX1_INPUT])
+        assert baseline.new_cols(EX1_OUTPUT) == 4
+        assert baseline.new_vals(EX1_OUTPUT) == 4
+
+    def test_spread_style_columns_are_not_new(self):
+        # Column names that already occur as cell values in the input do not
+        # count as new columns (see DESIGN.md).
+        long = Table(["product", "store", "price"],
+                     [["pen", "north", 2], ["pen", "south", 3]])
+        wide = Table(["product", "north", "south"], [["pen", 2, 3]])
+        baseline = ExampleBaseline.from_tables([long])
+        assert baseline.new_cols(wide) == 0
+        assert baseline.new_vals(wide) == 0
+
+    def test_multiple_inputs_union(self):
+        t1 = Table(["a"], [[1]])
+        t2 = Table(["b"], [["x"]])
+        baseline = ExampleBaseline.from_tables([t1, t2])
+        probe = Table(["a", "b"], [[1, "x"]])
+        assert baseline.new_vals(probe) == 0
+
+
+class TestGroupCount:
+    def test_ungrouped(self):
+        assert table_group_count(Table(["a"], [[1], [2]])) == 1
+
+    def test_grouped(self):
+        table = Table(["g", "v"], [["a", 1], ["b", 2], ["a", 3]]).with_grouping(["g"])
+        assert table_group_count(table) == 2
+
+    def test_empty(self):
+        assert table_group_count(Table.empty(["a"])) == 0
+
+
+class TestAbstractTable:
+    def test_spec1_only_constrains_shape(self):
+        variables = TableVars("t")
+        formula = abstract_table(EX1_INPUT, variables, SpecLevel.SPEC1,
+                                 ExampleBaseline.from_tables([EX1_INPUT]))
+        solver = Solver()
+        solver.add(formula)
+        assert solver.check() is CheckResult.SAT
+        model = solver.model()
+        assert model["t.row"] == 4
+        assert model["t.col"] == 4
+        assert "t.group" not in model
+
+    def test_spec2_constrains_all_attributes(self):
+        baseline = ExampleBaseline.from_tables([EX1_INPUT])
+        variables = TableVars("t")
+        formula = abstract_table(EX1_OUTPUT, variables, SpecLevel.SPEC2, baseline)
+        solver = Solver()
+        solver.add(formula)
+        assert solver.check() is CheckResult.SAT
+        model = solver.model()
+        assert model["t.newCols"] == 4
+        assert model["t.newVals"] == 4
+        assert model["t.group"] == 1
+
+    def test_symbolic_group_for_output(self):
+        baseline = ExampleBaseline.from_tables([EX1_INPUT])
+        variables = TableVars("y")
+        formula = abstract_table(EX1_OUTPUT, variables, SpecLevel.SPEC2, baseline,
+                                 symbolic_group=True)
+        solver = Solver()
+        solver.add(formula, variables.group.equals(2))
+        assert solver.check() is CheckResult.SAT
+
+    def test_nonnegativity_is_satisfiable(self):
+        variables = [TableVars("a"), TableVars("b")]
+        solver = Solver()
+        solver.add(nonnegativity(variables, SpecLevel.SPEC2))
+        assert solver.check() is CheckResult.SAT
+
+    def test_attribute_equality_constraint(self):
+        a, b = TableVars("a"), TableVars("b")
+        solver = Solver()
+        solver.add(a.equal_to(b, SpecLevel.SPEC2), a.row.equals(3), b.row.equals(4))
+        assert solver.check() is CheckResult.UNSAT

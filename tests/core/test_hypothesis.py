@@ -1,0 +1,181 @@
+"""Tests for hypotheses, refinement trees, sketches and partial evaluation."""
+
+import itertools
+
+import pytest
+
+from repro.core import standard_library
+from repro.core.arguments import Aggregation, ColumnList, Constant, Predicate
+from repro.core.hypothesis import (
+    Apply,
+    EvaluationFailure,
+    Hole,
+    bind_table_hole,
+    component_sequence,
+    evaluate,
+    fill_value_hole,
+    hypothesis_size,
+    initial_hypothesis,
+    is_complete,
+    is_sketch,
+    iter_nodes,
+    partial_evaluate,
+    refine,
+    render_program,
+    sketches,
+    table_holes,
+    unfilled_value_holes,
+)
+from repro.core.types import Type
+from repro.dataframe import Table
+
+LIBRARY = standard_library()
+COMPONENTS = {component.name: component for component in LIBRARY}
+STUDENTS = Table(["name", "age"], [["Alice", 8], ["Bob", 18], ["Tom", 12]])
+
+
+def make_counter():
+    counter = itertools.count(1)
+    return lambda: next(counter)
+
+
+def build_chain(*names):
+    """Refine the initial hypothesis into a chain of the given components."""
+    next_id = make_counter()
+    hypothesis = initial_hypothesis()
+    for name in names:
+        hole = table_holes(hypothesis)[0]
+        hypothesis = refine(hypothesis, hole, COMPONENTS[name], next_id)
+    return hypothesis
+
+
+class TestRefinement:
+    def test_initial_hypothesis(self):
+        hypothesis = initial_hypothesis()
+        assert isinstance(hypothesis, Hole)
+        assert hypothesis.hole_type is Type.TABLE
+        assert hypothesis_size(hypothesis) == 0
+        assert not is_sketch(hypothesis)
+
+    def test_single_refinement(self):
+        hypothesis = build_chain("filter")
+        assert isinstance(hypothesis, Apply)
+        assert hypothesis.component.name == "filter"
+        assert hypothesis_size(hypothesis) == 1
+        assert len(table_holes(hypothesis)) == 1
+
+    def test_chain_refinement(self):
+        hypothesis = build_chain("select", "filter")
+        assert component_sequence(hypothesis) == ("filter", "select")
+        assert hypothesis_size(hypothesis) == 2
+
+    def test_join_refinement_creates_two_table_holes(self):
+        hypothesis = build_chain("inner_join")
+        assert len(table_holes(hypothesis)) == 2
+
+    def test_node_ids_are_unique(self):
+        hypothesis = build_chain("select", "filter", "group_by")
+        ids = [node.node_id for node in iter_nodes(hypothesis)]
+        assert len(ids) == len(set(ids))
+
+    def test_refinement_is_pure(self):
+        hypothesis = initial_hypothesis()
+        refined = refine(hypothesis, hypothesis, COMPONENTS["filter"], make_counter())
+        assert isinstance(hypothesis, Hole)
+        assert isinstance(refined, Apply)
+
+
+class TestSketches:
+    def test_binding_produces_sketch(self):
+        hypothesis = build_chain("filter")
+        hole = table_holes(hypothesis)[0]
+        sketch = bind_table_hole(hypothesis, hole, 0)
+        assert is_sketch(sketch)
+        assert not is_complete(sketch)
+
+    def test_sketch_enumeration_single_input(self):
+        hypothesis = build_chain("filter")
+        assert len(list(sketches(hypothesis, 1))) == 1
+
+    def test_sketch_enumeration_join_two_inputs(self):
+        hypothesis = build_chain("inner_join")
+        candidates = list(sketches(hypothesis, 2))
+        assert len(candidates) == 4
+        assert all(is_sketch(candidate) for candidate in candidates)
+
+    def test_complete_program(self):
+        hypothesis = build_chain("filter")
+        sketch = next(sketches(hypothesis, 1))
+        hole = unfilled_value_holes(sketch)[0]
+        program = fill_value_hole(sketch, hole, Predicate("age", ">", Constant(10)))
+        assert is_complete(program)
+
+
+class TestPartialEvaluation:
+    def _program(self):
+        hypothesis = build_chain("filter")
+        sketch = next(sketches(hypothesis, 1))
+        hole = unfilled_value_holes(sketch)[0]
+        return fill_value_hole(sketch, hole, Predicate("age", ">", Constant(10)))
+
+    def test_complete_program_evaluates(self):
+        program = self._program()
+        result = evaluate(program, [STUDENTS])
+        assert result.n_rows == 2
+        assert set(result.column_values("name")) == {"Bob", "Tom"}
+
+    def test_partial_hypothesis_skips_unknown_nodes(self):
+        hypothesis = build_chain("select", "filter")
+        sketch = next(sketches(hypothesis, 1))
+        # Only the filter (inner) node's predicate missing -> nothing evaluable
+        # above the input leaf.
+        results = partial_evaluate(sketch, [STUDENTS])
+        tables = list(results.values())
+        assert STUDENTS in tables
+        assert len(tables) == 1
+
+    def test_incomplete_program_cannot_fully_evaluate(self):
+        hypothesis = build_chain("filter")
+        sketch = next(sketches(hypothesis, 1))
+        with pytest.raises(ValueError):
+            evaluate(sketch, [STUDENTS])
+
+    def test_evaluation_failure_raised(self):
+        hypothesis = build_chain("filter")
+        sketch = next(sketches(hypothesis, 1))
+        hole = unfilled_value_holes(sketch)[0]
+        # A predicate that keeps every row is rejected by the executor.
+        program = fill_value_hole(sketch, hole, Predicate("age", ">", Constant(0)))
+        with pytest.raises(EvaluationFailure):
+            partial_evaluate(program, [STUDENTS])
+
+    def test_memo_is_reused(self):
+        program = self._program()
+        memo = {}
+        first = partial_evaluate(program, [STUDENTS], memo=memo)
+        assert memo
+        second = partial_evaluate(program, [STUDENTS], memo=memo)
+        assert first[program.node_id] == second[program.node_id]
+
+
+class TestRendering:
+    def test_render_complete_program(self):
+        hypothesis = build_chain("summarise", "group_by")
+        sketch = next(sketches(hypothesis, 1))
+        group_hole = [
+            hole for hole in unfilled_value_holes(sketch)
+            if hole.hole_type is Type.COLS
+        ][0]
+        sketch = fill_value_hole(sketch, group_hole, ColumnList(("name",)))
+        agg_hole = unfilled_value_holes(sketch)[0]
+        program = fill_value_hole(sketch, agg_hole, Aggregation("n"))
+        text = render_program(program, ["students"])
+        assert "group_by(students, name)" in text
+        assert "summarise(df1" in text
+        assert text.startswith("df1 =")
+
+    def test_render_partial_program_shows_holes(self):
+        hypothesis = build_chain("filter")
+        sketch = next(sketches(hypothesis, 1))
+        text = render_program(sketch, ["t"])
+        assert "?" in text

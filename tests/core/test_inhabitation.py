@@ -1,0 +1,131 @@
+"""Tests for table-driven type inhabitation (Figure 13)."""
+
+from repro.core import standard_library
+from repro.core.arguments import Aggregation, ColumnList, ColumnRef, MutationExpr, Predicate
+from repro.core.inhabitation import (
+    MAX_INHABITANTS,
+    aggregations,
+    column_constants,
+    column_pairs,
+    column_subsets,
+    enumerate_arguments,
+    mutations,
+    numeric_columns,
+    predicates,
+    string_columns,
+)
+from repro.dataframe import Table
+
+LIBRARY = standard_library()
+COMPONENTS = {component.name: component for component in LIBRARY}
+STUDENTS = Table(
+    ["name", "age", "gpa"],
+    [["Alice", 8, 4.0], ["Bob", 18, 3.2], ["Tom", 12, 3.0]],
+)
+
+
+def params(name):
+    return {param.name: param for param in COMPONENTS[name].value_params}
+
+
+class TestPrimitives:
+    def test_column_subsets(self):
+        subsets = list(column_subsets(["a", "b", "c"], 1, 2))
+        assert ColumnList(("a",)) in subsets
+        assert ColumnList(("a", "b")) in subsets
+        assert all(len(subset) <= 2 for subset in subsets)
+
+    def test_column_pairs_are_ordered(self):
+        pairs = list(column_pairs(["a", "b"]))
+        assert ColumnList(("a", "b")) in pairs
+        assert ColumnList(("b", "a")) in pairs
+
+    def test_numeric_and_string_columns(self):
+        assert numeric_columns(STUDENTS) == ["age", "gpa"]
+        assert string_columns(STUDENTS) == ["name"]
+
+    def test_column_constants_deduplicate(self):
+        table = Table(["x"], [[1], [1], [2]])
+        constants = column_constants(table, "x")
+        assert [constant.value for constant in constants] == [1, 2]
+
+    def test_constants_come_from_the_table(self):
+        # The Const rule: only constants present in the table are enumerated.
+        for predicate in predicates(STUDENTS):
+            if predicate.column == "age":
+                assert predicate.constant.value in (8, 18, 12)
+
+
+class TestPredicates:
+    def test_string_columns_only_get_equality(self):
+        operators = {p.operator for p in predicates(STUDENTS) if p.column == "name"}
+        assert operators == {"==", "!="}
+
+    def test_numeric_columns_get_orderings(self):
+        operators = {p.operator for p in predicates(STUDENTS) if p.column == "age"}
+        assert {"<", ">", "<=", ">="} <= operators
+
+    def test_predicates_are_callable(self):
+        predicate = Predicate("age", ">", list(predicates(STUDENTS))[0].constant.__class__(10))
+        assert predicate({"age": 12}) is True
+        assert predicate({"age": 8}) is False
+
+
+class TestAggregationsAndMutations:
+    def test_aggregations_include_count_and_numeric_targets(self):
+        options = list(aggregations(STUDENTS))
+        assert Aggregation("n") in options
+        assert Aggregation("sum", "age") in options
+        assert Aggregation("mean", "gpa") in options
+        # Strings cannot be summed.
+        assert Aggregation("sum", "name") not in options
+
+    def test_mutations_cover_column_pairs_and_aggregates(self):
+        options = list(mutations(STUDENTS))
+        assert any(
+            m.operator == "/" and m.left_column == "age" and m.right_column == "gpa"
+            for m in options
+        )
+        assert any(
+            m.right_aggregate is not None and m.right_aggregate.function == "sum"
+            for m in options
+        )
+
+    def test_mutation_evaluation(self):
+        expr = MutationExpr("/", "age", right_aggregate=Aggregation("sum", "age"))
+        from repro.components.dplyr import GroupContext
+
+        context = GroupContext(STUDENTS, range(STUDENTS.n_rows))
+        assert abs(expr({"age": 8}, context) - 8 / 38) < 1e-9
+
+
+class TestDispatch:
+    def test_gather_columns_have_at_least_two(self):
+        options = list(enumerate_arguments(COMPONENTS["gather"], params("gather")["columns"], STUDENTS))
+        assert options
+        assert all(len(option) >= 2 for option in options)
+        assert all(len(option) < STUDENTS.n_cols for option in options)
+
+    def test_select_enumerates_proper_subsets(self):
+        options = list(enumerate_arguments(COMPONENTS["select"], params("select")["columns"], STUDENTS))
+        assert ColumnList(("name",)) in options
+        assert all(len(option) < STUDENTS.n_cols for option in options)
+
+    def test_spread_key_is_single_column(self):
+        options = list(enumerate_arguments(COMPONENTS["spread"], params("spread")["key"], STUDENTS))
+        assert ColumnRef("name") in options
+        assert len(options) == STUDENTS.n_cols
+
+    def test_separate_only_offers_string_columns(self):
+        options = list(enumerate_arguments(COMPONENTS["separate"], params("separate")["column"], STUDENTS))
+        assert options == [ColumnRef("name")]
+
+    def test_filter_offers_predicates(self):
+        options = list(enumerate_arguments(COMPONENTS["filter"], params("filter")["predicate"], STUDENTS))
+        assert all(isinstance(option, Predicate) for option in options)
+        assert any(option.column == "name" and option.operator == "==" for option in options)
+
+    def test_enumeration_is_capped(self):
+        wide = Table([f"c{i}" for i in range(12)], [list(range(12))])
+        options = list(enumerate_arguments(COMPONENTS["select"], params("select")["columns"], wide))
+        assert len(options) <= MAX_INHABITANTS

@@ -1,0 +1,149 @@
+"""Tests for the component specifications (Tables 1, 2 and 3 of the paper).
+
+The key property is *soundness*: whenever the executor actually maps an input
+table to an output table, the corresponding specification formula must be
+satisfiable once both tables' attributes are plugged in.
+"""
+
+import pytest
+
+from repro.components import dplyr, tidyr
+from repro.core.abstraction import ExampleBaseline, SpecLevel, TableVars, abstract_table
+from repro.core.specs import SPECIFICATIONS
+from repro.dataframe import Table
+from repro.smt import CheckResult, Solver
+
+
+def assert_consistent(name, inputs, output, level=SpecLevel.SPEC2, baseline_tables=None):
+    """The spec of *name* must admit the concrete (inputs, output) pair."""
+    baseline = ExampleBaseline.from_tables(baseline_tables or inputs)
+    out_vars = TableVars("out")
+    in_vars = [TableVars(f"in{i}") for i in range(len(inputs))]
+    solver = Solver()
+    solver.add(SPECIFICATIONS[name](out_vars, in_vars, level))
+    for table, variables in zip(inputs, in_vars):
+        solver.add(abstract_table(table, variables, level, baseline))
+    solver.add(abstract_table(output, out_vars, level, baseline))
+    assert solver.check() is CheckResult.SAT, f"spec of {name} rejects its own executor result"
+
+
+WIDE = Table(["id", "year", "A", "B"],
+             [[1, 2007, 5, 10], [2, 2007, 3, 50], [1, 2009, 5, 17], [2, 2009, 6, 17]])
+LONG = Table(["product", "store", "price"],
+             [["pen", "north", 2], ["pen", "south", 3], ["pad", "north", 5], ["pad", "south", 4]])
+FLIGHTS = Table(["flight", "origin", "dest"],
+                [[11, "EWR", "SEA"], [725, "JFK", "BQN"], [495, "JFK", "SEA"],
+                 [461, "LGA", "ATL"], [1696, "EWR", "ORD"], [1670, "EWR", "SEA"]])
+
+
+class TestSpecListing:
+    def test_all_built_in_components_have_specs(self):
+        assert set(SPECIFICATIONS) == {
+            "gather", "spread", "separate", "unite", "select", "filter",
+            "summarise", "group_by", "mutate", "inner_join", "arrange",
+        }
+
+    @pytest.mark.parametrize("level", [SpecLevel.SPEC1, SpecLevel.SPEC2])
+    def test_specs_are_satisfiable_in_isolation(self, level):
+        for name, spec in SPECIFICATIONS.items():
+            arity = 2 if name == "inner_join" else 1
+            formula = spec(TableVars("o"), [TableVars(f"i{k}") for k in range(arity)], level)
+            solver = Solver()
+            solver.add(formula)
+            assert solver.check() is CheckResult.SAT, name
+
+
+class TestSoundnessOnExecutorResults:
+    @pytest.mark.parametrize("level", [SpecLevel.SPEC1, SpecLevel.SPEC2])
+    def test_gather(self, level):
+        output = tidyr.gather(WIDE, "var", "val", ["A", "B"])
+        assert_consistent("gather", [WIDE], output, level)
+
+    @pytest.mark.parametrize("level", [SpecLevel.SPEC1, SpecLevel.SPEC2])
+    def test_spread(self, level):
+        output = tidyr.spread(LONG, "store", "price")
+        assert_consistent("spread", [LONG], output, level)
+
+    def test_spread_on_raw_input_table(self):
+        # Regression test: the new column names come from input *cells*, so
+        # newCols must not count them as new (otherwise the spec is unsound).
+        output = tidyr.spread(LONG, "store", "price")
+        assert_consistent("spread", [LONG], output, SpecLevel.SPEC2, baseline_tables=[LONG])
+
+    def test_separate(self):
+        table = Table(["key", "v"], [["a_1", 10], ["b_2", 20]])
+        output = tidyr.separate(table, "key", ["l", "r"])
+        assert_consistent("separate", [table], output)
+
+    def test_unite(self):
+        output = tidyr.unite(WIDE, "idyear", ["id", "year"])
+        assert_consistent("unite", [WIDE], output)
+
+    def test_select(self):
+        output = dplyr.select(FLIGHTS, ["origin", "dest"])
+        assert_consistent("select", [FLIGHTS], output)
+
+    def test_filter(self):
+        output = dplyr.filter_rows(FLIGHTS, lambda row: row["dest"] == "SEA")
+        assert_consistent("filter", [FLIGHTS], output)
+
+    def test_group_by_and_summarise(self):
+        grouped = dplyr.group_by(FLIGHTS, ["origin"])
+        assert_consistent("group_by", [FLIGHTS], grouped)
+        summary = dplyr.summarise(grouped, "n", "n")
+        assert_consistent("summarise", [grouped], summary, baseline_tables=[FLIGHTS])
+
+    def test_mutate(self):
+        output = dplyr.mutate(FLIGHTS, "double", lambda row, group: row["flight"] * 2)
+        assert_consistent("mutate", [FLIGHTS], output)
+
+    def test_inner_join(self):
+        left = Table(["id", "x"], [[1, "a"], [2, "b"], [3, "c"]])
+        right = Table(["id", "y"], [[1, 10], [2, 30], [3, 40]])
+        output = dplyr.inner_join(left, right)
+        assert_consistent("inner_join", [left, right], output)
+
+    def test_arrange(self):
+        output = dplyr.arrange(FLIGHTS, ["origin"])
+        assert_consistent("arrange", [FLIGHTS], output)
+
+
+class TestPruningPower:
+    def test_select_rejects_wider_output(self):
+        # Example 10 of the paper: a select/filter chain cannot grow columns.
+        out_vars, in_vars = TableVars("out"), TableVars("in0")
+        solver = Solver()
+        solver.add(SPECIFICATIONS["select"](out_vars, [in_vars], SpecLevel.SPEC1))
+        solver.add(in_vars.col.equals(4), out_vars.col.equals(4))
+        assert solver.check() is CheckResult.UNSAT
+
+    def test_filter_rejects_equal_row_count(self):
+        out_vars, in_vars = TableVars("out"), TableVars("in0")
+        solver = Solver()
+        solver.add(SPECIFICATIONS["filter"](out_vars, [in_vars], SpecLevel.SPEC1))
+        solver.add(in_vars.row.equals(6), out_vars.row.equals(6))
+        assert solver.check() is CheckResult.UNSAT
+
+    def test_spec2_spread_rejects_new_columns_from_nowhere(self):
+        # The appendix's Example 13: spreading the raw Example 1 input cannot
+        # produce 4 genuinely new column names.
+        out_vars, in_vars = TableVars("out"), TableVars("in0")
+        solver = Solver()
+        solver.add(SPECIFICATIONS["spread"](out_vars, [in_vars], SpecLevel.SPEC2))
+        solver.add(in_vars.new_vals.equals(0), out_vars.new_cols.equals(4))
+        assert solver.check() is CheckResult.UNSAT
+
+    def test_spec1_does_not_have_that_power(self):
+        out_vars, in_vars = TableVars("out"), TableVars("in0")
+        solver = Solver()
+        solver.add(SPECIFICATIONS["spread"](out_vars, [in_vars], SpecLevel.SPEC1))
+        solver.add(in_vars.row.equals(4), in_vars.col.equals(4),
+                   out_vars.row.equals(2), out_vars.col.equals(5))
+        assert solver.check() is CheckResult.SAT
+
+    def test_mutate_requires_new_values(self):
+        out_vars, in_vars = TableVars("out"), TableVars("in0")
+        solver = Solver()
+        solver.add(SPECIFICATIONS["mutate"](out_vars, [in_vars], SpecLevel.SPEC2))
+        solver.add(in_vars.new_vals.equals(3), out_vars.new_vals.equals(3))
+        assert solver.check() is CheckResult.UNSAT

@@ -1,0 +1,137 @@
+"""Tests for the top-level synthesis algorithm (Algorithm 1)."""
+
+import pytest
+
+from repro.core import (
+    Example,
+    Morpheus,
+    SpecLevel,
+    SynthesisConfig,
+    hypothesis_size,
+    render_program,
+    sql_library,
+    standard_library,
+    synthesize,
+)
+from repro.dataframe import Table, tables_match_for_synthesis
+from repro.core.hypothesis import evaluate
+
+STUDENTS = Table(["name", "age", "gpa"],
+                 [["Alice", 8, 4.0], ["Bob", 18, 3.2], ["Tom", 12, 3.0]])
+
+
+def check_result(result, example):
+    assert result.solved
+    assert result.program is not None
+    actual = evaluate(result.program, list(example.inputs))
+    assert tables_match_for_synthesis(actual, example.output)
+
+
+class TestSimpleTasks:
+    def test_filter_task(self):
+        output = Table(["name", "age", "gpa"], [["Bob", 18, 3.2], ["Tom", 12, 3.0]])
+        result = synthesize([STUDENTS], output, config=SynthesisConfig(timeout=20))
+        check_result(result, Example.make([STUDENTS], output))
+        assert result.size == 1
+
+    def test_select_task(self):
+        output = Table(["name", "gpa"], [["Alice", 4.0], ["Bob", 3.2], ["Tom", 3.0]])
+        result = synthesize([STUDENTS], output, config=SynthesisConfig(timeout=20))
+        check_result(result, Example.make([STUDENTS], output))
+
+    def test_count_task(self):
+        table = Table(["city", "person"],
+                      [["austin", "a"], ["austin", "b"], ["waco", "c"]])
+        output = Table(["city", "n"], [["austin", 2], ["waco", 1]])
+        result = synthesize([table], output, config=SynthesisConfig(timeout=30))
+        check_result(result, Example.make([table], output))
+
+    def test_join_task(self):
+        left = Table(["id", "x"], [[1, "a"], [2, "b"], [3, "c"]])
+        right = Table(["id", "y"], [[1, 10], [2, 30], [3, 40]])
+        output = Table(["id", "x", "y"], [[1, "a", 10], [2, "b", 30], [3, "c", 40]])
+        result = synthesize([left, right], output, config=SynthesisConfig(timeout=30))
+        check_result(result, Example.make([left, right], output))
+
+    def test_gather_task(self):
+        wide = Table(["shop", "q1", "q2"], [["n", 10, 12], ["s", 7, 6]])
+        from repro.components import gather
+
+        output = gather(wide, "quarter", "sales", ["q1", "q2"])
+        result = synthesize([wide], output, config=SynthesisConfig(timeout=30))
+        check_result(result, Example.make([wide], output))
+
+    def test_unsolvable_task_reports_failure(self):
+        # The output values cannot be produced from the input by any program
+        # in the language within the budget.
+        output = Table(["name"], [["Zoe"]])
+        result = synthesize([STUDENTS], output, config=SynthesisConfig(timeout=3, max_size=2))
+        assert not result.solved
+        assert result.program is None
+        assert result.render() == "<no program found>"
+
+    def test_timeout_is_respected(self):
+        output = Table(["name"], [["Zoe"]])
+        result = synthesize([STUDENTS], output, config=SynthesisConfig(timeout=1.0, max_size=3))
+        assert result.elapsed < 10
+
+
+class TestConfigurations:
+    def test_describe(self):
+        assert SynthesisConfig().describe() == "spec2"
+        assert SynthesisConfig(spec_level=SpecLevel.SPEC1).describe() == "spec1"
+        assert SynthesisConfig(deduction=False).describe() == "no-deduction"
+        assert SynthesisConfig(partial_evaluation=False).describe() == "spec2-no-pe"
+
+    def test_no_deduction_still_solves_simple_tasks(self):
+        output = Table(["name", "age", "gpa"], [["Bob", 18, 3.2], ["Tom", 12, 3.0]])
+        result = synthesize(
+            [STUDENTS], output, config=SynthesisConfig(timeout=20, deduction=False)
+        )
+        assert result.solved
+        assert result.stats.deduction.smt_calls == 0
+
+    def test_spec1_solves_simple_tasks(self):
+        output = Table(["name", "gpa"], [["Alice", 4.0], ["Bob", 3.2], ["Tom", 3.0]])
+        result = synthesize(
+            [STUDENTS], output,
+            config=SynthesisConfig(timeout=20, spec_level=SpecLevel.SPEC1),
+        )
+        assert result.solved
+
+    def test_deduction_reduces_checked_programs(self):
+        table = Table(["city", "person"],
+                      [["austin", "a"], ["austin", "b"], ["waco", "c"]])
+        output = Table(["city", "n"], [["austin", 2], ["waco", 1]])
+        with_deduction = synthesize([table], output, config=SynthesisConfig(timeout=30))
+        without = synthesize(
+            [table], output, config=SynthesisConfig(timeout=30, deduction=False)
+        )
+        assert with_deduction.solved and without.solved
+        assert (
+            with_deduction.stats.programs_checked <= without.stats.programs_checked
+        )
+
+    def test_restricted_library(self):
+        output = Table(["name", "age", "gpa"], [["Bob", 18, 3.2], ["Tom", 12, 3.0]])
+        synthesizer = Morpheus(library=sql_library(), config=SynthesisConfig(timeout=20))
+        result = synthesizer.synthesize(Example.make([STUDENTS], output))
+        assert result.solved
+
+    def test_stats_are_populated(self):
+        output = Table(["name", "age", "gpa"], [["Bob", 18, 3.2], ["Tom", 12, 3.0]])
+        result = synthesize([STUDENTS], output, config=SynthesisConfig(timeout=20))
+        stats = result.stats
+        assert stats.hypotheses_expanded >= 1
+        assert stats.hypotheses_enqueued >= stats.hypotheses_expanded
+        assert stats.sketches_generated >= 1
+        assert 0.0 <= stats.prune_rate <= 1.0
+
+
+class TestRendering:
+    def test_render_uses_input_names(self):
+        output = Table(["name", "age", "gpa"], [["Bob", 18, 3.2], ["Tom", 12, 3.0]])
+        result = synthesize([STUDENTS], output, config=SynthesisConfig(timeout=20))
+        text = result.render(["students"])
+        assert "students" in text
+        assert text.startswith("df1 =")

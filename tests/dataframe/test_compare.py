@@ -1,0 +1,78 @@
+"""Tests for table comparison policies and column alignment."""
+
+from repro.dataframe import (
+    DEFAULT_POLICY,
+    POSITIONAL_POLICY,
+    STRICT_POLICY,
+    ComparePolicy,
+    Table,
+    align_columns,
+    tables_equivalent,
+    tables_match_for_synthesis,
+)
+
+
+def make(columns, rows):
+    return Table(columns, rows)
+
+
+class TestPolicies:
+    def test_identical_tables_match_under_every_policy(self):
+        table = make(["a", "b"], [[1, "x"], [2, "y"]])
+        for policy in (DEFAULT_POLICY, STRICT_POLICY, POSITIONAL_POLICY):
+            assert tables_equivalent(table, table, policy)
+
+    def test_row_order_ignored_by_default(self):
+        left = make(["a"], [[1], [2]])
+        right = make(["a"], [[2], [1]])
+        assert tables_equivalent(left, right, DEFAULT_POLICY)
+        assert not tables_equivalent(left, right, STRICT_POLICY)
+
+    def test_column_names_required_by_default(self):
+        left = make(["a"], [[1]])
+        right = make(["b"], [[1]])
+        assert not tables_equivalent(left, right, DEFAULT_POLICY)
+        assert tables_equivalent(left, right, POSITIONAL_POLICY)
+
+    def test_column_order_policy(self):
+        left = make(["b", "a"], [[2, 1]])
+        right = make(["a", "b"], [[1, 2]])
+        assert not tables_equivalent(left, right, DEFAULT_POLICY)
+        assert tables_equivalent(left, right, ComparePolicy(ignore_col_order=True))
+
+    def test_shape_mismatch(self):
+        assert not tables_equivalent(make(["a"], [[1]]), make(["a"], [[1], [2]]))
+        assert not tables_equivalent(make(["a"], [[1]]), make(["a", "b"], [[1, 2]]))
+
+
+class TestAlignment:
+    def test_alignment_by_name(self):
+        actual = make(["x", "y"], [[1, "a"], [2, "b"]])
+        expected = make(["y", "x"], [["a", 1], ["b", 2]])
+        assert align_columns(actual, expected) == ["y", "x"]
+
+    def test_alignment_with_renamed_columns(self):
+        actual = make(["_n3_agg", "origin"], [[2, "EWR"], [1, "JFK"]])
+        expected = make(["n", "origin"], [[1, "JFK"], [2, "EWR"]])
+        assert tables_match_for_synthesis(actual, expected)
+
+    def test_alignment_fails_on_different_contents(self):
+        actual = make(["a"], [[1], [2]])
+        expected = make(["a"], [[1], [3]])
+        assert align_columns(actual, expected) is None
+
+    def test_alignment_requires_consistent_rows(self):
+        # Both columns have the same multiset {1, 2} but the pairing differs.
+        actual = make(["a", "b"], [[1, 1], [2, 2]])
+        expected = make(["a", "b"], [[1, 2], [2, 1]])
+        assert align_columns(actual, expected) is None
+
+    def test_alignment_handles_duplicate_fingerprints(self):
+        actual = make(["p", "q", "r"], [[1, 1, "x"], [2, 2, "y"]])
+        expected = make(["q", "p", "r"], [[1, 1, "x"], [2, 2, "y"]])
+        assert align_columns(actual, expected) is not None
+
+    def test_float_tolerance_in_alignment(self):
+        actual = make(["share"], [[2 / 3], [1 / 3]])
+        expected = make(["share"], [[0.6666667], [0.3333333]])
+        assert tables_match_for_synthesis(actual, expected)

@@ -1,0 +1,206 @@
+"""Tests for the Table data structure (Definition 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dataframe import CellType, Table
+from repro.dataframe.errors import (
+    ColumnNotFoundError,
+    DuplicateColumnError,
+    SchemaError,
+)
+
+
+@pytest.fixture
+def students():
+    return Table(
+        ["id", "name", "age", "gpa"],
+        [[1, "Alice", 8, 4.0], [2, "Bob", 18, 3.2], [3, "Tom", 12, 3.0]],
+    )
+
+
+class TestConstruction:
+    def test_shape(self, students):
+        assert students.shape == (3, 4)
+        assert students.n_rows == 3
+        assert students.n_cols == 4
+
+    def test_schema(self, students):
+        assert students.schema() == {
+            "id": CellType.NUM,
+            "name": CellType.STR,
+            "age": CellType.NUM,
+            "gpa": CellType.NUM,
+        }
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(DuplicateColumnError):
+            Table(["a", "a"], [[1, 2]])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(["a", "b"], [[1]])
+
+    def test_from_records(self):
+        table = Table.from_records([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert table.columns == ("a", "b")
+        assert table.n_rows == 2
+
+    def test_from_columns(self):
+        table = Table.from_columns({"a": [1, 2], "b": ["x", "y"]})
+        assert table.column_values("b") == ("x", "y")
+
+    def test_from_columns_inconsistent_lengths(self):
+        with pytest.raises(SchemaError):
+            Table.from_columns({"a": [1, 2], "b": ["x"]})
+
+    def test_empty_table(self):
+        table = Table.empty(["a", "b"])
+        assert table.n_rows == 0
+        assert table.n_cols == 2
+
+
+class TestAccess:
+    def test_cell(self, students):
+        assert students.cell(1, "name") == "Bob"
+
+    def test_column_values(self, students):
+        assert students.column_values("age") == (8, 18, 12)
+
+    def test_row_dict(self, students):
+        assert students.row_dict(0) == {"id": 1, "name": "Alice", "age": 8, "gpa": 4.0}
+
+    def test_missing_column(self, students):
+        with pytest.raises(ColumnNotFoundError):
+            students.column_values("height")
+
+    def test_iter_records(self, students):
+        names = [record["name"] for record in students.iter_records()]
+        assert names == ["Alice", "Bob", "Tom"]
+
+
+class TestGrouping:
+    def test_ungrouped_nonempty_has_one_group(self, students):
+        assert students.n_groups == 1
+
+    def test_ungrouped_empty_has_zero_groups(self):
+        assert Table.empty(["a"]).n_groups == 0
+
+    def test_grouping_counts_distinct_keys(self):
+        table = Table(["k", "v"], [["a", 1], ["b", 2], ["a", 3]]).with_grouping(["k"])
+        assert table.n_groups == 2
+        assert table.group_cols == ("k",)
+
+    def test_group_row_indices(self):
+        table = Table(["k", "v"], [["a", 1], ["b", 2], ["a", 3]]).with_grouping(["k"])
+        groups = dict(table.group_row_indices())
+        assert groups[("a",)] == [0, 2]
+        assert groups[("b",)] == [1]
+
+    def test_ungrouped_removes_metadata(self):
+        table = Table(["k"], [["a"]]).with_grouping(["k"])
+        assert table.ungrouped().group_cols == ()
+
+    def test_grouping_by_unknown_column(self, students):
+        with pytest.raises(ColumnNotFoundError):
+            students.with_grouping(["missing"])
+
+    def test_grouping_changes_equality(self):
+        plain = Table(["k"], [["a"]])
+        grouped = plain.with_grouping(["k"])
+        assert plain != grouped
+        assert hash(plain) != hash(grouped)
+
+
+class TestDerivedTables:
+    def test_select_columns(self, students):
+        projected = students.select_columns(["name", "gpa"])
+        assert projected.columns == ("name", "gpa")
+        assert projected.n_rows == 3
+
+    def test_drop_columns(self, students):
+        assert students.drop_columns(["gpa"]).columns == ("id", "name", "age")
+
+    def test_rename_column(self, students):
+        renamed = students.rename_column("gpa", "grade")
+        assert "grade" in renamed.columns
+        assert "gpa" not in renamed.columns
+
+    def test_rename_collision(self, students):
+        with pytest.raises(DuplicateColumnError):
+            students.rename_column("gpa", "age")
+
+    def test_with_column(self, students):
+        extended = students.with_column("passed", [1, 1, 0])
+        assert extended.n_cols == 5
+        assert extended.column_values("passed") == (1, 1, 0)
+
+    def test_with_column_wrong_length(self, students):
+        with pytest.raises(SchemaError):
+            students.with_column("x", [1])
+
+    def test_with_column_duplicate(self, students):
+        with pytest.raises(DuplicateColumnError):
+            students.with_column("age", [1, 2, 3])
+
+    def test_sorted_by(self, students):
+        by_age = students.sorted_by(["age"])
+        assert by_age.column_values("age") == (8, 12, 18)
+
+    def test_header_and_value_sets(self, students):
+        assert "name" in students.header_set()
+        assert "Alice" in students.value_set()
+        assert "age" in students.value_set()  # column names count as values
+
+
+class TestEqualityAndRendering:
+    def test_equality_tolerates_float_noise(self):
+        left = Table(["x"], [[1 / 3]])
+        right = Table(["x"], [[0.33333333334]])
+        assert left == right
+
+    def test_markdown_contains_values(self, students):
+        text = students.to_markdown()
+        assert "Alice" in text
+        assert "| id |" in text
+
+    def test_repr(self, students):
+        assert "3x4" in repr(students)
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(-100, 100), st.text(min_size=1, max_size=4)),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    def test_select_then_select_is_projection(self, rows):
+        table = Table(["a", "b"], rows)
+        projected = table.select_columns(["a"])
+        assert projected.n_rows == table.n_rows
+        assert projected.columns == ("a",)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-5, 5), st.integers(-5, 5)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_sorted_by_is_permutation(self, rows):
+        table = Table(["a", "b"], rows)
+        assert sorted(table.sorted_by(["a"]).rows) == sorted(table.rows)
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abc"), st.integers(0, 3)),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_group_count_bounded_by_rows(self, rows):
+        table = Table(["k", "v"], rows).with_grouping(["k"])
+        assert 1 <= table.n_groups <= table.n_rows

@@ -1,0 +1,145 @@
+"""Tests for the integer (LIA) theory solver."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.smt import Int, check_conjunction
+
+
+def sat(atoms):
+    return check_conjunction(atoms).satisfiable
+
+
+class TestEqualityPropagation:
+    def test_constants_propagate(self):
+        x, y = Int("x"), Int("y")
+        result = check_conjunction([x.equals(3), y.equals(x + 2)])
+        assert result.satisfiable
+        assert result.model["x"] == 3
+        assert result.model["y"] == 5
+
+    def test_chain_of_equalities(self):
+        a, b, c, d = Int("a"), Int("b"), Int("c"), Int("d")
+        result = check_conjunction([a.equals(b), b.equals(c), c.equals(d), d.equals(7)])
+        assert result.model["a"] == 7
+
+    def test_conflicting_constants(self):
+        x = Int("x")
+        assert not sat([x.equals(1), x.equals(2)])
+
+    def test_integrality_of_equalities(self):
+        x = Int("x")
+        assert not sat([(x * 2).equals(3)])
+        assert sat([(x * 2).equals(4)])
+
+    def test_equality_with_negative_coefficient(self):
+        x, y = Int("x"), Int("y")
+        result = check_conjunction([(y - x).equals(0), x.equals(5)])
+        assert result.model["y"] == 5
+
+
+class TestBoundReasoning:
+    def test_empty_interval(self):
+        x = Int("x")
+        assert not sat([x >= 3, x <= 2])
+
+    def test_tight_interval(self):
+        x = Int("x")
+        result = check_conjunction([x >= 3, x <= 3])
+        assert result.satisfiable
+        assert result.model["x"] == 3
+
+    def test_strict_bounds_over_integers(self):
+        x = Int("x")
+        assert not sat([x > 2, x < 3])
+
+    def test_interval_propagation_through_sum(self):
+        x, y = Int("x"), Int("y")
+        # x + y <= 3, x >= 2, y >= 2 is infeasible over the integers.
+        assert not sat([x + y <= 3, x >= 2, y >= 2])
+
+    def test_difference_chain_conflict(self):
+        a, b, c = Int("a"), Int("b"), Int("c")
+        assert not sat([a < b, b < c, c < a])
+
+    def test_difference_chain_feasible(self):
+        a, b, c = Int("a"), Int("b"), Int("c")
+        result = check_conjunction([a < b, b < c, a >= 0, c <= 10])
+        assert result.satisfiable
+        model = result.model
+        assert model["a"] < model["b"] < model["c"]
+
+    def test_scaled_bounds_round_correctly(self):
+        x = Int("x")
+        # 2x <= 5  ->  x <= 2 over the integers.
+        result = check_conjunction([x * 2 <= 5, x >= 2])
+        assert result.satisfiable
+        assert result.model["x"] == 2
+        assert not sat([x * 2 <= 5, x >= 3])
+
+
+class TestMixedSystems:
+    def test_example10_from_the_paper(self):
+        # select/filter hypothesis vs. a 3x4 -> 2x4 example: UNSAT.
+        r1, c1, r3, c3, r0, c0 = (Int(name) for name in ("r1", "c1", "r3", "c3", "r0", "c0"))
+        atoms = [
+            r1 < r3, c1.equals(c3), r0.equals(r1), c0 < c1,
+            r3.equals(3), c3.equals(4), r0.equals(2), c0.equals(4),
+        ]
+        assert not sat(atoms)
+
+    def test_example10_satisfiable_variant(self):
+        r1, c1, r3, c3, r0, c0 = (Int(name) for name in ("r1", "c1", "r3", "c3", "r0", "c0"))
+        atoms = [
+            r1 < r3, c1.equals(c3), r0.equals(r1), c0 < c1,
+            r3.equals(3), c3.equals(4), r0.equals(2), c0.equals(3),
+        ]
+        assert sat(atoms)
+
+    def test_branch_and_bound_detects_parity_conflicts(self):
+        x, y = Int("x"), Int("y")
+        assert not sat([(x * 2 + y * 2).equals(3), x >= 0, y >= 0, x <= 5, y <= 5])
+
+    def test_model_satisfies_all_atoms(self):
+        x, y, z = Int("x"), Int("y"), Int("z")
+        atoms = [x + y <= 10, y.equals(z + 1), z >= 2, x >= 1]
+        result = check_conjunction(atoms)
+        assert result.satisfiable
+        for atom in atoms:
+            assert atom.holds(result.model)
+
+
+class TestProperties:
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    def test_two_constants_consistency(self, a, b):
+        x = Int("x")
+        result = check_conjunction([x.equals(a), x.equals(b)])
+        assert result.satisfiable == (a == b)
+
+    @given(st.integers(-20, 20), st.integers(-20, 20))
+    def test_interval_feasibility(self, low, high):
+        x = Int("x")
+        result = check_conjunction([x >= low, x <= high])
+        assert result.satisfiable == (low <= high)
+        if result.satisfiable:
+            assert low <= result.model["x"] <= high
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-4, 4), st.integers(-4, 4), st.integers(-12, 12)),
+            min_size=1,
+            max_size=6,
+        ),
+        st.dictionaries(st.sampled_from(["x", "y"]), st.integers(-3, 3), min_size=2, max_size=2),
+    )
+    def test_no_false_unsat(self, raw, witness):
+        # Build a system that the witness satisfies by construction; the
+        # solver must never report UNSAT for it (soundness of pruning).
+        x, y = Int("x"), Int("y")
+        atoms = []
+        for a, b, c in raw:
+            expr = x * a + y * b
+            value = a * witness["x"] + b * witness["y"]
+            atoms.append(expr <= max(c, value))
+        result = check_conjunction(atoms)
+        assert result.satisfiable

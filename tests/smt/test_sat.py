@@ -1,0 +1,117 @@
+"""Tests for the propositional SAT solver."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.smt.sat import SatSolver
+
+
+def solve(num_vars, clauses):
+    return SatSolver(num_vars, clauses).solve()
+
+
+class TestBasics:
+    def test_empty_problem_is_sat(self):
+        assert solve(0, []) == {}
+
+    def test_single_unit(self):
+        model = solve(1, [[1]])
+        assert model[1] is True
+
+    def test_negative_unit(self):
+        model = solve(1, [[-1]])
+        assert model[1] is False
+
+    def test_conflicting_units(self):
+        assert solve(1, [[1], [-1]]) is None
+
+    def test_empty_clause_is_unsat(self):
+        assert solve(1, [[1], []]) is None
+
+    def test_simple_implication_chain(self):
+        # 1, 1->2, 2->3
+        model = solve(3, [[1], [-1, 2], [-2, 3]])
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_requires_backtracking(self):
+        # (a | b) & (!a | b) & (a | !b) forces a=b=true.
+        model = solve(2, [[1, 2], [-1, 2], [1, -2]])
+        assert model[1] is True and model[2] is True
+
+    def test_pigeonhole_two_in_one(self):
+        # Two pigeons, one hole: p1 and p2 both must be in hole but not together.
+        clauses = [[1], [2], [-1, -2]]
+        assert solve(2, clauses) is None
+
+    def test_xor_chain(self):
+        # x1 xor x2 = 1 encoded with 4 clauses, plus x1 = x2 -> UNSAT.
+        clauses = [[1, 2], [-1, -2], [1, -2], [-1, 2]]
+        assert solve(2, clauses) is None
+
+    def test_incremental_clause_addition(self):
+        solver = SatSolver(2, [[1, 2]])
+        assert solver.solve() is not None
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert solver.solve() is None
+
+
+def _check_model(clauses, model):
+    for clause in clauses:
+        assert any(
+            (literal > 0) == model[abs(literal)] for literal in clause
+        ), f"clause {clause} not satisfied"
+
+
+class TestRandomised:
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=6).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_models_satisfy_formulas(self, clauses):
+        solver = SatSolver(6, clauses)
+        model = solver.solve()
+        if model is not None:
+            _check_model(clauses, model)
+
+    @given(st.integers(min_value=1, max_value=5))
+    def test_all_positive_units(self, n):
+        clauses = [[v] for v in range(1, n + 1)]
+        model = solve(n, clauses)
+        assert all(model[v] for v in range(1, n + 1))
+
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=4).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=2,
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_agreement_with_brute_force(self, clauses):
+        import itertools
+
+        def brute_force():
+            for bits in itertools.product([False, True], repeat=4):
+                assignment = {v: bits[v - 1] for v in range(1, 5)}
+                if all(any((l > 0) == assignment[abs(l)] for l in clause) for clause in clauses):
+                    return True
+            return False
+
+        solver_result = solve(4, clauses) is not None
+        assert solver_result == brute_force()

@@ -1,0 +1,108 @@
+"""Tests for the rational simplex feasibility solver."""
+
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.smt.simplex import LinearConstraint, solve_rational
+
+
+def le(coeffs, rhs):
+    return LinearConstraint(tuple((n, Fraction(c)) for n, c in coeffs), "<=", Fraction(rhs))
+
+
+def eq(coeffs, rhs):
+    return LinearConstraint(tuple((n, Fraction(c)) for n, c in coeffs), "==", Fraction(rhs))
+
+
+def check(constraints, assignment):
+    for constraint in constraints:
+        value = sum(coeff * assignment[name] for name, coeff in constraint.coeffs)
+        if constraint.rel == "<=":
+            assert value <= constraint.rhs
+        else:
+            assert value == constraint.rhs
+
+
+class TestFeasibleSystems:
+    def test_empty_system(self):
+        assert solve_rational([]) == {}
+
+    def test_single_bound(self):
+        constraints = [le([("x", 1)], 5)]
+        solution = solve_rational(constraints)
+        check(constraints, solution)
+
+    def test_two_variable_system(self):
+        constraints = [le([("x", 1), ("y", 1)], 10), le([("x", -1)], -3), le([("y", -1)], -4)]
+        solution = solve_rational(constraints)
+        check(constraints, solution)
+
+    def test_equalities(self):
+        constraints = [eq([("x", 1), ("y", 1)], 7), eq([("x", 1), ("y", -1)], 1)]
+        solution = solve_rational(constraints)
+        assert solution["x"] == 4
+        assert solution["y"] == 3
+
+    def test_negative_rhs(self):
+        constraints = [le([("x", 1)], -5)]
+        solution = solve_rational(constraints)
+        assert solution["x"] <= -5
+
+    def test_free_variables_can_be_negative(self):
+        constraints = [eq([("x", 1)], -3)]
+        assert solve_rational(constraints)["x"] == -3
+
+    def test_fractional_solution(self):
+        constraints = [eq([("x", 2)], 1)]
+        assert solve_rational(constraints)["x"] == Fraction(1, 2)
+
+    def test_ground_consistent(self):
+        assert solve_rational([le([], 0)]) == {}
+
+
+class TestInfeasibleSystems:
+    def test_contradictory_bounds(self):
+        assert solve_rational([le([("x", 1)], 1), le([("x", -1)], -2)]) is None
+
+    def test_contradictory_equalities(self):
+        assert solve_rational([eq([("x", 1)], 1), eq([("x", 1)], 2)]) is None
+
+    def test_ground_contradiction(self):
+        assert solve_rational([eq([], 1)]) is None
+
+    def test_three_way_conflict(self):
+        constraints = [
+            le([("x", 1), ("y", -1)], -1),   # x <= y - 1
+            le([("y", 1), ("z", -1)], -1),   # y <= z - 1
+            le([("z", 1), ("x", -1)], -1),   # z <= x - 1 (cycle -> infeasible)
+        ]
+        assert solve_rational(constraints) is None
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(-5, 5), st.integers(-5, 5), st.integers(-20, 20)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_solutions_satisfy_constraints(self, raw):
+        constraints = [le([("x", a), ("y", b)], c) for a, b, c in raw if (a, b) != (0, 0)]
+        if not constraints:
+            return
+        solution = solve_rational(constraints)
+        if solution is not None:
+            full = {"x": solution.get("x", Fraction(0)), "y": solution.get("y", Fraction(0))}
+            for constraint in constraints:
+                value = sum(coeff * full[name] for name, coeff in constraint.coeffs)
+                assert value <= constraint.rhs
+
+    @given(st.integers(-30, 30), st.integers(1, 10))
+    def test_point_systems_are_feasible(self, value, scale):
+        constraints = [eq([("x", scale)], scale * value)]
+        solution = solve_rational(constraints)
+        assert solution is not None
+        assert solution["x"] == value

@@ -1,0 +1,148 @@
+"""Tests for the DPLL(T) solver facade."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.smt import And, CheckResult, Int, Not, Or, Solver, is_satisfiable
+from repro.smt.cnf import tseitin
+from repro.smt.terms import TRUE, FALSE
+
+
+class TestConjunctiveFastPath:
+    def test_simple_sat(self):
+        x = Int("x")
+        solver = Solver()
+        solver.add(x >= 1, x <= 3)
+        assert solver.check() is CheckResult.SAT
+        assert 1 <= solver.model()["x"] <= 3
+
+    def test_simple_unsat(self):
+        x = Int("x")
+        solver = Solver()
+        solver.add(x >= 4, x <= 3)
+        assert solver.check() is CheckResult.UNSAT
+        assert solver.model() is None
+
+    def test_boolean_constants(self):
+        solver = Solver()
+        solver.add(TRUE)
+        assert solver.check() is CheckResult.SAT
+        solver.add(FALSE)
+        assert solver.check() is CheckResult.UNSAT
+
+    def test_reset(self):
+        x = Int("x")
+        solver = Solver()
+        solver.add(x.equals(1), x.equals(2))
+        assert solver.check() is CheckResult.UNSAT
+        solver.reset()
+        solver.add(x.equals(1))
+        assert solver.check() is CheckResult.SAT
+
+
+class TestDisjunctions:
+    def test_case_split(self):
+        x, y = Int("x"), Int("y")
+        solver = Solver()
+        solver.add(Or(x.equals(1), x.equals(5)), x > 3, y.equals(x + 2))
+        assert solver.check() is CheckResult.SAT
+        assert solver.model()["x"] == 5
+        assert solver.model()["y"] == 7
+
+    def test_unsat_across_branches(self):
+        x = Int("x")
+        solver = Solver()
+        solver.add(Or(x.equals(1), x.equals(5)), x > 6)
+        assert solver.check() is CheckResult.UNSAT
+
+    def test_min_max_encoding(self):
+        # Min(a, b) <= out <= Max(a, b) with a=3, b=7 admits out=5.
+        a, b, out = Int("a"), Int("b"), Int("out")
+        solver = Solver()
+        solver.add(
+            a.equals(3), b.equals(7), out.equals(5),
+            Or(a <= out, b <= out), Or(out <= a, out <= b),
+        )
+        assert solver.check() is CheckResult.SAT
+
+    def test_min_max_violation(self):
+        a, b, out = Int("a"), Int("b"), Int("out")
+        solver = Solver()
+        solver.add(
+            a.equals(3), b.equals(7), out.equals(9),
+            Or(a <= out, b <= out), Or(out <= a, out <= b),
+        )
+        assert solver.check() is CheckResult.UNSAT
+
+
+class TestNegationsAndNesting:
+    def test_negated_equality(self):
+        x = Int("x")
+        solver = Solver()
+        solver.add(Not(x.equals(3)), x >= 3, x <= 3)
+        assert solver.check() is CheckResult.UNSAT
+
+    def test_negated_equality_sat(self):
+        x = Int("x")
+        solver = Solver()
+        solver.add(Not(x.equals(3)), x >= 3, x <= 4)
+        assert solver.check() is CheckResult.SAT
+        assert solver.model()["x"] == 4
+
+    def test_negated_inequality(self):
+        x = Int("x")
+        solver = Solver()
+        solver.add(Not(x <= 3), x <= 4)
+        assert solver.check() is CheckResult.SAT
+        assert solver.model()["x"] == 4
+
+    def test_nested_and_inside_or(self):
+        x, y = Int("x"), Int("y")
+        formula = Or(And(x.equals(1), y.equals(2)), And(x.equals(5), y.equals(6)))
+        solver = Solver()
+        solver.add(formula, x >= 2)
+        assert solver.check() is CheckResult.SAT
+        assert (solver.model()["x"], solver.model()["y"]) == (5, 6)
+
+    def test_deep_negation_goes_through_lazy_path(self):
+        x, y = Int("x"), Int("y")
+        formula = Not(Or(x <= 0, And(y <= 0, x >= 10)))
+        solver = Solver()
+        solver.add(formula, x <= 5, y <= 0)
+        # not(x <= 0) and not(y <= 0 and x >= 10): x >= 1 works with y <= 0 as long as x < 10.
+        assert solver.check() is CheckResult.SAT
+
+
+class TestHelpers:
+    def test_is_satisfiable(self):
+        x = Int("x")
+        assert is_satisfiable([x >= 0])
+        assert not is_satisfiable([x >= 1, x <= 0])
+
+    def test_tseitin_produces_clauses(self):
+        x, y = Int("x"), Int("y")
+        cnf = tseitin(Or(x <= 0, And(y <= 0, x >= 3)))
+        assert cnf.clauses
+        assert cnf.num_vars >= 3
+        assert len(cnf.var_of_atom) == 3
+
+
+class TestProperties:
+    @given(st.integers(-10, 10), st.integers(-10, 10), st.integers(-10, 10))
+    def test_disjunction_matches_semantics(self, a, b, c):
+        x = Int("x")
+        solver = Solver()
+        solver.add(x.equals(c), Or(x.equals(a), x.equals(b)))
+        expected = CheckResult.SAT if c in (a, b) else CheckResult.UNSAT
+        assert solver.check() is expected
+
+    @given(
+        st.lists(st.integers(-8, 8), min_size=1, max_size=4),
+        st.integers(-8, 8),
+    )
+    def test_membership_encoding(self, options, probe):
+        x = Int("x")
+        solver = Solver()
+        solver.add(Or(*[x.equals(v) for v in options]), x.equals(probe))
+        expected = CheckResult.SAT if probe in options else CheckResult.UNSAT
+        assert solver.check() is expected
