@@ -10,7 +10,6 @@ Regenerate the full comparison with::
     python -m repro.benchmarks.cli figure18 --timeout 60
 """
 
-import pytest
 
 from repro.baselines import Lambda2Synthesizer, SqlSynthesizer
 from repro.benchmarks import r_benchmark_suite, sql_benchmark_suite, run_suite

@@ -27,11 +27,24 @@ from .core import (
 )
 from .dataframe import Table, tables_equivalent, tables_match_for_synthesis
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Parallel/caching APIs re-exported lazily from :mod:`repro.engine` (the
+#: engine imports the synthesizer, so an eager import here would be circular).
+_ENGINE_EXPORTS = frozenset(
+    {
+        "ParallelRunner",
+        "PortfolioResult",
+        "synthesize_batch",
+        "synthesize_portfolio",
+    }
+)
 
 __all__ = [
     "Example",
     "Morpheus",
+    "ParallelRunner",
+    "PortfolioResult",
     "SpecLevel",
     "SynthesisConfig",
     "SynthesisResult",
@@ -40,6 +53,16 @@ __all__ = [
     "sql_library",
     "standard_library",
     "synthesize",
+    "synthesize_batch",
+    "synthesize_portfolio",
     "tables_equivalent",
     "tables_match_for_synthesis",
 ]
+
+
+def __getattr__(name):
+    if name in _ENGINE_EXPORTS:
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

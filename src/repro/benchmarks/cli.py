@@ -3,9 +3,14 @@
 Examples::
 
     python -m repro.benchmarks.cli figure16 --timeout 20
+    python -m repro.benchmarks.cli figure16 --timeout 20 --jobs 4
     python -m repro.benchmarks.cli figure17 --timeout 10 --categories C1 C2
     python -m repro.benchmarks.cli figure18 --timeout 15
     python -m repro.benchmarks.cli pruning
+
+``--jobs N`` distributes the benchmark x configuration pairs over ``N``
+worker processes (the ``repro-bench`` console script installed by the
+package accepts the same arguments).
 """
 
 from __future__ import annotations
@@ -37,29 +42,42 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("figure", choices=["figure16", "figure17", "figure18", "pruning", "legend"])
     parser.add_argument("--timeout", type=float, default=20.0, help="per-benchmark timeout in seconds")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="fan benchmark x configuration pairs over N worker processes "
+             "(1 = serial; solve/fail outcomes match the serial run unless "
+             "per-task solve times approach --timeout while workers "
+             "oversubscribe the CPUs)",
+    )
     parser.add_argument("--categories", nargs="*", default=None, help="restrict to these categories")
     parser.add_argument("--names", nargs="*", default=None, help="restrict to these benchmark names")
     parser.add_argument("--quiet", action="store_true", help="suppress per-benchmark progress output")
     args = parser.parse_args(argv)
     progress = None if args.quiet else _progress
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     if args.figure == "legend":
         print(category_legend())
         return 0
     if args.figure == "figure16":
-        runs = run_figure16(timeout=args.timeout, suite=_subset(args), progress=progress)
+        runs = run_figure16(
+            timeout=args.timeout, suite=_subset(args), progress=progress, jobs=args.jobs
+        )
         print(figure16_table(runs))
         return 0
     if args.figure == "figure17":
-        runs = run_figure17(timeout=args.timeout, suite=_subset(args), progress=progress)
+        runs = run_figure17(
+            timeout=args.timeout, suite=_subset(args), progress=progress, jobs=args.jobs
+        )
         print(figure17_table(runs))
         return 0
     if args.figure == "figure18":
-        rows = run_figure18(timeout=args.timeout, r_suite=_subset(args))
+        rows = run_figure18(timeout=args.timeout, r_suite=_subset(args), jobs=args.jobs)
         print(figure18_table(rows))
         return 0
     if args.figure == "pruning":
-        print(run_pruning_statistics(timeout=args.timeout, suite=_subset(args)))
+        print(run_pruning_statistics(timeout=args.timeout, suite=_subset(args), jobs=args.jobs))
         return 0
     return 1
 

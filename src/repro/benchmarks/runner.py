@@ -11,16 +11,16 @@ solves more benchmarks, and faster -- is what the harness reproduces.
 from __future__ import annotations
 
 import statistics
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 from ..baselines.configurations import ALL_FIGURE17_CONFIGS, FIGURE16_CONFIGS
 from ..baselines.lambda2 import Lambda2Synthesizer
 from ..baselines.sql_synthesizer import SqlSynthesizer
-from ..core.library import sql_library, standard_library
+from ..core.library import sql_library
 from ..core.synthesizer import Example, Morpheus, SynthesisConfig
-from .r_suite import CATEGORY_DESCRIPTIONS, r_benchmark_suite
+from ..smt.solver import clear_formula_cache
+from .r_suite import r_benchmark_suite
 from .sql_suite import sql_benchmark_suite
 from .suite import Benchmark, BenchmarkSuite
 
@@ -74,13 +74,25 @@ class SuiteRun:
         return grouped
 
 
+def _morpheus_config(timeout: Optional[float]) -> SynthesisConfig:
+    """The default full-strength configuration (used by Figure 18 / pruning)."""
+    return SynthesisConfig(timeout=timeout)
+
+
 def run_benchmark(
     benchmark: Benchmark,
     config: SynthesisConfig,
     library=None,
     label: Optional[str] = None,
 ) -> BenchmarkOutcome:
-    """Run Morpheus on one benchmark under one configuration."""
+    """Run Morpheus on one benchmark under one configuration.
+
+    The process-wide SMT formula cache is cleared first so the outcome does
+    not depend on which benchmarks ran earlier in the same process -- that
+    independence is what makes parallel and serial harness runs equivalent
+    even for tasks near the timeout boundary.
+    """
+    clear_formula_cache()
     synthesizer = Morpheus(library=library, config=config)
     result = synthesizer.synthesize(Example.make(benchmark.inputs, benchmark.output))
     return BenchmarkOutcome(
@@ -101,8 +113,23 @@ def run_suite(
     label: Optional[str] = None,
     library=None,
     progress: Optional[Callable[[BenchmarkOutcome], None]] = None,
+    jobs: Optional[int] = None,
 ) -> SuiteRun:
-    """Run a whole suite under one configuration factory."""
+    """Run a whole suite under one configuration factory.
+
+    ``jobs`` > 1 fans the benchmarks over a process pool (see
+    :class:`repro.engine.ParallelRunner`); the outcomes are identical to the
+    serial run, in suite order.  (Caveat: tasks whose solve time approaches
+    the wall-clock ``timeout`` can flip to a timeout when more workers run
+    than there are CPU cores, since concurrent workers share the CPU.)
+    """
+    if jobs is not None and jobs != 1:
+        from ..engine.parallel import ParallelRunner
+
+        return ParallelRunner(jobs=jobs).run_suite(
+            suite, config_factory, timeout=timeout, label=label,
+            library=library, progress=progress,
+        )
     config = config_factory(timeout)
     run = SuiteRun(configuration=label or config.describe())
     for benchmark in suite:
@@ -121,10 +148,17 @@ def run_figure16(
     suite: Optional[BenchmarkSuite] = None,
     configurations: Optional[Dict[str, Callable]] = None,
     progress: Optional[Callable[[BenchmarkOutcome], None]] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SuiteRun]:
     """Run the Figure 16 experiment (No deduction / Spec 1 / Spec 2)."""
     suite = suite if suite is not None else r_benchmark_suite()
     configurations = configurations if configurations is not None else FIGURE16_CONFIGS
+    if jobs is not None and jobs != 1:
+        from ..engine.parallel import ParallelRunner
+
+        return ParallelRunner(jobs=jobs).run_matrix(
+            suite, configurations, timeout=timeout, progress=progress
+        )
     return {
         label: run_suite(suite, factory, timeout=timeout, label=label, progress=progress)
         for label, factory in configurations.items()
@@ -138,9 +172,16 @@ def run_figure17(
     timeout: float = 20.0,
     suite: Optional[BenchmarkSuite] = None,
     progress: Optional[Callable[[BenchmarkOutcome], None]] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SuiteRun]:
     """Run the Figure 17 experiment (deduction x partial evaluation grid)."""
     suite = suite if suite is not None else r_benchmark_suite()
+    if jobs is not None and jobs != 1:
+        from ..engine.parallel import ParallelRunner
+
+        return ParallelRunner(jobs=jobs).run_matrix(
+            suite, ALL_FIGURE17_CONFIGS, timeout=timeout, progress=progress
+        )
     return {
         label: run_suite(suite, factory, timeout=timeout, label=label, progress=progress)
         for label, factory in ALL_FIGURE17_CONFIGS.items()
@@ -170,18 +211,21 @@ def run_figure18(
     include_lambda2: bool = True,
     r_suite: Optional[BenchmarkSuite] = None,
     sql_suite: Optional[BenchmarkSuite] = None,
+    jobs: Optional[int] = None,
 ) -> List[Figure18Row]:
     """Compare Morpheus with the SQLSynthesizer (and lambda2) baselines."""
     r_suite = r_suite if r_suite is not None else r_benchmark_suite()
     sql_suite = sql_suite if sql_suite is not None else sql_benchmark_suite()
     rows: List[Figure18Row] = []
 
-    # Morpheus on both suites.
-    morpheus_r = run_suite(r_suite, lambda t: SynthesisConfig(timeout=t), timeout=timeout, label="morpheus")
+    # Morpheus on both suites (the baselines below are cheap and stay serial).
+    morpheus_r = run_suite(
+        r_suite, _morpheus_config, timeout=timeout, label="morpheus", jobs=jobs
+    )
     rows.append(Figure18Row("morpheus", "r-benchmarks", morpheus_r.solved, morpheus_r.total, morpheus_r.median_time()))
     morpheus_sql = run_suite(
-        sql_suite, lambda t: SynthesisConfig(timeout=t), timeout=timeout,
-        label="morpheus", library=sql_library(),
+        sql_suite, _morpheus_config, timeout=timeout,
+        label="morpheus", library=sql_library(), jobs=jobs,
     )
     rows.append(Figure18Row("morpheus", "sql-benchmarks", morpheus_sql.solved, morpheus_sql.total, morpheus_sql.median_time()))
 
@@ -220,11 +264,13 @@ def run_figure18(
 # Pruning statistics (Section 9, "Impact of partial evaluation")
 # ----------------------------------------------------------------------
 def run_pruning_statistics(
-    timeout: float = 20.0, suite: Optional[BenchmarkSuite] = None
+    timeout: float = 20.0,
+    suite: Optional[BenchmarkSuite] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """Measure how many partial programs deduction prunes before completion."""
     suite = suite if suite is not None else r_benchmark_suite()
-    run = run_suite(suite, lambda t: SynthesisConfig(timeout=t), timeout=timeout, label="spec2")
+    run = run_suite(suite, _morpheus_config, timeout=timeout, label="spec2", jobs=jobs)
     rates = [outcome.prune_rate for outcome in run.outcomes if outcome.prune_rate > 0]
     return {
         "mean_prune_rate": statistics.mean(rates) if rates else 0.0,

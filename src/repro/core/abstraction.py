@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence, Tuple
 
 from ..dataframe.table import Table
+from ..engine.cache import CacheStats, LRUCache
 from ..smt.terms import Formula, Int, LinExpr, conjoin
 
 
@@ -141,18 +142,88 @@ def abstract_table(
     metadata, so (as in the appendix of the paper) its group count is a fresh
     unknown.
     """
-    constraints = [
-        variables.row.equals(table.n_rows),
-        variables.col.equals(table.n_cols),
-    ]
+    if level is SpecLevel.SPEC1:
+        # The Spec 2 attributes scan the whole table; don't pay for them when
+        # the coarse abstraction discards them anyway.
+        attributes = (table.n_rows, table.n_cols, 0, 0, 0)
+    else:
+        attributes = (
+            table.n_rows,
+            table.n_cols,
+            table_group_count(table),
+            baseline.new_cols(table),
+            baseline.new_vals(table),
+        )
+    return abstract_attributes(attributes, variables, level, symbolic_group)
+
+
+#: Default bound of one :class:`AbstractionCache` (attribute vectors are tiny
+#: tuples, so the memory cost per entry is a few hundred bytes).
+ABSTRACTION_CACHE_SIZE = 8192
+
+
+class AbstractionCache:
+    """LRU-bounded memo of abstraction formulas.
+
+    The deduction engine re-abstracts the same (table attributes, variable
+    name) pairs for thousands of queries per synthesis run; this cache keys
+    the resulting formula fragments by the attribute vector rather than the
+    table object, so structurally identical tables produced by different
+    candidate programs share one formula.
+    """
+
+    __slots__ = ("_formulas",)
+
+    def __init__(
+        self,
+        maxsize: Optional[int] = ABSTRACTION_CACHE_SIZE,
+        stats: Optional[CacheStats] = None,
+    ) -> None:
+        self._formulas: LRUCache = LRUCache(maxsize=maxsize, stats=stats)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss counters of the formula memo."""
+        return self._formulas.stats
+
+    def abstract(
+        self,
+        attributes: Tuple[int, int, int, int, int],
+        variables: TableVars,
+        level: SpecLevel,
+        symbolic_group: bool = False,
+    ) -> Formula:
+        """The abstraction formula for a table with the given attribute vector."""
+        key = (attributes, variables.name, level, symbolic_group)
+        cached = self._formulas.get(key)
+        if cached is not None:
+            return cached
+        formula = abstract_attributes(attributes, variables, level, symbolic_group)
+        self._formulas.put(key, formula)
+        return formula
+
+    def clear(self) -> None:
+        """Drop every memoised formula (counters are left untouched)."""
+        self._formulas.clear()
+
+
+def abstract_attributes(
+    attributes: Tuple[int, int, int, int, int],
+    variables: TableVars,
+    level: SpecLevel,
+    symbolic_group: bool = False,
+) -> Formula:
+    """:func:`abstract_table` on a pre-computed attribute vector."""
+    rows, cols, groups, new_cols, new_vals = attributes
+    constraints = [variables.row.equals(rows), variables.col.equals(cols)]
     if level is SpecLevel.SPEC2:
         if symbolic_group:
             constraints.append(variables.group >= 1)
-            constraints.append(variables.group <= max(table.n_rows, 1))
+            constraints.append(variables.group <= max(rows, 1))
         else:
-            constraints.append(variables.group.equals(table_group_count(table)))
-        constraints.append(variables.new_cols.equals(baseline.new_cols(table)))
-        constraints.append(variables.new_vals.equals(baseline.new_vals(table)))
+            constraints.append(variables.group.equals(groups))
+        constraints.append(variables.new_cols.equals(new_cols))
+        constraints.append(variables.new_vals.equals(new_vals))
     return conjoin(constraints)
 
 

@@ -17,20 +17,18 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence
 
 from ..dataframe.table import Table
-from .arguments import ValueArgument
 from .deduction import DeductionEngine
 from .hypothesis import (
     Apply,
+    EvaluationFailure,
     Hole,
     Hypothesis,
     fill_value_hole,
     is_complete,
     partial_evaluate,
     unfilled_value_holes,
-    EvaluationFailure,
 )
 from .inhabitation import enumerate_arguments
-from .types import Type
 
 
 class CompletionTimeout(Exception):

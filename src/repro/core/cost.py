@@ -10,7 +10,7 @@ component names; :class:`CostModel` combines it with the size ordering.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Sequence, Tuple
 
 from .corpus import training_sentences

@@ -22,9 +22,16 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 from ..dataframe.table import Table
+from ..engine.cache import CacheStats, LRUCache
 from ..smt.solver import CheckResult, Solver
 from ..smt.terms import Formula, conjoin, disjoin
-from .abstraction import ExampleBaseline, SpecLevel, TableVars, nonnegativity
+from .abstraction import (
+    AbstractionCache,
+    ExampleBaseline,
+    SpecLevel,
+    TableVars,
+    nonnegativity,
+)
 from .hypothesis import (
     Apply,
     EvaluationFailure,
@@ -36,6 +43,10 @@ from .hypothesis import (
 from .types import Type
 
 
+#: Default bound of the per-engine verdict memo.
+VERDICT_CACHE_SIZE = 32768
+
+
 @dataclass
 class DeductionStats:
     """Counters describing the work done by the deduction engine."""
@@ -45,6 +56,31 @@ class DeductionStats:
     hypotheses_checked: int = 0
     hypotheses_rejected: int = 0
     evaluation_failures: int = 0
+    #: Verdict-memo accounting: a hit means an entire SMT query was skipped.
+    #: (The counters are written directly by the verdict LRU cache.)
+    verdict_cache: CacheStats = field(default_factory=CacheStats)
+    #: Hit/miss counters of the abstraction-formula memo.
+    abstraction_cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def cache_hits(self) -> int:
+        """Deduction queries answered from the verdict memo."""
+        return self.verdict_cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Deduction queries that had to build and discharge an SMT query."""
+        return self.verdict_cache.misses
+
+    @property
+    def cache_lookups(self) -> int:
+        """Total number of verdict-cache probes."""
+        return self.verdict_cache.lookups
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of deduction queries answered from the verdict memo."""
+        return self.verdict_cache.hit_rate
 
     def merge(self, other: "DeductionStats") -> None:
         """Accumulate another stats object into this one."""
@@ -53,6 +89,8 @@ class DeductionStats:
         self.hypotheses_checked += other.hypotheses_checked
         self.hypotheses_rejected += other.hypotheses_rejected
         self.evaluation_failures += other.evaluation_failures
+        self.verdict_cache.merge(other.verdict_cache)
+        self.abstraction_cache.merge(other.abstraction_cache)
 
 
 @dataclass
@@ -74,18 +112,24 @@ class DeductionEngine:
         self.evaluation_memo: Dict = {}
         #: Cache of table attribute vectors used by the abstraction function.
         self._attribute_cache: Dict[Table, tuple] = {}
-        #: Caches of formula fragments (abstractions, specs, bindings) -- the
-        #: same fragments are re-assembled for thousands of deduction queries.
-        self._abstract_cache: Dict[tuple, Formula] = {}
+        #: LRU-bounded memo of abstraction formulas (hits/misses are surfaced
+        #: through ``stats.abstraction_cache``).
+        self._abstraction = AbstractionCache(stats=self.stats.abstraction_cache)
+        #: Caches of formula fragments (specs, bindings) -- the same fragments
+        #: are re-assembled for thousands of deduction queries.
         self._spec_cache: Dict[tuple, Formula] = {}
         self._binding_cache: Dict[tuple, Formula] = {}
         self._nonneg_cache: Dict[tuple, Formula] = {}
-        #: Cache of deduction verdicts.  The SMT query depends only on the
-        #: hypothesis *structure* (components, bindings, which holes are
-        #: filled) and on the attribute vectors of the evaluated subterms --
-        #: not on the literal hole values -- so candidates whose completions
-        #: produce tables with identical abstractions share a single query.
-        self._verdict_cache: Dict[tuple, bool] = {}
+        #: LRU-bounded memo of deduction verdicts, keyed by the hypothesis
+        #: signature plus the spec level and partial-evaluation flag.  The SMT
+        #: query depends only on the hypothesis *structure* (components,
+        #: bindings, which holes are filled) and on the attribute vectors of
+        #: the evaluated subterms -- not on the literal hole values -- so
+        #: candidates whose completions produce tables with identical
+        #: abstractions share a single query.
+        self._verdict_cache: "LRUCache[tuple, bool]" = LRUCache(
+            maxsize=VERDICT_CACHE_SIZE, stats=self.stats.verdict_cache
+        )
         self._example_formula = self._build_example_formula()
 
     # ------------------------------------------------------------------
@@ -104,39 +148,31 @@ class DeductionEngine:
         return TableVars(f"n{node_id}")
 
     def table_attributes(self, table: Table) -> tuple:
-        """The (row, col, group, newCols, newVals) attribute vector of a table."""
+        """The (row, col, group, newCols, newVals) attribute vector of a table.
+
+        Under Spec 1 the last three attributes never reach a formula, so the
+        whole-table scans they require are skipped (zeroing them also keeps
+        the abstraction/verdict cache keys from splitting on unused fields).
+        """
         attributes = self._attribute_cache.get(table)
         if attributes is None:
-            attributes = (
-                table.n_rows,
-                table.n_cols,
-                table.n_groups,
-                self.baseline.new_cols(table),
-                self.baseline.new_vals(table),
-            )
+            if self.level is SpecLevel.SPEC1:
+                attributes = (table.n_rows, table.n_cols, 0, 0, 0)
+            else:
+                attributes = (
+                    table.n_rows,
+                    table.n_cols,
+                    table.n_groups,
+                    self.baseline.new_cols(table),
+                    self.baseline.new_vals(table),
+                )
             self._attribute_cache[table] = attributes
         return attributes
 
     def _abstract(self, table: Table, variables: TableVars, symbolic_group: bool = False):
         """Cached version of :func:`abstract_table` (attribute vectors are memoised)."""
         attributes = self.table_attributes(table)
-        formula_key = (attributes, variables.name, symbolic_group)
-        cached = self._abstract_cache.get(formula_key)
-        if cached is not None:
-            return cached
-        rows, cols, groups, new_cols, new_vals = attributes
-        constraints = [variables.row.equals(rows), variables.col.equals(cols)]
-        if self.level is SpecLevel.SPEC2:
-            if symbolic_group:
-                constraints.append(variables.group >= 1)
-                constraints.append(variables.group <= max(rows, 1))
-            else:
-                constraints.append(variables.group.equals(groups))
-            constraints.append(variables.new_cols.equals(new_cols))
-            constraints.append(variables.new_vals.equals(new_vals))
-        formula = conjoin(constraints)
-        self._abstract_cache[formula_key] = formula
-        return formula
+        return self._abstraction.abstract(attributes, variables, self.level, symbolic_group)
 
     def _component_spec(self, node: Apply) -> Formula:
         """Cached first-order specification of one application node."""
@@ -255,13 +291,18 @@ class DeductionEngine:
         self.stats.smt_calls += 1
         self.stats.smt_time += time.perf_counter() - started
         feasible = result is not CheckResult.UNSAT
-        self._verdict_cache[cache_key] = feasible
+        self._verdict_cache.put(cache_key, feasible)
         if not feasible:
             self.stats.hypotheses_rejected += 1
         return feasible
 
     def _verdict_key(self, hypothesis: Hypothesis, evaluated: Dict[int, Table]) -> tuple:
-        """A cache key capturing everything the deduction query depends on."""
+        """A cache key capturing everything the deduction query depends on.
+
+        The key pairs the structural hypothesis signature with the spec level
+        and the partial-evaluation flag, so one memo could in principle be
+        shared by engines running under different configurations.
+        """
         parts = []
 
         def walk(node: Hypothesis) -> None:
@@ -277,7 +318,7 @@ class DeductionEngine:
                 walk(child)
 
         walk(hypothesis)
-        return tuple(parts)
+        return (self.level, self.use_partial_evaluation, tuple(parts))
 
     # ------------------------------------------------------------------
     def evaluate_if_possible(self, hypothesis: Hypothesis) -> Optional[Dict[int, Table]]:

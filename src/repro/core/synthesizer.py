@@ -24,6 +24,8 @@ from typing import List, Optional, Sequence, Tuple
 from ..components.errors import PRUNABLE_ERRORS
 from ..dataframe.compare import tables_match_for_synthesis
 from ..dataframe.table import Table
+from ..engine.cache import CacheStats
+from ..smt.solver import formula_cache_stats
 from .abstraction import SpecLevel
 from .completion import (
     CompletionBudgetExceeded,
@@ -35,7 +37,6 @@ from .component import ComponentLibrary
 from .cost import CostModel, UniformCostModel
 from .deduction import DeductionEngine, DeductionStats
 from .hypothesis import (
-    Apply,
     EvaluationFailure,
     Hole,
     Hypothesis,
@@ -44,8 +45,6 @@ from .hypothesis import (
     hypothesis_size,
     initial_hypothesis,
     is_complete,
-    iter_nodes,
-    max_node_id,
     refine,
     render_program,
     sketches,
@@ -113,6 +112,8 @@ class SynthesisStats:
     programs_checked: int = 0
     deduction: DeductionStats = field(default_factory=DeductionStats)
     completion: CompletionStats = field(default_factory=CompletionStats)
+    #: This run's slice of the process-wide SMT formula-cache activity.
+    solver_cache: CacheStats = field(default_factory=CacheStats)
 
     @property
     def prune_rate(self) -> float:
@@ -120,6 +121,16 @@ class SynthesisStats:
         if self.completion.partial_programs == 0:
             return 0.0
         return self.completion.pruned_partial / self.completion.partial_programs
+
+    @property
+    def deduction_cache_hit_rate(self) -> float:
+        """Fraction of deduction queries answered by the verdict memo."""
+        return self.deduction.cache_hit_rate
+
+    @property
+    def solver_cache_hit_rate(self) -> float:
+        """Fraction of SMT checks answered by the formula cache during this run."""
+        return self.solver_cache.hit_rate
 
 
 @dataclass
@@ -197,10 +208,14 @@ class Morpheus:
 
         push(initial_hypothesis())
 
+        def expired() -> bool:
+            return deadline is not None and time.monotonic() > deadline
+
+        solver_cache_baseline = formula_cache_stats().snapshot()
         program: Optional[Hypothesis] = None
         try:
             while worklist:
-                if deadline is not None and time.monotonic() > deadline:
+                if expired():
                     break
                 hypothesis = worklist.pop()
                 stats.hypotheses_expanded += 1
@@ -213,11 +228,17 @@ class Morpheus:
                     if program is not None:
                         break
 
-                # Hypothesis refinement (lines 15-18 of Algorithm 1).
+                # Hypothesis refinement (lines 15-18 of Algorithm 1).  The
+                # deadline is re-checked inside the fan-out so a refinement
+                # step over a large library cannot overshoot the budget.
                 if hypothesis_size(hypothesis) >= self.config.max_size:
                     continue
                 for hole in table_holes(hypothesis, unbound_only=True):
+                    if expired():
+                        break
                     for component in self.library:
+                        if expired():
+                            break
                         refined = refine(
                             hypothesis, hole, component, lambda: next(node_counter)
                         )
@@ -225,6 +246,7 @@ class Morpheus:
         except CompletionTimeout:
             program = None
 
+        stats.solver_cache = formula_cache_stats().snapshot().since(solver_cache_baseline)
         elapsed = time.monotonic() - started
         return SynthesisResult(
             solved=program is not None,

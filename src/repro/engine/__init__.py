@@ -1,0 +1,40 @@
+"""Parallel execution and memoization subsystem.
+
+Two layers live here:
+
+* :mod:`repro.engine.cache` -- the bounded LRU memo tables (with hit/miss
+  accounting) backing deduction verdicts, abstraction formulas, and SMT
+  satisfiability results.
+* :mod:`repro.engine.parallel` -- process-parallel drivers: a
+  :class:`ParallelRunner` that fans benchmark x configuration pairs over a
+  ``multiprocessing`` pool, :func:`synthesize_batch` for serving many
+  examples concurrently, and :func:`synthesize_portfolio` for racing several
+  configurations on one example.
+
+The parallel layer is imported lazily: :mod:`repro.core.deduction` and
+:mod:`repro.smt.solver` import the cache primitives from this package, while
+:mod:`repro.engine.parallel` imports the synthesizer, so an eager import here
+would be circular.
+"""
+
+from .cache import CacheStats, LRUCache
+
+_PARALLEL_EXPORTS = frozenset(
+    {
+        "ParallelRunner",
+        "PortfolioResult",
+        "default_job_count",
+        "synthesize_batch",
+        "synthesize_portfolio",
+    }
+)
+
+__all__ = ["CacheStats", "LRUCache", *sorted(_PARALLEL_EXPORTS)]
+
+
+def __getattr__(name):
+    if name in _PARALLEL_EXPORTS:
+        from . import parallel
+
+        return getattr(parallel, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,118 @@
+"""Bounded memoization primitives shared by the deduction hot path.
+
+Every layer of the deduction stack -- verdicts in
+:class:`~repro.core.deduction.DeductionEngine`, abstraction formulas in
+:mod:`repro.core.abstraction`, and satisfiability results in
+:mod:`repro.smt.solver` -- re-derives the same values thousands of times per
+synthesis run.  :class:`LRUCache` gives each of them a bounded memo table with
+uniform hit/miss accounting, so the benchmark harness can report how much of
+the analysis work was deduplicated.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+#: Sentinel distinguishing "not cached" from a cached ``None``/``False``.
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one memo table."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of cache probes."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes answered from the cache (0.0 when never probed)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy (for merging into per-run statistics)."""
+        return CacheStats(self.hits, self.misses, self.evictions)
+
+    def since(self, baseline: "CacheStats") -> "CacheStats":
+        """The delta between this snapshot and an earlier *baseline*.
+
+        Used to attribute a slice of a process-wide cache's activity (for
+        example the SMT formula cache) to one synthesis run.
+        """
+        return CacheStats(
+            self.hits - baseline.hits,
+            self.misses - baseline.misses,
+            self.evictions - baseline.evictions,
+        )
+
+    def clear(self) -> None:
+        """Reset all counters to zero."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class LRUCache(Generic[K, V]):
+    """A size-bounded mapping with least-recently-used eviction.
+
+    ``maxsize=None`` disables eviction (unbounded memoization); ``maxsize=0``
+    disables caching entirely while keeping the miss accounting, which lets
+    callers turn a cache off without touching the call sites.
+    """
+
+    __slots__ = ("maxsize", "stats", "_data")
+
+    def __init__(self, maxsize: Optional[int] = 4096, stats: Optional[CacheStats] = None) -> None:
+        if maxsize is not None and maxsize < 0:
+            raise ValueError(f"maxsize must be None or >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = stats if stats is not None else CacheStats()
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """Look up *key*, recording a hit or a miss."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert or refresh a cache entry, evicting the LRU entry when full."""
+        if self.maxsize == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if self.maxsize is not None and len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the counters are left untouched)."""
+        self._data.clear()

@@ -1,0 +1,277 @@
+"""Process-parallel synthesis drivers.
+
+Three entry points fan expensive synthesis work over a ``multiprocessing``
+pool:
+
+* :class:`ParallelRunner` distributes benchmark x configuration pairs and
+  collects picklable :class:`~repro.benchmarks.runner.BenchmarkOutcome`\\ s,
+  reproducing exactly what the serial runner would have produced (the work
+  items are independent, so only wall-clock time changes).
+* :func:`synthesize_batch` serves many input-output examples concurrently and
+  returns the results in input order.
+* :func:`synthesize_portfolio` races several configurations on one example
+  and returns as soon as any of them finds a program.
+
+Workers are plain top-level functions so they pickle under every start
+method; each worker process keeps its own deduction memo and SMT formula
+cache (inherited warm under ``fork``, cold under ``spawn``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..benchmarks.runner import BenchmarkOutcome, SuiteRun, run_benchmark
+from ..benchmarks.suite import Benchmark, BenchmarkSuite
+from ..core.synthesizer import Example, Morpheus, SynthesisConfig, SynthesisResult
+from ..smt.solver import clear_formula_cache
+
+#: A unit of benchmark work: (benchmark, configuration, label, library).
+BenchmarkPair = Tuple[Benchmark, SynthesisConfig, str, object]
+
+
+def default_job_count() -> int:
+    """Worker count used when ``jobs`` is not given (one per CPU)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is None:
+        return default_job_count()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _coerce_example(example) -> Example:
+    if isinstance(example, Example):
+        return example
+    inputs, output = example
+    return Example.make(inputs, output)
+
+
+# ----------------------------------------------------------------------
+# Worker functions (top-level so they pickle under the spawn start method)
+# ----------------------------------------------------------------------
+def _run_pair_task(task):
+    index, benchmark, config, label, library = task
+    return index, run_benchmark(benchmark, config, library=library, label=label)
+
+
+def _synthesize_task(task):
+    index, example, config, library = task
+    # Start from a cold formula cache so the outcome does not depend on what
+    # this process (or pool worker) ran before -- the same independence
+    # discipline run_benchmark applies for the benchmark harness.
+    clear_formula_cache()
+    result = Morpheus(library=library, config=config).synthesize(example)
+    return index, result
+
+
+def _map_indexed(
+    worker,
+    tasks: Sequence[tuple],
+    jobs: int,
+    start_method: Optional[str] = None,
+    on_result=None,
+    stop=None,
+) -> Dict[int, object]:
+    """Run index-prefixed *tasks* through *worker*, serially or over a pool.
+
+    Results are collected into an index-keyed dict so callers can restore
+    input order regardless of completion order.  ``on_result(index, value)``
+    fires in the parent as results arrive; ``stop(index, value)`` returning
+    true ends the run early (remaining pool workers are terminated).
+    """
+    collected: Dict[int, object] = {}
+
+    def record(index, value) -> bool:
+        collected[index] = value
+        if on_result is not None:
+            on_result(index, value)
+        return stop is not None and stop(index, value)
+
+    if jobs == 1 or len(tasks) <= 1:
+        for task in tasks:
+            index, value = worker(task)
+            if record(index, value):
+                break
+        return collected
+    context = (
+        multiprocessing.get_context(start_method)
+        if start_method is not None
+        else multiprocessing
+    )
+    with context.Pool(processes=min(jobs, len(tasks))) as pool:
+        for index, value in pool.imap_unordered(worker, tasks):
+            if record(index, value):
+                # Exiting the with-block terminates the remaining workers.
+                break
+    return collected
+
+
+# ----------------------------------------------------------------------
+# ParallelRunner: benchmark x configuration fan-out
+# ----------------------------------------------------------------------
+@dataclass
+class ParallelRunner:
+    """Runs benchmark x configuration pairs over a process pool.
+
+    ``jobs=None`` uses one worker per CPU; ``jobs=1`` degrades to a serial
+    loop with identical semantics (and no pool overhead), so callers can
+    thread a single ``--jobs`` value through unconditionally.
+    """
+
+    jobs: Optional[int] = None
+    #: Optional multiprocessing start method ("fork", "spawn", ...).
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.jobs = _resolve_jobs(self.jobs)
+
+    # ------------------------------------------------------------------
+    def map_benchmarks(
+        self,
+        pairs: Sequence[BenchmarkPair],
+        progress: Optional[Callable[[BenchmarkOutcome], None]] = None,
+    ) -> List[BenchmarkOutcome]:
+        """Run every (benchmark, config, label, library) pair; results in input order.
+
+        ``progress`` is invoked in the parent process as outcomes arrive
+        (completion order under a pool, input order when serial).
+        """
+        tasks = [
+            (index, benchmark, config, label, library)
+            for index, (benchmark, config, label, library) in enumerate(pairs)
+        ]
+        on_result = None if progress is None else (lambda _index, outcome: progress(outcome))
+        collected = _map_indexed(
+            _run_pair_task, tasks, self.jobs, self.start_method, on_result=on_result
+        )
+        return [collected[index] for index in range(len(tasks))]
+
+    def run_suite(
+        self,
+        suite: BenchmarkSuite,
+        config_factory: Callable[[Optional[float]], SynthesisConfig],
+        timeout: float = 20.0,
+        label: Optional[str] = None,
+        library=None,
+        progress: Optional[Callable[[BenchmarkOutcome], None]] = None,
+    ) -> SuiteRun:
+        """Parallel drop-in for :func:`repro.benchmarks.runner.run_suite`."""
+        config = config_factory(timeout)
+        resolved = label or config.describe()
+        outcomes = self.map_benchmarks(
+            [(benchmark, config, resolved, library) for benchmark in suite],
+            progress=progress,
+        )
+        return SuiteRun(configuration=resolved, outcomes=outcomes)
+
+    def run_matrix(
+        self,
+        suite: BenchmarkSuite,
+        configurations: Mapping[str, Callable[[Optional[float]], SynthesisConfig]],
+        timeout: float = 20.0,
+        library=None,
+        progress: Optional[Callable[[BenchmarkOutcome], None]] = None,
+    ) -> Dict[str, SuiteRun]:
+        """Fan the whole benchmark x configuration grid into one pool.
+
+        Scheduling all cells together keeps every worker busy even when one
+        configuration is much slower than the others (the per-configuration
+        loop of the serial harness would serialise on it).
+        """
+        pairs: List[BenchmarkPair] = []
+        for label, factory in configurations.items():
+            config = factory(timeout)
+            pairs.extend((benchmark, config, label, library) for benchmark in suite)
+        outcomes = self.map_benchmarks(pairs, progress=progress)
+        runs = {label: SuiteRun(configuration=label) for label in configurations}
+        for outcome in outcomes:
+            runs[outcome.configuration].outcomes.append(outcome)
+        return runs
+
+
+# ----------------------------------------------------------------------
+# synthesize_batch: many examples, one configuration
+# ----------------------------------------------------------------------
+def synthesize_batch(
+    examples: Sequence,
+    config: Optional[SynthesisConfig] = None,
+    library=None,
+    jobs: Optional[int] = None,
+) -> List[SynthesisResult]:
+    """Synthesize a program for every example, fanning over worker processes.
+
+    *examples* may be :class:`Example` objects or ``(inputs, output)`` pairs.
+    Results come back in input order regardless of completion order, and each
+    example's search is bit-for-bit the search ``Morpheus.synthesize`` would
+    run serially (workers share nothing), so the outcomes are deterministic.
+    The one timing-sensitive edge: an example whose solve time approaches the
+    configured wall-clock timeout may time out when more workers run than
+    there are CPU cores.
+    """
+    jobs = _resolve_jobs(jobs)
+    config = config if config is not None else SynthesisConfig()
+    tasks = [
+        (index, _coerce_example(example), config, library)
+        for index, example in enumerate(examples)
+    ]
+    collected = _map_indexed(_synthesize_task, tasks, jobs)
+    return [collected[index] for index in range(len(tasks))]
+
+
+# ----------------------------------------------------------------------
+# synthesize_portfolio: one example, racing configurations
+# ----------------------------------------------------------------------
+@dataclass
+class PortfolioResult:
+    """Outcome of racing several configurations on one example."""
+
+    #: The winning (or, if nothing solved, the first configuration's) result.
+    result: SynthesisResult
+    #: ``describe()`` of the configuration that produced :attr:`result`.
+    winner: Optional[str]
+    #: How many configurations ran to completion before the race ended.
+    attempts: int
+
+    @property
+    def solved(self) -> bool:
+        return self.result.solved
+
+
+def synthesize_portfolio(
+    example,
+    configs: Sequence[SynthesisConfig],
+    library=None,
+    jobs: Optional[int] = None,
+) -> PortfolioResult:
+    """Race *configs* on one example; return the first solution found.
+
+    With ``jobs > 1`` the configurations run concurrently and the remaining
+    workers are cancelled as soon as one solves the example -- which
+    configuration wins can therefore depend on timing.  With ``jobs=1`` the
+    configurations run in order and the first solver wins deterministically.
+    If no configuration solves the example, the first configuration's
+    (unsolved) result is returned with ``winner=None``.
+    """
+    configs = list(configs)
+    if not configs:
+        raise ValueError("synthesize_portfolio needs at least one configuration")
+    jobs = _resolve_jobs(jobs)
+    example = _coerce_example(example)
+    tasks = [(index, example, config, library) for index, config in enumerate(configs)]
+
+    collected = _map_indexed(
+        _synthesize_task, tasks, jobs,
+        stop=lambda _index, result: result.solved,
+    )
+    attempts = len(collected)
+    for index, result in collected.items():
+        if result.solved:
+            return PortfolioResult(result, configs[index].describe(), attempts)
+    return PortfolioResult(collected[min(collected)], None, attempts)

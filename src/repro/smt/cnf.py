@@ -9,7 +9,7 @@ assignments back into conjunctions of theory literals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from .terms import And, Atom, BoolVal, Formula, Not, Or
 

@@ -19,14 +19,45 @@ from __future__ import annotations
 import enum
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..engine.cache import CacheStats, LRUCache
 from .cnf import tseitin
 from .lia import TheoryResult, check_conjunction
 from .sat import SatSolver
-from .terms import And, Atom, BoolVal, Formula, Not, Or, conjoin
+from .terms import And, Atom, BoolVal, Formula, Or, conjoin
 
 #: Upper bound on theory-refinement rounds of the lazy loop; reaching it is
 #: treated as SAT (sound for a deduction engine that prunes only on UNSAT).
 MAX_THEORY_ROUNDS = 200
+
+#: Default bound of the process-wide formula -> verdict cache.
+FORMULA_CACHE_SIZE = 16384
+
+#: Process-wide memo of ``check`` verdicts.  Formulas are immutable and
+#: hashable, and satisfiability is a pure function of the formula, so results
+#: can be shared across Solver instances (and across synthesis runs -- the
+#: deduction engine asks near-identical queries for structurally similar
+#: hypotheses on every benchmark).  Each entry is a ``(result, model)`` pair.
+_formula_cache: "LRUCache[Formula, Tuple[CheckResult, Optional[Dict[str, int]]]]" = None  # set below
+
+
+def formula_cache_stats() -> CacheStats:
+    """Hit/miss counters of the process-wide formula cache."""
+    return _formula_cache.stats
+
+
+def clear_formula_cache() -> None:
+    """Drop all cached verdicts and reset the counters (mainly for tests)."""
+    _formula_cache.clear()
+    _formula_cache.stats.clear()
+
+
+def configure_formula_cache(maxsize: Optional[int]) -> None:
+    """Resize the formula cache (``0`` disables it, ``None`` unbounds it)."""
+    global _formula_cache
+    _formula_cache = LRUCache(maxsize=maxsize)
+
+
+configure_formula_cache(FORMULA_CACHE_SIZE)
 
 
 class CheckResult(enum.Enum):
@@ -63,12 +94,28 @@ class Solver:
 
     # ------------------------------------------------------------------
     def check(self) -> CheckResult:
-        """Decide satisfiability of the conjunction of all assertions."""
+        """Decide satisfiability of the conjunction of all assertions.
+
+        Verdicts are memoised in the process-wide formula cache: two solver
+        instances asserting the same (structurally equal) formula share one
+        underlying satisfiability check.
+        """
         self._model = None
         formula = conjoin(self._assertions)
         if isinstance(formula, BoolVal):
             return CheckResult.SAT if formula.value else CheckResult.UNSAT
 
+        cached = _formula_cache.get(formula)
+        if cached is not None:
+            result, model = cached
+            self._model = dict(model) if model is not None else None
+            return result
+        result = self._check_uncached(formula)
+        model = dict(self._model) if self._model is not None else None
+        _formula_cache.put(formula, (result, model))
+        return result
+
+    def _check_uncached(self, formula: Formula) -> CheckResult:
         flat = _as_conjunction_of_atoms(formula)
         if flat is not None:
             result = check_conjunction(flat)

@@ -11,14 +11,12 @@ from repro.benchmarks import (
     figure18_table,
     r_benchmark_suite,
     run_figure16,
-    run_figure18,
     run_suite,
     sql_benchmark_suite,
 )
 from repro.benchmarks.runner import Figure18Row, run_benchmark
 from repro.benchmarks.suite import BenchmarkSuite
 from repro.baselines import spec2_config
-from repro.components import PRUNABLE_ERRORS
 from repro.core import SynthesisConfig
 from repro.dataframe import Table
 

@@ -2,10 +2,8 @@
 
 import itertools
 
-import pytest
-
 from repro.core import SpecLevel, standard_library
-from repro.core.arguments import ColumnList, Constant, Predicate
+from repro.core.arguments import Constant, Predicate
 from repro.core.deduction import DeductionEngine
 from repro.core.hypothesis import (
     fill_value_hole,

@@ -1,14 +1,10 @@
 """Tests for the top-level synthesis algorithm (Algorithm 1)."""
 
-import pytest
-
 from repro.core import (
     Example,
     Morpheus,
     SpecLevel,
     SynthesisConfig,
-    hypothesis_size,
-    render_program,
     sql_library,
     standard_library,
     synthesize,
@@ -73,6 +69,27 @@ class TestSimpleTasks:
     def test_timeout_is_respected(self):
         output = Table(["name"], [["Zoe"]])
         result = synthesize([STUDENTS], output, config=SynthesisConfig(timeout=1.0, max_size=3))
+        assert result.elapsed < 10
+
+    def test_timeout_is_honored_inside_refinement_fanout(self):
+        # A library whose iteration never terminates: without the deadline
+        # check inside the refinement loop, a single hypothesis expansion
+        # would spin forever fanning out refinements.
+        class EndlessLibrary:
+            def __init__(self, components):
+                self._components = list(components)
+
+            def __iter__(self):
+                while True:
+                    yield from self._components
+
+        output = Table(["name"], [["Zoe"]])
+        synthesizer = Morpheus(
+            library=EndlessLibrary(standard_library()),
+            config=SynthesisConfig(timeout=0.5),
+        )
+        result = synthesizer.synthesize(Example.make([STUDENTS], output))
+        assert not result.solved
         assert result.elapsed < 10
 
 

@@ -1,0 +1,163 @@
+"""Tests for the process-parallel drivers (repro.engine.parallel)."""
+
+import pytest
+
+from repro.baselines import FIGURE16_CONFIGS
+from repro.benchmarks import r_benchmark_suite, run_figure16, run_suite
+from repro.core import Example, Morpheus, SpecLevel, SynthesisConfig
+from repro.dataframe import Table
+from repro.engine import (
+    ParallelRunner,
+    synthesize_batch,
+    synthesize_portfolio,
+)
+
+#: Fast representative benchmarks (each solves in well under a second).
+FAST_NAMES = [
+    "c1_prices_long_to_wide",
+    "c2_orders_count_by_region",
+    "c5_join_filter_large_orders",
+]
+
+TIMEOUT = 30.0
+
+
+def fast_suite():
+    return r_benchmark_suite().subset(names=FAST_NAMES)
+
+
+def outcome_fingerprint(run):
+    return [
+        (o.benchmark, o.category, o.configuration, o.solved, o.program_size)
+        for o in run.outcomes
+    ]
+
+
+class TestParallelRunner:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=0)
+
+    def test_default_jobs_is_at_least_one(self):
+        assert ParallelRunner().jobs >= 1
+
+    def test_parallel_suite_matches_serial(self):
+        suite = fast_suite()
+        serial = run_suite(suite, FIGURE16_CONFIGS["spec2"], timeout=TIMEOUT, label="spec2")
+        parallel = ParallelRunner(jobs=2).run_suite(
+            suite, FIGURE16_CONFIGS["spec2"], timeout=TIMEOUT, label="spec2"
+        )
+        assert outcome_fingerprint(parallel) == outcome_fingerprint(serial)
+
+    def test_run_suite_jobs_parameter_routes_to_parallel_runner(self):
+        suite = fast_suite()
+        serial = run_suite(suite, FIGURE16_CONFIGS["spec2"], timeout=TIMEOUT, label="spec2")
+        threaded = run_suite(
+            suite, FIGURE16_CONFIGS["spec2"], timeout=TIMEOUT, label="spec2", jobs=2
+        )
+        assert outcome_fingerprint(threaded) == outcome_fingerprint(serial)
+
+    def test_run_matrix_matches_serial_figure16(self):
+        suite = fast_suite()
+        serial = run_figure16(timeout=TIMEOUT, suite=suite)
+        parallel = run_figure16(timeout=TIMEOUT, suite=suite, jobs=2)
+        assert set(parallel) == set(serial)
+        for label in serial:
+            assert outcome_fingerprint(parallel[label]) == outcome_fingerprint(serial[label])
+
+    def test_progress_callback_sees_every_outcome(self):
+        suite = fast_suite()
+        seen = []
+        ParallelRunner(jobs=2).run_suite(
+            suite,
+            FIGURE16_CONFIGS["spec2"],
+            timeout=TIMEOUT,
+            label="spec2",
+            progress=seen.append,
+        )
+        assert sorted(o.benchmark for o in seen) == sorted(suite.names())
+
+    def test_jobs_one_is_a_serial_loop(self):
+        suite = fast_suite()
+        runner = ParallelRunner(jobs=1)
+        run = runner.run_suite(suite, FIGURE16_CONFIGS["spec2"], timeout=TIMEOUT, label="spec2")
+        assert [o.benchmark for o in run.outcomes] == suite.names()
+
+
+class TestSynthesizeBatch:
+    def examples(self):
+        suite = fast_suite()
+        return [Example.make(b.inputs, b.output) for b in suite]
+
+    def test_results_come_back_in_input_order(self):
+        examples = self.examples()
+        config = SynthesisConfig(timeout=TIMEOUT)
+        serial = [Morpheus(config=config).synthesize(e) for e in examples]
+        batch = synthesize_batch(examples, config=config, jobs=2)
+        assert len(batch) == len(examples)
+        for expected, actual in zip(serial, batch):
+            assert actual.solved == expected.solved
+            assert actual.size == expected.size
+            assert actual.render() == expected.render()
+
+    def test_batch_is_deterministic_across_runs(self):
+        examples = self.examples()
+        config = SynthesisConfig(timeout=TIMEOUT)
+        first = synthesize_batch(examples, config=config, jobs=2)
+        second = synthesize_batch(examples, config=config, jobs=2)
+        assert [r.render() for r in first] == [r.render() for r in second]
+
+    def test_accepts_inputs_output_pairs(self):
+        inputs = [Table(["a", "b", "c"], [[1, 2, 3], [4, 5, 6]])]
+        output = Table(["a", "b"], [[1, 2], [4, 5]])
+        results = synthesize_batch([(inputs, output)], jobs=1,
+                                   config=SynthesisConfig(timeout=TIMEOUT))
+        assert results[0].solved
+
+    def test_rejects_invalid_jobs(self):
+        with pytest.raises(ValueError):
+            synthesize_batch([], jobs=-2)
+
+
+class TestSynthesizePortfolio:
+    def example(self):
+        inputs = [Table(["a", "b", "c"], [[1, 2, 3], [4, 5, 6]])]
+        output = Table(["a", "b"], [[1, 2], [4, 5]])
+        return inputs, output
+
+    def test_requires_at_least_one_config(self):
+        with pytest.raises(ValueError):
+            synthesize_portfolio(self.example(), [])
+
+    def test_serial_portfolio_prefers_earlier_configs(self):
+        configs = [
+            SynthesisConfig(timeout=TIMEOUT),
+            SynthesisConfig(deduction=False, timeout=TIMEOUT),
+        ]
+        portfolio = synthesize_portfolio(self.example(), configs, jobs=1)
+        assert portfolio.solved
+        assert portfolio.winner == configs[0].describe()
+        assert portfolio.attempts == 1
+
+    def test_parallel_portfolio_returns_a_solution(self):
+        configs = [
+            SynthesisConfig(timeout=TIMEOUT),
+            SynthesisConfig(deduction=False, timeout=TIMEOUT),
+        ]
+        portfolio = synthesize_portfolio(self.example(), configs, jobs=2)
+        assert portfolio.solved
+        assert portfolio.winner in {c.describe() for c in configs}
+        assert 1 <= portfolio.attempts <= len(configs)
+
+    def test_unsolvable_example_returns_first_config_result(self):
+        # An output whose values cannot be produced from the input.
+        inputs = [Table(["a", "b"], [[1, 2], [3, 4]])]
+        output = Table(["zz"], [["impossible"]])
+        configs = [
+            SynthesisConfig(timeout=2.0, max_size=1),
+            SynthesisConfig(timeout=2.0, max_size=1, spec_level=SpecLevel.SPEC1),
+        ]
+        portfolio = synthesize_portfolio((inputs, output), configs, jobs=1)
+        assert not portfolio.solved
+        assert portfolio.winner is None
+        assert portfolio.attempts == len(configs)

@@ -10,7 +10,6 @@ from repro.smt import (
     FALSE,
     TRUE,
     And,
-    Atom,
     BoolVal,
     Int,
     LinExpr,
