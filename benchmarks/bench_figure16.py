@@ -12,8 +12,15 @@ Regenerate the full table with::
 
 import pytest
 
-from repro.baselines import FIGURE16_CONFIGS
-from repro.benchmarks import figure16_table, r_benchmark_suite, run_benchmark, run_figure16
+from repro.baselines import FIGURE16_CONFIGS, spec2_config, spec2_no_cdcl_config
+from repro.benchmarks import (
+    deduction_summary_table,
+    figure16_table,
+    r_benchmark_suite,
+    run_benchmark,
+    run_figure16,
+    run_suite,
+)
 from conftest import BENCH_FULL, BENCH_TIMEOUT, REPRESENTATIVE_BENCHMARKS
 
 SUITE = r_benchmark_suite()
@@ -42,5 +49,39 @@ def test_figure16_summary(capsys):
     table = figure16_table(runs)
     with capsys.disabled():
         print("\n" + table)
+        print(deduction_summary_table(runs))
     assert runs["spec2"].solved >= runs["spec1"].solved >= 0
     assert runs["spec2"].solved >= runs["no-deduction"].solved
+    # Conflict-driven lemma learning must actually fire on the subset.
+    assert sum(outcome.lemma_prunes for outcome in runs["spec2"].outcomes) > 0
+    assert sum(outcome.lemmas_learned for outcome in runs["spec2"].outcomes) > 0
+
+
+def test_cdcl_ablation_smoke(capsys):
+    """CDCL vs --no-cdcl on the Figure 16 subset: same outcomes, less work.
+
+    The acceptance bar for conflict-driven lemma learning: with CDCL enabled
+    the run must report lemma prunes, issue *fewer* SMT ``check()`` calls
+    than the ablation, and synthesize byte-identical programs with identical
+    solve/fail outcomes.
+    """
+    subset = SUITE.subset(names=NAMES)
+    cdcl = run_suite(subset, spec2_config, timeout=BENCH_TIMEOUT, label="spec2")
+    plain = run_suite(
+        subset, spec2_no_cdcl_config, timeout=BENCH_TIMEOUT, label="spec2-no-cdcl"
+    )
+    with capsys.disabled():
+        print(
+            f"\ncdcl: smt={sum(o.smt_calls for o in cdcl.outcomes)} "
+            f"prunes={sum(o.lemma_prunes for o in cdcl.outcomes)} "
+            f"mining_solves={sum(o.lemma_mining_solves for o in cdcl.outcomes)} | "
+            f"no-cdcl: smt={sum(o.smt_calls for o in plain.outcomes)}"
+        )
+    outcomes = lambda run: [  # noqa: E731
+        (o.benchmark, o.solved, o.program) for o in run.outcomes
+    ]
+    assert outcomes(cdcl) == outcomes(plain)
+    assert sum(o.lemma_prunes for o in cdcl.outcomes) > 0
+    assert sum(o.smt_calls for o in cdcl.outcomes) < sum(
+        o.smt_calls for o in plain.outcomes
+    )

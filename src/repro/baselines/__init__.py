@@ -16,7 +16,9 @@ from .configurations import (
     spec1_config,
     spec1_no_partial_eval_config,
     spec2_config,
+    spec2_no_cdcl_config,
     spec2_no_partial_eval_config,
+    without_cdcl,
 )
 from .lambda2 import Lambda2Synthesizer
 from .sql_synthesizer import SqlQuery, SqlSynthesizer
@@ -32,5 +34,7 @@ __all__ = [
     "spec1_config",
     "spec1_no_partial_eval_config",
     "spec2_config",
+    "spec2_no_cdcl_config",
     "spec2_no_partial_eval_config",
+    "without_cdcl",
 ]

@@ -57,6 +57,25 @@ def full_morpheus_config(timeout: Optional[float] = 60.0) -> SynthesisConfig:
     return spec2_config(timeout)
 
 
+def spec2_no_cdcl_config(timeout: Optional[float] = 60.0) -> SynthesisConfig:
+    """Spec 2 deduction without conflict-driven lemma learning (``--no-cdcl``)."""
+    return SynthesisConfig(spec_level=SpecLevel.SPEC2, cdcl=False, **_base(timeout))
+
+
+def without_cdcl(configurations: Dict) -> Dict:
+    """Rewrite a label->factory map so every configuration disables CDCL.
+
+    Used by the benchmark CLI's ``--no-cdcl`` ablation: the labels stay
+    unchanged so tables from both modes line up column-for-column.
+    """
+    from dataclasses import replace
+
+    return {
+        label: (lambda timeout, _factory=factory: replace(_factory(timeout), cdcl=False))
+        for label, factory in configurations.items()
+    }
+
+
 #: The three configurations of Figure 16, keyed by the column label.
 FIGURE16_CONFIGS = {
     "no-deduction": no_deduction_config,

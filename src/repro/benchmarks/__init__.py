@@ -20,7 +20,13 @@ from .runner import (
     run_pruning_statistics,
     run_suite,
 )
-from .reporting import figure16_table, figure17_series, figure17_table, figure18_table
+from .reporting import (
+    deduction_summary_table,
+    figure16_table,
+    figure17_series,
+    figure17_table,
+    figure18_table,
+)
 from .sql_suite import sql_benchmark_suite
 from .suite import Benchmark, BenchmarkSuite
 
@@ -32,6 +38,7 @@ __all__ = [
     "CATEGORY_DESCRIPTIONS",
     "Figure18Row",
     "SuiteRun",
+    "deduction_summary_table",
     "figure16_table",
     "figure17_series",
     "figure17_table",

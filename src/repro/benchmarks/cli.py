@@ -4,13 +4,17 @@ Examples::
 
     python -m repro.benchmarks.cli figure16 --timeout 20
     python -m repro.benchmarks.cli figure16 --timeout 20 --jobs 4
+    python -m repro.benchmarks.cli figure16 --timeout 20 --no-cdcl --stats
     python -m repro.benchmarks.cli figure17 --timeout 10 --categories C1 C2
     python -m repro.benchmarks.cli figure18 --timeout 15
     python -m repro.benchmarks.cli pruning
 
 ``--jobs N`` distributes the benchmark x configuration pairs over ``N``
 worker processes (the ``repro-bench`` console script installed by the
-package accepts the same arguments).
+package accepts the same arguments).  ``--no-cdcl`` disables conflict-driven
+lemma learning in every Morpheus configuration (the ablation baseline), and
+``--stats`` appends the per-configuration deduction counter table (SMT
+calls, lemma prunes, lemmas learned) to the figure output.
 """
 
 from __future__ import annotations
@@ -18,8 +22,19 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..baselines.configurations import (
+    ALL_FIGURE17_CONFIGS,
+    FIGURE16_CONFIGS,
+    without_cdcl,
+)
 from .r_suite import r_benchmark_suite
-from .reporting import category_legend, figure16_table, figure17_table, figure18_table
+from .reporting import (
+    category_legend,
+    deduction_summary_table,
+    figure16_table,
+    figure17_table,
+    figure18_table,
+)
 from .runner import run_figure16, run_figure17, run_figure18, run_pruning_statistics
 
 
@@ -49,6 +64,17 @@ def main(argv=None) -> int:
              "per-task solve times approach --timeout while workers "
              "oversubscribe the CPUs)",
     )
+    parser.add_argument(
+        "--no-cdcl", action="store_true",
+        help="disable conflict-driven lemma learning in every Morpheus "
+             "configuration (ablation; labels are left unchanged so the "
+             "tables line up against a default run)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="append the per-configuration deduction counters (SMT calls, "
+             "lemma prunes, lemmas learned) to the figure output",
+    )
     parser.add_argument("--categories", nargs="*", default=None, help="restrict to these categories")
     parser.add_argument("--names", nargs="*", default=None, help="restrict to these benchmark names")
     parser.add_argument("--quiet", action="store_true", help="suppress per-benchmark progress output")
@@ -56,28 +82,53 @@ def main(argv=None) -> int:
     progress = None if args.quiet else _progress
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.stats and args.figure not in ("figure16", "figure17"):
+        parser.error("--stats is only available for figure16 and figure17")
+    if args.no_cdcl and args.figure == "legend":
+        parser.error("--no-cdcl does not apply to the legend")
+
+    def configured(configurations):
+        return without_cdcl(configurations) if args.no_cdcl else configurations
 
     if args.figure == "legend":
         print(category_legend())
         return 0
     if args.figure == "figure16":
         runs = run_figure16(
-            timeout=args.timeout, suite=_subset(args), progress=progress, jobs=args.jobs
+            timeout=args.timeout, suite=_subset(args), progress=progress,
+            jobs=args.jobs, configurations=configured(FIGURE16_CONFIGS),
         )
         print(figure16_table(runs))
+        if args.stats:
+            print(deduction_summary_table(runs))
         return 0
     if args.figure == "figure17":
         runs = run_figure17(
-            timeout=args.timeout, suite=_subset(args), progress=progress, jobs=args.jobs
+            timeout=args.timeout, suite=_subset(args), progress=progress,
+            jobs=args.jobs, configurations=configured(ALL_FIGURE17_CONFIGS),
         )
         print(figure17_table(runs))
+        if args.stats:
+            print(deduction_summary_table(runs))
         return 0
     if args.figure == "figure18":
-        rows = run_figure18(timeout=args.timeout, r_suite=_subset(args), jobs=args.jobs)
+        morpheus_config = None
+        if args.no_cdcl:
+            from ..baselines.configurations import spec2_no_cdcl_config
+
+            morpheus_config = spec2_no_cdcl_config
+        rows = run_figure18(
+            timeout=args.timeout, r_suite=_subset(args), jobs=args.jobs,
+            morpheus_config=morpheus_config,
+        )
         print(figure18_table(rows))
         return 0
     if args.figure == "pruning":
-        print(run_pruning_statistics(timeout=args.timeout, suite=_subset(args), jobs=args.jobs))
+        statistics = run_pruning_statistics(
+            timeout=args.timeout, suite=_subset(args), jobs=args.jobs,
+            cdcl=not args.no_cdcl,
+        )
+        print(statistics)
         return 0
     return 1
 

@@ -105,6 +105,34 @@ def figure18_table(rows: Sequence[Figure18Row]) -> str:
     return "\n".join(lines)
 
 
+def deduction_summary_table(runs: Dict[str, SuiteRun]) -> str:
+    """Per-configuration deduction counters (SMT calls, lemma activity).
+
+    Complements the Figure 16/17 tables: with CDCL enabled the lemma columns
+    show how much solver work the conflict-driven lemma store absorbed, and
+    comparing the ``SMT calls`` column against a ``--no-cdcl`` run quantifies
+    the saving.  ``Mining solves`` is the price paid for it -- incremental
+    deletion probes, much cheaper apiece than a full check but reported so
+    the comparison never hides the investment.  Only deterministic counters
+    appear (no wall-clock values), so the table is byte-identical between
+    serial and ``--jobs N`` runs.
+    """
+    lines = ["Configuration\tSMT calls\tLemma prunes\tLemmas learned\tMining solves"]
+    for label, run in runs.items():
+        lines.append(
+            "\t".join(
+                [
+                    label,
+                    str(sum(outcome.smt_calls for outcome in run.outcomes)),
+                    str(sum(outcome.lemma_prunes for outcome in run.outcomes)),
+                    str(sum(outcome.lemmas_learned for outcome in run.outcomes)),
+                    str(sum(outcome.lemma_mining_solves for outcome in run.outcomes)),
+                ]
+            )
+        )
+    return "\n".join(lines)
+
+
 def category_legend() -> str:
     """The C1-C9 category descriptions (the 'Description' column of Figure 16)."""
     lines = []

@@ -36,6 +36,21 @@ class BenchmarkOutcome:
     elapsed: float
     program_size: Optional[int] = None
     prune_rate: float = 0.0
+    #: The synthesized program's rendered source (None when unsolved).  Kept
+    #: on the outcome so ablation and determinism harnesses can assert that
+    #: configurations agree on *what* was synthesized, not just how fast.
+    program: Optional[str] = None
+    #: Deduction SMT ``check()`` calls issued during the run.
+    smt_calls: int = 0
+    #: Hypotheses rejected by the lemma store without an SMT query.
+    lemma_prunes: int = 0
+    #: Blocking lemmas mined from deduction unsat cores.
+    lemmas_learned: int = 0
+    #: Incremental-session solves spent mining/minimizing those cores.  Far
+    #: cheaper per call than a full ``check()`` (propagation-only deletion
+    #: probes), but reported so a CDCL-vs-ablation comparison of ``smt_calls``
+    #: never hides the mining investment.
+    lemma_mining_solves: int = 0
 
 
 @dataclass
@@ -95,6 +110,7 @@ def run_benchmark(
     clear_formula_cache()
     synthesizer = Morpheus(library=library, config=config)
     result = synthesizer.synthesize(Example.make(benchmark.inputs, benchmark.output))
+    deduction = result.stats.deduction
     return BenchmarkOutcome(
         benchmark=benchmark.name,
         category=benchmark.category,
@@ -103,6 +119,11 @@ def run_benchmark(
         elapsed=result.elapsed,
         program_size=result.size,
         prune_rate=result.stats.prune_rate,
+        program=result.render() if result.solved else None,
+        smt_calls=deduction.smt_calls,
+        lemma_prunes=deduction.lemma_prunes,
+        lemmas_learned=deduction.lemmas_learned,
+        lemma_mining_solves=deduction.lemma_mining_solves,
     )
 
 
@@ -171,20 +192,24 @@ def run_figure16(
 def run_figure17(
     timeout: float = 20.0,
     suite: Optional[BenchmarkSuite] = None,
+    configurations: Optional[Dict[str, Callable]] = None,
     progress: Optional[Callable[[BenchmarkOutcome], None]] = None,
     jobs: Optional[int] = None,
 ) -> Dict[str, SuiteRun]:
     """Run the Figure 17 experiment (deduction x partial evaluation grid)."""
     suite = suite if suite is not None else r_benchmark_suite()
+    configurations = (
+        configurations if configurations is not None else ALL_FIGURE17_CONFIGS
+    )
     if jobs is not None and jobs != 1:
         from ..engine.parallel import ParallelRunner
 
         return ParallelRunner(jobs=jobs).run_matrix(
-            suite, ALL_FIGURE17_CONFIGS, timeout=timeout, progress=progress
+            suite, configurations, timeout=timeout, progress=progress
         )
     return {
         label: run_suite(suite, factory, timeout=timeout, label=label, progress=progress)
-        for label, factory in ALL_FIGURE17_CONFIGS.items()
+        for label, factory in configurations.items()
     }
 
 
@@ -212,19 +237,26 @@ def run_figure18(
     r_suite: Optional[BenchmarkSuite] = None,
     sql_suite: Optional[BenchmarkSuite] = None,
     jobs: Optional[int] = None,
+    morpheus_config: Optional[Callable[[Optional[float]], SynthesisConfig]] = None,
 ) -> List[Figure18Row]:
-    """Compare Morpheus with the SQLSynthesizer (and lambda2) baselines."""
+    """Compare Morpheus with the SQLSynthesizer (and lambda2) baselines.
+
+    ``morpheus_config`` overrides the configuration factory used for the
+    Morpheus rows (the CLI passes the no-CDCL factory for ``--no-cdcl``);
+    the baselines have no deduction engine and are unaffected.
+    """
     r_suite = r_suite if r_suite is not None else r_benchmark_suite()
     sql_suite = sql_suite if sql_suite is not None else sql_benchmark_suite()
+    factory = morpheus_config if morpheus_config is not None else _morpheus_config
     rows: List[Figure18Row] = []
 
     # Morpheus on both suites (the baselines below are cheap and stay serial).
     morpheus_r = run_suite(
-        r_suite, _morpheus_config, timeout=timeout, label="morpheus", jobs=jobs
+        r_suite, factory, timeout=timeout, label="morpheus", jobs=jobs
     )
     rows.append(Figure18Row("morpheus", "r-benchmarks", morpheus_r.solved, morpheus_r.total, morpheus_r.median_time()))
     morpheus_sql = run_suite(
-        sql_suite, _morpheus_config, timeout=timeout,
+        sql_suite, factory, timeout=timeout,
         label="morpheus", library=sql_library(), jobs=jobs,
     )
     rows.append(Figure18Row("morpheus", "sql-benchmarks", morpheus_sql.solved, morpheus_sql.total, morpheus_sql.median_time()))
@@ -267,13 +299,28 @@ def run_pruning_statistics(
     timeout: float = 20.0,
     suite: Optional[BenchmarkSuite] = None,
     jobs: Optional[int] = None,
+    cdcl: bool = True,
 ) -> Dict[str, float]:
     """Measure how many partial programs deduction prunes before completion."""
     suite = suite if suite is not None else r_benchmark_suite()
-    run = run_suite(suite, _morpheus_config, timeout=timeout, label="spec2", jobs=jobs)
+    if cdcl:
+        factory, label = _morpheus_config, "spec2"
+    else:
+        from ..baselines.configurations import spec2_no_cdcl_config
+
+        factory, label = spec2_no_cdcl_config, "spec2-no-cdcl"
+    run = run_suite(suite, factory, timeout=timeout, label=label, jobs=jobs)
     rates = [outcome.prune_rate for outcome in run.outcomes if outcome.prune_rate > 0]
     return {
         "mean_prune_rate": statistics.mean(rates) if rates else 0.0,
         "median_prune_rate": statistics.median(rates) if rates else 0.0,
         "benchmarks": float(len(rates)),
+        "smt_calls": float(sum(outcome.smt_calls for outcome in run.outcomes)),
+        "lemma_prunes": float(sum(outcome.lemma_prunes for outcome in run.outcomes)),
+        "lemmas_learned": float(
+            sum(outcome.lemmas_learned for outcome in run.outcomes)
+        ),
+        "lemma_mining_solves": float(
+            sum(outcome.lemma_mining_solves for outcome in run.outcomes)
+        ),
     }

@@ -127,7 +127,7 @@ class SketchCompleter:
             # concrete abstraction may already contradict the example.
             self._charge_budget()
             self.stats.partial_programs += 1
-            if not self.engine.deduce(sketch):
+            if not self.engine.deduce(sketch, learn=False):
                 self.stats.pruned_partial += 1
                 return
             yield sketch
@@ -185,7 +185,10 @@ class SketchCompleter:
             self._charge_budget()
             candidate = fill_value_hole(sketch, hole, argument)
             self.stats.partial_programs += 1
-            if not completes_program and not self.engine.deduce(candidate):
+            # ``learn=False``: per-hole fills come in bulk and mostly differ
+            # only in evaluated-table abstractions; they consult the lemma
+            # store but are not worth a mining replay each.
+            if not completes_program and not self.engine.deduce(candidate, learn=False):
                 self.stats.pruned_partial += 1
                 continue
             yield from self._fill_holes(candidate, node, rest, context_table)

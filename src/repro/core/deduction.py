@@ -13,17 +13,26 @@ a Presburger-arithmetic formula combining
 
 and checks satisfiability.  UNSAT means the hypothesis can never be completed
 into a program consistent with the example and is pruned.
+
+On top of Algorithm 2, the engine *learns from failures* (conflict-driven
+lemma learning): every rejected hypothesis is replayed against a persistent
+incremental solver session -- the example formula and :math:`\\varphi_{out}`
+are asserted once per synthesis run, the per-hypothesis constraints are
+pushed as named, retractable assumptions -- and the resulting unsat core is
+mined into a blocking lemma over the offending component subsequence (see
+:mod:`repro.core.lemmas`).  Later hypotheses exhibiting the same structure
+are rejected by a subset test without ever touching the solver.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..dataframe.table import Table
 from ..engine.cache import CacheStats, LRUCache
-from ..smt.solver import CheckResult, Solver
+from ..smt.solver import CheckResult, IncrementalStats, Solver
 from ..smt.terms import Formula, conjoin, disjoin
 from .abstraction import (
     AbstractionCache,
@@ -40,11 +49,29 @@ from .hypothesis import (
     iter_nodes,
     partial_evaluate,
 )
+from .lemmas import LemmaStore
 from .types import Type
 
 
 #: Default bound of the per-engine verdict memo.
 VERDICT_CACHE_SIZE = 32768
+
+#: Default bound on incremental-session solves spent mining lemmas per run.
+#: Mining is an investment (each mined core costs a replay solve plus a few
+#: minimization solves); the budget keeps a pathological run from spending
+#: its whole time budget on cores, and -- being a count, not a clock -- keeps
+#: parallel and serial runs bit-identical.
+LEMMA_MINING_BUDGET = 800
+
+#: Cores at most this large are deletion-minimized before becoming lemmas.
+#: Smaller cores make strictly more general lemmas (fewer descriptors to
+#: match), which is where most of the sibling pruning comes from.
+MINIMIZE_CORE_LIMIT = 12
+
+#: Assumption name for the per-hypothesis sanity constraints.  Excluded from
+#: lemma keys: every deduction query asserts nonnegativity for all of its
+#: nodes, so a matching hypothesis entails the member automatically.
+_NONNEG = ("nonneg",)
 
 
 @dataclass
@@ -56,6 +83,19 @@ class DeductionStats:
     hypotheses_checked: int = 0
     hypotheses_rejected: int = 0
     evaluation_failures: int = 0
+    #: Hypotheses rejected by the lemma store without an SMT query.
+    lemma_prunes: int = 0
+    #: Blocking lemmas mined from unsat cores and stored.
+    lemmas_learned: int = 0
+    #: Unsat cores extracted from the incremental session.
+    cores_extracted: int = 0
+    #: Sum of (minimized) core sizes, for the mean-core-size report.
+    core_size_total: int = 0
+    #: Incremental-session solves spent mining and minimizing cores.
+    lemma_mining_solves: int = 0
+    #: Activity of the persistent incremental solver session (clause reuse,
+    #: recycles, theory conflicts).
+    incremental: IncrementalStats = field(default_factory=IncrementalStats)
     #: Verdict-memo accounting: a hit means an entire SMT query was skipped.
     #: (The counters are written directly by the verdict LRU cache.)
     verdict_cache: CacheStats = field(default_factory=CacheStats)
@@ -82,6 +122,13 @@ class DeductionStats:
         """Fraction of deduction queries answered from the verdict memo."""
         return self.verdict_cache.hit_rate
 
+    @property
+    def mean_core_size(self) -> float:
+        """Average size of the mined unsat cores (0.0 when none were mined)."""
+        if self.cores_extracted == 0:
+            return 0.0
+        return self.core_size_total / self.cores_extracted
+
     def merge(self, other: "DeductionStats") -> None:
         """Accumulate another stats object into this one."""
         self.smt_calls += other.smt_calls
@@ -89,6 +136,12 @@ class DeductionStats:
         self.hypotheses_checked += other.hypotheses_checked
         self.hypotheses_rejected += other.hypotheses_rejected
         self.evaluation_failures += other.evaluation_failures
+        self.lemma_prunes += other.lemma_prunes
+        self.lemmas_learned += other.lemmas_learned
+        self.cores_extracted += other.cores_extracted
+        self.core_size_total += other.core_size_total
+        self.lemma_mining_solves += other.lemma_mining_solves
+        self.incremental.merge(other.incremental)
         self.verdict_cache.merge(other.verdict_cache)
         self.abstraction_cache.merge(other.abstraction_cache)
 
@@ -102,6 +155,14 @@ class DeductionEngine:
     level: SpecLevel = SpecLevel.SPEC2
     use_partial_evaluation: bool = True
     enabled: bool = True
+    #: Conflict-driven lemma learning: mine unsat cores into blocking lemmas
+    #: and consult the lemma store before building SMT queries.
+    cdcl: bool = True
+    #: The lemma store (created fresh per engine when not provided; lemmas
+    #: rest on the example formula and must never outlive the example).
+    lemma_store: Optional[LemmaStore] = None
+    #: Bound on incremental-session solves spent mining cores this run.
+    mining_budget: int = LEMMA_MINING_BUDGET
     stats: DeductionStats = field(default_factory=DeductionStats)
 
     def __post_init__(self):
@@ -130,6 +191,12 @@ class DeductionEngine:
         self._verdict_cache: "LRUCache[tuple, bool]" = LRUCache(
             maxsize=VERDICT_CACHE_SIZE, stats=self.stats.verdict_cache
         )
+        if self.cdcl and self.lemma_store is None:
+            self.lemma_store = LemmaStore()
+        #: Persistent incremental solver session used to replay rejected
+        #: hypotheses under named assumptions (created lazily; the example
+        #: formula and phi_out are asserted exactly once per run).
+        self._incremental: Optional[Solver] = None
         self._example_formula = self._build_example_formula()
 
     # ------------------------------------------------------------------
@@ -233,21 +300,24 @@ class DeductionEngine:
         walk(hypothesis)
         return conjoin(constraints)
 
-    def build_query(
-        self, hypothesis: Hypothesis, evaluated: Dict[int, Table]
-    ) -> Formula:
-        """The full satisfiability query :math:`\\psi` of Algorithm 2."""
-        node_ids = tuple(
+    def _query_node_ids(self, hypothesis: Hypothesis) -> tuple:
+        """The node ids whose attribute vectors appear in the query."""
+        return tuple(
             sorted(
                 node.node_id
                 for node in iter_nodes(hypothesis)
                 if not isinstance(node, Hole) or node.hole_type is Type.TABLE
             )
         )
+
+    def build_query(
+        self, hypothesis: Hypothesis, evaluated: Dict[int, Table]
+    ) -> Formula:
+        """The full satisfiability query :math:`\\psi` of Algorithm 2."""
         constraints = [
             self.specification(hypothesis, evaluated),
             self._example_formula,
-            self._nonnegativity(node_ids),
+            self._nonnegativity(self._query_node_ids(hypothesis)),
         ]
 
         # phi_in: every table hole corresponds to one of the input variables.
@@ -262,8 +332,17 @@ class DeductionEngine:
         return conjoin(constraints)
 
     # ------------------------------------------------------------------
-    def deduce(self, hypothesis: Hypothesis) -> bool:
-        """Algorithm 2: return ``False`` when the hypothesis can be rejected."""
+    def deduce(self, hypothesis: Hypothesis, learn: bool = True) -> bool:
+        """Algorithm 2: return ``False`` when the hypothesis can be rejected.
+
+        With CDCL enabled the lemma store is consulted first -- a hypothesis
+        matching a previously mined conflict is rejected without building a
+        formula -- and, when *learn* is set, every fresh rejection is mined
+        for a new lemma.  Callers issuing bulk near-duplicate queries (the
+        sketch completer's per-hole fills) pass ``learn=False``: they still
+        benefit from the store, but only hypothesis- and sketch-level
+        conflicts are worth the mining replay.
+        """
         self.stats.hypotheses_checked += 1
         evaluated: Dict[int, Table] = {}
         if self.use_partial_evaluation:
@@ -275,6 +354,21 @@ class DeductionEngine:
                 return False
         if not self.enabled:
             return True
+
+        # Lemma pruning: mined conflicts are keyed by root-relative structure,
+        # so they only apply to hypotheses rooted at node 0 (all of the
+        # synthesizer's are; the guard keeps ad-hoc engine uses sound).
+        use_cdcl = (
+            self.cdcl and self.lemma_store is not None and hypothesis.node_id == 0
+        )
+        # The descriptor walk is only worth paying once there is a lemma that
+        # could match (the store starts empty on every run).
+        if use_cdcl and len(self.lemma_store):
+            descriptors, _ = self._lemma_parts(hypothesis, evaluated)
+            if self.lemma_store.blocks(descriptors):
+                self.stats.lemma_prunes += 1
+                self.stats.hypotheses_rejected += 1
+                return False
 
         cache_key = self._verdict_key(hypothesis, evaluated)
         cached = self._verdict_cache.get(cache_key)
@@ -294,7 +388,118 @@ class DeductionEngine:
         self._verdict_cache.put(cache_key, feasible)
         if not feasible:
             self.stats.hypotheses_rejected += 1
+            if use_cdcl and learn:
+                self._mine_lemma(hypothesis, evaluated)
         return feasible
+
+    # ------------------------------------------------------------------
+    # Conflict-driven lemma learning
+    # ------------------------------------------------------------------
+    def _lemma_parts(
+        self,
+        hypothesis: Hypothesis,
+        evaluated: Dict[int, Table],
+        with_formulas: bool = False,
+    ):
+        """The hypothesis as lemma descriptors (see :mod:`repro.core.lemmas`).
+
+        Returns ``(descriptors, named)``: the descriptor set used for lemma
+        matching, and -- when *with_formulas* is set -- the mapping from each
+        descriptor to the query fragment it stands for (the named assumptions
+        of the mining replay).  The walk mirrors :meth:`specification` and
+        :meth:`build_query` exactly: one descriptor per asserted fragment.
+
+        Bound table holes additionally contribute the weakened descriptor
+        ``("bind", path, None)`` to the *matching* set (never to the named
+        assumptions): a specific binding entails the any-input disjunction,
+        so lemmas mined from unbound holes soundly block bound ones.
+        """
+        descriptors = set()
+        named: Dict[tuple, Formula] = {}
+
+        def walk(node: Hypothesis, path: Tuple[int, ...], under_eval: bool) -> None:
+            if isinstance(node, Hole):
+                if node.hole_type is Type.TABLE:
+                    descriptor = ("bind", path, node.binding)
+                    descriptors.add(descriptor)
+                    if with_formulas:
+                        named[descriptor] = self._binding(node.node_id, node.binding)
+                    if node.binding is not None:
+                        descriptors.add(("bind", path, None))
+                    if node.node_id in evaluated and not under_eval:
+                        attributes = self.table_attributes(evaluated[node.node_id])
+                        descriptor = ("eval", path, attributes)
+                        descriptors.add(descriptor)
+                        if with_formulas:
+                            named[descriptor] = self._abstract(
+                                evaluated[node.node_id], self.node_vars(node.node_id)
+                            )
+                return
+            if node.node_id in evaluated and not under_eval:
+                attributes = self.table_attributes(evaluated[node.node_id])
+                descriptor = ("eval", path, attributes)
+                descriptors.add(descriptor)
+                if with_formulas:
+                    named[descriptor] = self._abstract(
+                        evaluated[node.node_id], self.node_vars(node.node_id)
+                    )
+                # The subtree below an evaluated subterm contributes no specs
+                # or abstractions, but phi_in still binds its table holes.
+                for index, child in enumerate(node.table_children):
+                    walk(child, path + (index,), True)
+                return
+            if not under_eval:
+                descriptor = ("spec", path, node.component.name)
+                descriptors.add(descriptor)
+                if with_formulas:
+                    named[descriptor] = self._component_spec(node)
+            for index, child in enumerate(node.table_children):
+                walk(child, path + (index,), under_eval)
+
+        walk(hypothesis, (), False)
+        return frozenset(descriptors), named
+
+    def _incremental_session(self) -> Solver:
+        """The per-run solver session (example formula asserted once)."""
+        if self._incremental is None:
+            session = Solver()
+            session.add(self._example_formula)
+            session.add(self.node_vars(0).equal_to(self._output_vars, self.level))
+            self._incremental = session
+        return self._incremental
+
+    def _mine_lemma(self, hypothesis: Hypothesis, evaluated: Dict[int, Table]) -> None:
+        """Replay a rejected hypothesis under assumptions and learn its core."""
+        store = self.lemma_store
+        if store.maxsize is not None and len(store) >= store.maxsize:
+            return
+        if self.stats.lemma_mining_solves >= self.mining_budget:
+            return
+        _, named = self._lemma_parts(hypothesis, evaluated, with_formulas=True)
+        named[_NONNEG] = self._nonnegativity(self._query_node_ids(hypothesis))
+        session = self._incremental_session()
+        solves_before = session.incremental_stats.checks
+        # ``known_unsat``: the monolithic check just refuted exactly this
+        # conjunction (base + named re-partition the query of Algorithm 2),
+        # so the replay skips the confirming solve.  Boolean-structured
+        # queries still fall to the lazy path, which can disagree with the
+        # monolithic fast paths near the theory solver's conservative
+        # limits; a lemma is only mined from a definite UNSAT.
+        result = session.check_assumptions(named, known_unsat=True)
+        if result is CheckResult.UNSAT:
+            core = session.unsat_core()
+            if 0 < len(core) <= MINIMIZE_CORE_LIMIT:
+                core = session.minimize_core()
+            lemma = [descriptor for descriptor in core if descriptor != _NONNEG]
+            if lemma:
+                self.stats.cores_extracted += 1
+                self.stats.core_size_total += len(lemma)
+                if store.add(lemma):
+                    self.stats.lemmas_learned += 1
+        self.stats.lemma_mining_solves += (
+            session.incremental_stats.checks - solves_before
+        )
+        self.stats.incremental = session.incremental_stats.snapshot()
 
     def _verdict_key(self, hypothesis: Hypothesis, evaluated: Dict[int, Table]) -> tuple:
         """A cache key capturing everything the deduction query depends on.

@@ -77,6 +77,11 @@ class SynthesisConfig:
     spec_level: SpecLevel = SpecLevel.SPEC2
     #: Use partial evaluation inside deduction.
     partial_evaluation: bool = True
+    #: Conflict-driven lemma learning: mine deduction unsat cores into
+    #: blocking lemmas that reject families of sibling hypotheses without
+    #: touching the solver.  Disable (the ``--no-cdcl`` ablation) to measure
+    #: plain Algorithm 2.
+    cdcl: bool = True
     #: Use the statistical (bigram) cost model; otherwise order by size only.
     ngram_ranking: bool = True
     #: Largest number of component applications to consider.
@@ -98,6 +103,8 @@ class SynthesisConfig:
         name = "spec1" if self.spec_level is SpecLevel.SPEC1 else "spec2"
         if not self.partial_evaluation:
             name += "-no-pe"
+        if not self.cdcl:
+            name += "-no-cdcl"
         return name
 
 
@@ -131,6 +138,21 @@ class SynthesisStats:
     def solver_cache_hit_rate(self) -> float:
         """Fraction of SMT checks answered by the formula cache during this run."""
         return self.solver_cache.hit_rate
+
+    @property
+    def lemma_prunes(self) -> int:
+        """Hypotheses rejected by the lemma store without an SMT query."""
+        return self.deduction.lemma_prunes
+
+    @property
+    def lemmas_learned(self) -> int:
+        """Blocking lemmas mined from deduction unsat cores this run."""
+        return self.deduction.lemmas_learned
+
+    @property
+    def smt_calls(self) -> int:
+        """Deduction SMT ``check()`` calls issued this run."""
+        return self.deduction.smt_calls
 
 
 @dataclass
@@ -178,12 +200,16 @@ class Morpheus:
             started + self.config.timeout if self.config.timeout is not None else None
         )
         stats = SynthesisStats()
+        # The lemma store is created fresh per run: mined lemmas rest on this
+        # example's formula, and per-run state keeps parallel suite runs
+        # bit-identical to serial ones (workers share nothing).
         engine = DeductionEngine(
             inputs=example.inputs,
             output=example.output,
             level=self.config.spec_level,
             use_partial_evaluation=self.config.partial_evaluation,
             enabled=self.config.deduction,
+            cdcl=self.config.cdcl and self.config.deduction,
             stats=stats.deduction,
         )
         completer = SketchCompleter(

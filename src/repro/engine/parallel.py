@@ -15,6 +15,13 @@ pool:
 Workers are plain top-level functions so they pickle under every start
 method; each worker process keeps its own deduction memo and SMT formula
 cache (inherited warm under ``fork``, cold under ``spawn``).
+
+Conflict-driven lemma state never crosses task boundaries: lemmas rest on
+one example's formulas, and ``Morpheus.synthesize`` creates a fresh
+:class:`~repro.core.lemmas.LemmaStore` (and incremental solver session) per
+run, so every worker task mines its own lemmas from scratch and a
+``--jobs N`` suite run is bit-identical to the serial one -- including the
+lemma-prune and SMT-call counters on each outcome.
 """
 
 from __future__ import annotations

@@ -4,6 +4,14 @@ The SAT engine (:mod:`repro.smt.sat`) works on clauses over propositional
 variables numbered from 1; theory atoms are mapped to propositional variables
 and the mapping is returned so the DPLL(T) driver can translate boolean
 assignments back into conjunctions of theory literals.
+
+The encoder is *incremental*: a :class:`CNF` instance keeps a structural memo
+from subformulas to their defining literals, so encoding a second formula
+into the same instance reuses every shared subterm (atoms, conjunctions,
+disjunctions) instead of re-deriving fresh variables and clauses.  The
+incremental :class:`~repro.smt.solver.Solver` relies on this to keep one
+persistent clause database across push/pop scopes and thousands of
+near-identical assumption queries.
 """
 
 from __future__ import annotations
@@ -25,6 +33,10 @@ class CNF:
     #: True when the input formula was trivially false (e.g. contained FALSE
     #: as a top-level conjunct); the clause set then contains the empty clause.
     trivially_false: bool = False
+    #: Structural memo: subformula -> defining literal.  Encoding the same
+    #: (structurally equal) subformula twice returns the same literal without
+    #: adding new variables or clauses.
+    literal_of: Dict[Formula, int] = field(default_factory=dict)
 
     def new_var(self) -> int:
         """Allocate a fresh propositional variable."""
@@ -43,6 +55,48 @@ class CNF:
         """Add a clause (a list of non-zero literals)."""
         self.clauses.append(list(literals))
 
+    # ------------------------------------------------------------------
+    def encode(self, formula: Formula) -> int:
+        """Encode *formula*, returning a literal equivalent to it.
+
+        The encoding is definitional in both directions (each ``And``/``Or``
+        node gets a variable constrained to be *equivalent* to the operand
+        combination), so the returned literal can be asserted, assumed, or
+        left free: a model of the clause set assigns it exactly the truth
+        value of the formula.  Nothing is asserted here -- callers decide
+        whether the root literal becomes a unit clause (:func:`tseitin`) or
+        an assumption (:meth:`repro.smt.solver.Solver.check_assumptions`).
+        """
+        cached = self.literal_of.get(formula)
+        if cached is not None:
+            return cached
+        if isinstance(formula, BoolVal):
+            var = self.new_var()
+            self.add_clause([var] if formula.value else [-var])
+            literal = var
+        elif isinstance(formula, Atom):
+            literal = self.var_for_atom(formula)
+        elif isinstance(formula, Not):
+            literal = -self.encode(formula.operand)
+        elif isinstance(formula, And):
+            literals = [self.encode(operand) for operand in formula.operands]
+            out = self.new_var()
+            for operand_literal in literals:
+                self.add_clause([-out, operand_literal])
+            self.add_clause([out] + [-operand_literal for operand_literal in literals])
+            literal = out
+        elif isinstance(formula, Or):
+            literals = [self.encode(operand) for operand in formula.operands]
+            out = self.new_var()
+            for operand_literal in literals:
+                self.add_clause([-operand_literal, out])
+            self.add_clause([-out] + literals)
+            literal = out
+        else:
+            raise TypeError(f"cannot encode {formula!r}")
+        self.literal_of[formula] = literal
+        return literal
+
 
 def tseitin(formula: Formula) -> CNF:
     """Encode *formula* into CNF using the Tseitin transformation.
@@ -51,33 +105,6 @@ def tseitin(formula: Formula) -> CNF:
     asserted as a unit clause.
     """
     cnf = CNF()
-
-    def encode(node: Formula) -> int:
-        """Return a literal equivalent to *node*."""
-        if isinstance(node, BoolVal):
-            var = cnf.new_var()
-            cnf.add_clause([var] if node.value else [-var])
-            return var
-        if isinstance(node, Atom):
-            return cnf.var_for_atom(node)
-        if isinstance(node, Not):
-            return -encode(node.operand)
-        if isinstance(node, And):
-            literals = [encode(operand) for operand in node.operands]
-            out = cnf.new_var()
-            for literal in literals:
-                cnf.add_clause([-out, literal])
-            cnf.add_clause([out] + [-literal for literal in literals])
-            return out
-        if isinstance(node, Or):
-            literals = [encode(operand) for operand in node.operands]
-            out = cnf.new_var()
-            for literal in literals:
-                cnf.add_clause([-literal, out])
-            cnf.add_clause([-out] + literals)
-            return out
-        raise TypeError(f"cannot encode {node!r}")
-
-    root = encode(formula)
+    root = cnf.encode(formula)
     cnf.add_clause([root])
     return cnf

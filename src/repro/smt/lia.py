@@ -28,6 +28,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from fractions import Fraction
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .simplex import LinearConstraint, solve_rational
@@ -74,14 +75,31 @@ class _Problem:
     upper: Dict[str, int] = field(default_factory=dict)
 
 
-def _integer_row(atom: Atom) -> Row:
-    """Scale an atom to integer coefficients."""
+@lru_cache(maxsize=65536)
+def _integer_row_cached(atom: Atom) -> Tuple[Tuple[Tuple[str, int], ...], int, bool]:
+    """Scale an atom to integer coefficients (immutable, memoised form).
+
+    Atoms are immutable and heavily shared across queries (the deduction
+    engine interns its formula fragments), while the lcm/Fraction arithmetic
+    here is the single hottest piece of a theory check -- the unsat-core
+    deletion loop alone re-rows the same atoms a dozen times per mined lemma.
+    """
     expr = atom.expr
     denominators = [coeff.denominator for coeff in expr.coeffs.values()]
     denominators.append(expr.const.denominator)
     scale = math.lcm(*denominators)
-    coeffs = {name: int(coeff * scale) for name, coeff in expr.coeffs.items()}
+    coeffs = tuple(
+        (name, int(coeff * scale)) for name, coeff in expr.coeffs.items()
+    )
     return coeffs, int(expr.const * scale), atom.op == "=="
+
+
+def _integer_row(atom: Atom) -> Row:
+    """Scale an atom to integer coefficients."""
+    coeffs, const, is_equality = _integer_row_cached(atom)
+    # A fresh dict per use: rows flow through substitution/propagation, and
+    # the cache must never hand out aliased mutable state.
+    return dict(coeffs), const, is_equality
 
 
 def _apply_substitution(
@@ -102,14 +120,27 @@ def _apply_substitution(
     return {name: coeff for name, coeff in result.items() if coeff != 0}, const
 
 
-def check_conjunction(atoms: Iterable[Atom]) -> TheoryResult:
-    """Decide satisfiability of a conjunction of atoms over the integers."""
+def check_conjunction(atoms: Iterable[Atom], exact: bool = True) -> TheoryResult:
+    """Decide satisfiability of a conjunction of atoms over the integers.
+
+    With ``exact=False`` the propagation phases run but residual systems are
+    *not* handed to simplex/branch-and-bound: anything propagation cannot
+    refute is reported as (approximate) SAT.  UNSAT answers remain definite
+    either way.  The cheap mode exists for callers that fire many probes and
+    only act on UNSAT -- the unsat-core deletion loop above all -- where an
+    occasional conservative SAT merely weakens a lemma, while an exact
+    simplex run per probe would dominate the whole deduction budget.
+    """
     problem = _Problem()
     for atom in atoms:
         problem.rows.append(_integer_row(atom))
 
     if _propagate(problem):
         return TheoryResult(satisfiable=False)
+    if not exact and problem.rows:
+        return TheoryResult(
+            satisfiable=True, model=_complete_model(problem, {}), approximate=True
+        )
     return _solve_residual(problem)
 
 

@@ -1,9 +1,10 @@
 """The public SMT solver facade (lazy DPLL(T) over LIA).
 
 :class:`Solver` mimics the small slice of the z3 API the paper's deduction
-engine needs: assert formulas, ask for satisfiability, read back a model.
+engine needs: assert formulas (with push/pop scopes), ask for satisfiability,
+read back a model, solve under named assumptions, and extract an unsat core.
 
-Two solving strategies are used:
+Two solving strategies are used for plain :meth:`Solver.check`:
 
 * If the asserted formula is a pure conjunction of atoms (the common case for
   hypothesis specifications over a single input table), the LIA theory solver
@@ -12,18 +13,27 @@ Two solving strategies are used:
   enumerates boolean models, and each model's theory literals are checked by
   the LIA solver; theory conflicts are returned to the SAT engine as blocking
   clauses (lazy SMT).
+
+:meth:`Solver.check_assumptions` additionally maintains a *persistent
+incremental session*: one CNF database shared across calls (Tseitin variables
+are reused through the structural memo of :class:`repro.smt.cnf.CNF`), one
+SAT engine that keeps its learned clauses, and per-call assumption literals.
+On UNSAT, :meth:`Solver.unsat_core` names the assumptions the refutation
+used, and :meth:`Solver.minimize_core` shrinks that set by deletion.  The
+deduction engine mines these cores into blocking lemmas.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..engine.cache import CacheStats, LRUCache
-from .cnf import tseitin
+from .cnf import CNF, tseitin
 from .lia import TheoryResult, check_conjunction
 from .sat import SatSolver
-from .terms import And, Atom, BoolVal, Formula, Or, conjoin
+from .terms import And, Atom, BoolVal, Formula, Or, conjoin, formula_atoms
 
 #: Upper bound on theory-refinement rounds of the lazy loop; reaching it is
 #: treated as SAT (sound for a deduction engine that prunes only on UNSAT).
@@ -31,6 +41,14 @@ MAX_THEORY_ROUNDS = 200
 
 #: Default bound of the process-wide formula -> verdict cache.
 FORMULA_CACHE_SIZE = 16384
+
+#: Clause-count bound of one incremental session.  A session that outgrows it
+#: is rebuilt from the active assertions on the next ``check_assumptions``
+#: call -- the propositional engine scans the whole clause database during
+#: propagation, so an ever-growing database would make every later query pay
+#: for every formula ever assumed.  The bound is a clause count (not a time
+#: budget) so session recycling is deterministic.
+SESSION_CLAUSE_LIMIT = 4096
 
 #: Process-wide memo of ``check`` verdicts.  Formulas are immutable and
 #: hashable, and satisfiability is a pure function of the formula, so results
@@ -68,28 +86,173 @@ class CheckResult(enum.Enum):
     UNKNOWN = "unknown"
 
 
-class Solver:
-    """An incremental-in-spirit SMT solver for quantifier-free LIA."""
+@dataclass
+class IncrementalStats:
+    """Counters describing one solver's incremental-session activity."""
+
+    #: ``check_assumptions`` calls answered by the session.
+    checks: int = 0
+    #: SAT-engine invocations (one per theory-refinement round).
+    sat_solves: int = 0
+    #: Top-level formulas encoded into the persistent CNF for the first time.
+    formulas_encoded: int = 0
+    #: Top-level formulas whose encoding was reused from an earlier call.
+    formulas_reused: int = 0
+    #: Theory conflicts turned into persistent blocking clauses.
+    theory_conflicts: int = 0
+    #: Case-split decisions made by the structured fast path (including the
+    #: deletion probes of its built-in core minimization).
+    theory_core_checks: int = 0
+    #: Times the session hit :data:`SESSION_CLAUSE_LIMIT` and was rebuilt.
+    recycles: int = 0
+
+    def merge(self, other: "IncrementalStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.checks += other.checks
+        self.sat_solves += other.sat_solves
+        self.formulas_encoded += other.formulas_encoded
+        self.formulas_reused += other.formulas_reused
+        self.theory_conflicts += other.theory_conflicts
+        self.theory_core_checks += other.theory_core_checks
+        self.recycles += other.recycles
+
+    def snapshot(self) -> "IncrementalStats":
+        """An independent copy (for computing per-call deltas)."""
+        return IncrementalStats(
+            self.checks,
+            self.sat_solves,
+            self.formulas_encoded,
+            self.formulas_reused,
+            self.theory_conflicts,
+            self.theory_core_checks,
+            self.recycles,
+        )
+
+
+class _Session:
+    """Persistent incremental state behind :meth:`Solver.check_assumptions`."""
+
+    __slots__ = ("cnf", "sat", "_fed", "_roots", "_atom_vars", "_flat")
 
     def __init__(self) -> None:
-        self._assertions: List[Formula] = []
+        self.cnf = CNF()
+        self.sat = SatSolver(0, [])
+        #: Watermark into ``cnf.clauses`` of what the SAT engine has seen.
+        self._fed = 0
+        #: Top-level formula -> root literal (the assumption literal).
+        self._roots: Dict[Formula, int] = {}
+        #: Top-level formula -> propositional variables of its theory atoms.
+        self._atom_vars: Dict[Formula, Tuple[int, ...]] = {}
+        #: Top-level formula -> (atoms, clauses) clausal flattening, or None
+        #: when the formula has irreducible boolean structure.
+        self._flat: Dict[Formula, Optional[tuple]] = {}
+
+    def flatten(self, formula: Formula):
+        """Cached clausal flattening; returns ``(parts_or_None, was_cached)``.
+
+        No counters are touched here: the caller attributes encode/reuse to
+        whichever strategy actually serves the query (the lazy path counts
+        through :meth:`literal_for` instead).
+        """
+        if formula in self._flat:
+            return self._flat[formula], True
+        result = _as_clausal_conjunction(formula)
+        self._flat[formula] = result
+        return result, False
+
+    def literal_for(self, formula: Formula, stats: IncrementalStats) -> int:
+        """The (cached) root literal standing for *formula*."""
+        literal = self._roots.get(formula)
+        if literal is not None:
+            stats.formulas_reused += 1
+            return literal
+        literal = self.cnf.encode(formula)
+        self._roots[formula] = literal
+        stats.formulas_encoded += 1
+        return literal
+
+    def atom_vars_for(self, formula: Formula) -> Tuple[int, ...]:
+        """Propositional variables of the theory atoms of *formula*.
+
+        Must be called after :meth:`literal_for` so the atoms are encoded.
+        """
+        cached = self._atom_vars.get(formula)
+        if cached is None:
+            cached = tuple(
+                self.cnf.var_of_atom[atom] for atom in formula_atoms(formula)
+            )
+            self._atom_vars[formula] = cached
+        return cached
+
+    def feed_clauses(self) -> None:
+        """Hand any newly encoded clauses to the persistent SAT engine."""
+        for clause in self.cnf.clauses[self._fed:]:
+            self.sat.add_clause(clause)
+        self._fed = len(self.cnf.clauses)
+
+
+#: Assumptions accepted by ``check_assumptions``: a name->formula mapping or
+#: an iterable of (name, formula) pairs.  Names must be hashable.
+NamedAssumptions = Union[Mapping[object, Formula], Iterable[Tuple[object, Formula]]]
+
+#: Sentinel: the fast path's case split would exceed its clause budget.
+_TOO_MANY_CLAUSES = object()
+
+
+class Solver:
+    """An incremental SMT solver for quantifier-free LIA."""
+
+    def __init__(self) -> None:
+        self._scopes: List[List[Formula]] = [[]]
         self._model: Optional[Dict[str, int]] = None
+        self._session: Optional[_Session] = None
+        self._core: Tuple[object, ...] = ()
+        self._core_minimal = False
+        self._last_assumptions: Dict[object, Formula] = {}
+        self.incremental_stats = IncrementalStats()
 
     def add(self, *formulas: Formula) -> None:
-        """Assert one or more formulas."""
-        self._assertions.extend(formulas)
+        """Assert one or more formulas in the current scope."""
+        self._scopes[-1].extend(formulas)
 
     def assertions(self) -> Tuple[Formula, ...]:
-        """The formulas asserted so far."""
-        return tuple(self._assertions)
+        """The formulas asserted so far (all scopes, outermost first)."""
+        return tuple(formula for scope in self._scopes for formula in scope)
 
-    def reset(self) -> None:
-        """Remove all assertions."""
-        self._assertions.clear()
+    # ------------------------------------------------------------------
+    # Scopes
+    # ------------------------------------------------------------------
+    def push(self) -> None:
+        """Open a new assertion scope."""
+        self._scopes.append([])
+
+    def pop(self) -> None:
+        """Discard the most recent scope and every assertion made in it.
+
+        The incremental session keeps the popped formulas' clauses in its
+        database (guarded by their root literals, which are simply no longer
+        assumed), so re-asserting the same formulas later costs nothing.
+        """
+        if len(self._scopes) == 1:
+            raise IndexError("cannot pop the outermost assertion scope")
+        self._scopes.pop()
         self._model = None
 
+    def num_scopes(self) -> int:
+        """How many scopes are currently open (0 = only the outermost)."""
+        return len(self._scopes) - 1
+
+    def reset(self) -> None:
+        """Remove all assertions, scopes, and the incremental session."""
+        self._scopes = [[]]
+        self._model = None
+        self._session = None
+        self._core = ()
+        self._core_minimal = False
+        self._last_assumptions = {}
+
     def model(self) -> Optional[Dict[str, int]]:
-        """The model found by the last successful :meth:`check`."""
+        """The model found by the last successful check."""
         return self._model
 
     # ------------------------------------------------------------------
@@ -101,7 +264,7 @@ class Solver:
         underlying satisfiability check.
         """
         self._model = None
-        formula = conjoin(self._assertions)
+        formula = conjoin(self.assertions())
         if isinstance(formula, BoolVal):
             return CheckResult.SAT if formula.value else CheckResult.UNSAT
 
@@ -131,6 +294,242 @@ class Solver:
         return self._solve_lazy(formula)
 
     # ------------------------------------------------------------------
+    # Solving under assumptions (the incremental session)
+    # ------------------------------------------------------------------
+    def check_assumptions(
+        self, assumptions: NamedAssumptions = (), known_unsat: bool = False
+    ) -> CheckResult:
+        """Decide the active assertions conjoined with named *assumptions*.
+
+        The assertions of every open scope stay asserted; each assumption is
+        attached only for this call.  The session (clausal flattenings, the
+        clause database with its learned clauses and theory lemmas, atom
+        variables) persists across calls, so consecutive queries that share
+        structure pay only for their differences.
+
+        Two strategies are used, mirroring :meth:`check`:
+
+        * When every active formula flattens to atoms plus a few small
+          disjunctions (the shape of every deduction query), a direct case
+          split decides the conjunction, and on UNSAT the core is computed by
+          deletion over the named groups -- yielding an already-minimal core.
+        * Otherwise the formulas are Tseitin-encoded into the persistent
+          database, their root literals become SAT-engine assumptions, and on
+          UNSAT the engine's final conflict set names the core.
+
+        On UNSAT, :meth:`unsat_core` returns the names involved.
+
+        ``known_unsat=True`` is an optimization hint from a caller that has
+        already established unsatisfiability of exactly this conjunction by
+        other means (the deduction engine replays queries its monolithic
+        check just refuted): the fast path skips the confirming solve and
+        goes straight to core extraction.  A wrong hint yields a wrong UNSAT
+        verdict -- the hint shifts the proof obligation to the caller.
+        """
+        named: Dict[object, Formula] = dict(assumptions)
+        self._model = None
+        self._core = ()
+        self._core_minimal = False
+        self._last_assumptions = named
+        stats = self.incremental_stats
+        stats.checks += 1
+
+        session = self._session
+        # The recycle bound must see every clause the SAT engine scans during
+        # propagation: the encoded CNF *plus* what was added directly to the
+        # engine (learned clauses, theory blocking clauses) -- on lazy-path
+        # workloads the latter dominate while the CNF barely grows.
+        if session is not None and (
+            len(session.cnf.clauses) > SESSION_CLAUSE_LIMIT
+            or len(session.sat.clauses) > SESSION_CLAUSE_LIMIT
+        ):
+            session = None
+            stats.recycles += 1
+        if session is None:
+            session = self._session = _Session()
+
+        base = self.assertions()
+        clausal = self._check_assumptions_clausal(
+            session, base, named, stats, known_unsat
+        )
+        if clausal is not None:
+            return clausal
+        return self._check_assumptions_lazy(session, base, named, stats)
+
+    def _check_assumptions_clausal(
+        self,
+        session: _Session,
+        base: Tuple[Formula, ...],
+        named: Dict[object, Formula],
+        stats: IncrementalStats,
+        known_unsat: bool = False,
+    ) -> Optional[CheckResult]:
+        """The structured fast path; ``None`` when the shape does not fit."""
+        flattened = [
+            (formula, *session.flatten(formula))
+            for formula in (*base, *named.values())
+        ]
+        if any(part is None for _, part, _ in flattened):
+            return None
+        for _, _, was_cached in flattened:
+            if was_cached:
+                stats.formulas_reused += 1
+            else:
+                stats.formulas_encoded += 1
+        parts_of = {formula: part for formula, part, _ in flattened}
+        base_parts = [parts_of[formula] for formula in base]
+        named_parts = {name: parts_of[formula] for name, formula in named.items()}
+
+        def decide(active_names, exact: bool) -> Optional[TheoryResult]:
+            atoms: List[Atom] = []
+            clauses: List[list] = []
+            for part in base_parts:
+                atoms.extend(part[0])
+                clauses.extend(part[1])
+            for name in active_names:
+                part = named_parts[name]
+                atoms.extend(part[0])
+                clauses.extend(part[1])
+            if len(clauses) > MAX_CASE_SPLIT_CLAUSES:
+                return _TOO_MANY_CLAUSES
+            return _check_clausal(atoms, clauses, exact)
+
+        if not known_unsat:
+            result = decide(named, exact=True)
+            if result is _TOO_MANY_CLAUSES:
+                return None
+            stats.theory_core_checks += 1
+            if result is not None:
+                self._model = result.model
+                return CheckResult.SAT
+        # With known_unsat the confirming solve is skipped: the caller has
+        # proven this exact conjunction unsatisfiable already.  Deletion
+        # probes that overflow the clause budget keep their member (the loop
+        # below treats anything but a definite UNSAT as "necessary"), so the
+        # worst case is an unminimized -- but still sound -- core.
+
+        # Deletion-based core over the named groups: drop one at a time and
+        # keep the drops that preserve unsatisfiability.  The survivors form
+        # a core where every member is individually necessary (up to the
+        # probes' propagation-only theory mode: dropping a group leaves an
+        # underconstrained system, and running exact simplex on every probe
+        # would cost more than the lemma can ever save -- a conservative SAT
+        # answer just keeps one more member in the core).
+        core = list(named)
+        for name in list(core):
+            trial = [n for n in core if n != name]
+            verdict = decide(trial, exact=False)
+            stats.theory_core_checks += 1
+            if verdict is None:
+                core = trial
+        self._core = tuple(core)
+        self._core_minimal = True
+        return CheckResult.UNSAT
+
+    def _check_assumptions_lazy(
+        self,
+        session: _Session,
+        base: Tuple[Formula, ...],
+        named: Dict[object, Formula],
+        stats: IncrementalStats,
+    ) -> CheckResult:
+        """The general path: persistent SAT engine + assumption literals."""
+        literal_names: Dict[int, List[object]] = {}
+        assumption_literals: List[int] = []
+        for formula in base:
+            assumption_literals.append(session.literal_for(formula, stats))
+        for name, formula in named.items():
+            literal = session.literal_for(formula, stats)
+            assumption_literals.append(literal)
+            literal_names.setdefault(literal, []).append(name)
+        # Dedupe while preserving order; a repeated literal would only open
+        # empty decision levels in the SAT engine.
+        assumption_literals = list(dict.fromkeys(assumption_literals))
+
+        # Theory reasoning is restricted to the atoms of the *active*
+        # formulas: the database also holds atoms of formulas from earlier
+        # calls, whose boolean values are unconstrained don't-cares here.
+        relevant_vars: set = set()
+        for formula in base:
+            relevant_vars.update(session.atom_vars_for(formula))
+        for formula in named.values():
+            relevant_vars.update(session.atom_vars_for(formula))
+        ordered_vars = sorted(relevant_vars)
+
+        session.feed_clauses()
+        for _ in range(MAX_THEORY_ROUNDS):
+            stats.sat_solves += 1
+            assignment = session.sat.solve(assumption_literals)
+            if assignment is None:
+                conflict = set(session.sat.core)
+                self._core = tuple(
+                    name
+                    for literal, names in literal_names.items()
+                    if literal in conflict
+                    for name in names
+                )
+                return CheckResult.UNSAT
+            atoms, disequalities, blocking = _theory_literals(
+                session.cnf, assignment, ordered_vars
+            )
+            result = _case_split(atoms, disequalities)
+            if result.satisfiable:
+                self._model = result.model
+                return CheckResult.SAT
+            stats.theory_conflicts += 1
+            if not blocking:
+                # No relevant atom was assigned yet the theory refused the
+                # (empty) conjunction -- cannot happen, but fail safe.
+                self._core = tuple(
+                    name for names in literal_names.values() for name in names
+                )
+                return CheckResult.UNSAT
+            # Theory conflict: the blocking clause is theory-valid, so it can
+            # stay in the persistent database and help every later query.
+            session.sat.add_clause(blocking)
+        return CheckResult.UNKNOWN
+
+    def unsat_core(self) -> Tuple[object, ...]:
+        """Assumption names in the final conflict of the last UNSAT check.
+
+        Only names passed to :meth:`check_assumptions` appear; base
+        assertions participate in the refutation but are never reported
+        (they are unconditionally present anyway).
+        """
+        return self._core
+
+    def minimize_core(self) -> Tuple[object, ...]:
+        """Deletion-minimize the unsat core of the last UNSAT check.
+
+        Re-solves with one core member dropped at a time; a member whose
+        removal keeps the query UNSAT is discarded (together with anything
+        else the shrunken refutation no longer needs).  On return,
+        :meth:`unsat_core` yields a core where dropping any single member
+        makes the query satisfiable (modulo the theory solver's conservative
+        SAT answers).  The last-check model/core state is left describing the
+        minimized core.
+        """
+        if self._core_minimal:
+            # The fast path's deletion loop already minimized the core.
+            return self._core
+        named = dict(self._last_assumptions)
+        core = [name for name in named if name in set(self._core)]
+        for name in list(core):
+            if name not in core:
+                continue  # already dropped by an earlier, smaller refutation
+            trial = {n: named[n] for n in core if n != name}
+            if self.check_assumptions(trial) is CheckResult.UNSAT:
+                survivors = set(self._core)
+                core = [n for n in core if n != name and n in survivors]
+        self._core = tuple(core)
+        self._core_minimal = True
+        self._last_assumptions = named
+        # A SAT deletion probe may have left its model behind; the overall
+        # query is UNSAT, so the last-check state must not offer one.
+        self._model = None
+        return self._core
+
+    # ------------------------------------------------------------------
     def _finish(self, result: TheoryResult) -> CheckResult:
         if not result.satisfiable:
             return CheckResult.UNSAT
@@ -140,26 +539,14 @@ class Solver:
     def _solve_lazy(self, formula: Formula) -> CheckResult:
         cnf = tseitin(formula)
         sat = SatSolver(cnf.num_vars, cnf.clauses)
+        theory_vars = sorted(cnf.atom_of_var)
         for _ in range(MAX_THEORY_ROUNDS):
             assignment = sat.solve()
             if assignment is None:
                 return CheckResult.UNSAT
-            atoms: List[Atom] = []
-            disequalities: List[Atom] = []
-            blocking: List[int] = []
-            for variable, atom in cnf.atom_of_var.items():
-                value = assignment.get(variable)
-                if value is None:
-                    continue
-                blocking.append(-variable if value else variable)
-                if value:
-                    atoms.append(atom)
-                elif atom.op == "<=":
-                    atoms.extend(atom.negated_atoms())
-                else:
-                    # A negated equality is a disjunction of two inequalities;
-                    # it is handled by case splitting inside the theory check.
-                    disequalities.append(atom)
+            atoms, disequalities, blocking = _theory_literals(
+                cnf, assignment, theory_vars
+            )
             result = _case_split(atoms, disequalities)
             if result.satisfiable:
                 return self._finish(result)
@@ -169,6 +556,32 @@ class Solver:
                 return CheckResult.UNSAT
             sat.add_clause(blocking)
         return CheckResult.UNKNOWN
+
+
+def _theory_literals(cnf: CNF, assignment: Dict[int, bool], theory_vars):
+    """Split a boolean model into theory atoms, disequalities and a blocker.
+
+    Positive atoms are collected directly; a false ``<=`` atom contributes
+    its (single) negation; a false equality is a disequality handled by case
+    splitting.  The blocking clause covers exactly the theory variables that
+    were read, so adding it excludes only this theory-refuted assignment.
+    """
+    atoms: List[Atom] = []
+    disequalities: List[Atom] = []
+    blocking: List[int] = []
+    for variable in theory_vars:
+        value = assignment.get(variable)
+        if value is None:
+            continue
+        atom = cnf.atom_of_var[variable]
+        blocking.append(-variable if value else variable)
+        if value:
+            atoms.append(atom)
+        elif atom.op == "<=":
+            atoms.extend(atom.negated_atoms())
+        else:
+            disequalities.append(atom)
+    return atoms, disequalities, blocking
 
 
 def _case_split(atoms: List[Atom], disequalities: List[Atom]) -> TheoryResult:
@@ -238,14 +651,14 @@ def _as_clausal_conjunction(formula: Formula):
     return None
 
 
-def _check_clausal(atoms: List[Atom], clauses) -> Optional[TheoryResult]:
+def _check_clausal(atoms: List[Atom], clauses, exact: bool = True) -> Optional[TheoryResult]:
     """Case split over the clauses; return a SAT result or ``None`` for UNSAT."""
     if not clauses:
-        result = check_conjunction(atoms)
+        result = check_conjunction(atoms, exact)
         return result if result.satisfiable else None
     head, *rest = clauses
     for branch in head:
-        result = _check_clausal(atoms + branch, rest)
+        result = _check_clausal(atoms + branch, rest, exact)
         if result is not None:
             return result
     return None

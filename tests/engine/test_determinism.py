@@ -1,0 +1,65 @@
+"""Parallel determinism of the CDCL-enabled benchmark harness.
+
+Lemma state is strictly per-task (a fresh store and incremental session per
+synthesis run), so a ``ParallelRunner --jobs 4`` suite run must reproduce the
+serial run byte for byte on every deterministic outcome field -- including
+the synthesized program text and the lemma-prune / SMT-call counters that
+the conflict-driven engine adds.  ``elapsed`` is wall clock and necessarily
+excluded.
+"""
+
+from repro.baselines import FIGURE16_CONFIGS, spec2_no_cdcl_config
+from repro.benchmarks import r_benchmark_suite, run_suite
+from repro.engine import ParallelRunner
+
+FAST_NAMES = [
+    "c1_prices_long_to_wide",
+    "c2_orders_count_by_region",
+    "c5_join_filter_large_orders",
+]
+
+TIMEOUT = 30.0
+
+
+def fast_suite():
+    return r_benchmark_suite().subset(names=FAST_NAMES)
+
+
+def deterministic_fingerprint(run):
+    """Every outcome field that must be identical across schedulers."""
+    return [
+        (
+            outcome.benchmark,
+            outcome.category,
+            outcome.configuration,
+            outcome.solved,
+            outcome.program_size,
+            outcome.program,
+            outcome.smt_calls,
+            outcome.lemma_prunes,
+            outcome.lemmas_learned,
+        )
+        for outcome in run.outcomes
+    ]
+
+
+def test_jobs4_suite_is_byte_identical_to_serial_with_cdcl():
+    suite = fast_suite()
+    serial = run_suite(suite, FIGURE16_CONFIGS["spec2"], timeout=TIMEOUT, label="spec2")
+    parallel = ParallelRunner(jobs=4).run_suite(
+        suite, FIGURE16_CONFIGS["spec2"], timeout=TIMEOUT, label="spec2"
+    )
+    assert deterministic_fingerprint(parallel) == deterministic_fingerprint(serial)
+    # The CDCL machinery actually ran (this is not a vacuous comparison).
+    assert sum(outcome.lemmas_learned for outcome in serial.outcomes) > 0
+
+
+def test_cdcl_and_ablation_agree_on_programs_across_schedulers():
+    suite = fast_suite()
+    cdcl = ParallelRunner(jobs=4).run_suite(
+        suite, FIGURE16_CONFIGS["spec2"], timeout=TIMEOUT, label="spec2"
+    )
+    plain = run_suite(suite, spec2_no_cdcl_config, timeout=TIMEOUT, label="spec2")
+    programs = lambda run: [(o.benchmark, o.solved, o.program) for o in run.outcomes]  # noqa: E731
+    assert programs(cdcl) == programs(plain)
+    assert all(outcome.lemmas_learned == 0 for outcome in plain.outcomes)

@@ -45,13 +45,27 @@ class TestVerdictMemo:
         assert engine.stats.smt_calls == smt_calls  # no new SMT work
 
     def test_cached_rejection_still_counts_as_rejected(self):
-        engine = DeductionEngine(inputs=[T1], output=T1)
+        # With lemma learning off, the second rejection is a verdict-cache hit.
+        engine = DeductionEngine(inputs=[T1], output=T1, cdcl=False)
         hypothesis = build_chain("select")  # must drop a column: UNSAT
         assert engine.deduce(hypothesis) is False
         rejected = engine.stats.hypotheses_rejected
         assert engine.deduce(hypothesis) is False
         assert engine.stats.hypotheses_rejected == rejected + 1
         assert engine.stats.cache_hits == 1
+
+    def test_lemma_store_answers_repeated_rejections_before_the_cache(self):
+        # With lemma learning on, the first rejection mines a blocking lemma,
+        # and the replay is answered by the store without a cache probe.
+        engine = DeductionEngine(inputs=[T1], output=T1)
+        hypothesis = build_chain("select")
+        assert engine.deduce(hypothesis) is False
+        assert engine.stats.lemmas_learned >= 1
+        rejected = engine.stats.hypotheses_rejected
+        assert engine.deduce(hypothesis) is False
+        assert engine.stats.hypotheses_rejected == rejected + 1
+        assert engine.stats.lemma_prunes == 1
+        assert engine.stats.cache_hits == 0
 
     def test_verdict_key_includes_level_and_partial_evaluation(self):
         engine = DeductionEngine(inputs=[T1], output=T3)

@@ -1,0 +1,221 @@
+"""Property-based differential tests for the incremental solver.
+
+Every test drives the incremental machinery (assumption solving, push/pop
+scopes, the persistent session) with a *seeded* random generator and checks
+that it agrees with a from-scratch monolithic solve of the same active
+formula set.  The generator keeps formulas small (few variables, small
+coefficients) so both sides stay within the theory backend's exact regime
+and the verdicts are comparable.
+"""
+
+import random
+
+import pytest
+
+from repro.smt import And, CheckResult, Int, Not, Or, Solver
+from repro.smt.sat import SatSolver
+from repro.smt.terms import FALSE, TRUE
+
+VARIABLES = ["p", "q", "r", "s"]
+
+
+def random_atom(rng):
+    """A small linear constraint over one or two variables."""
+    name = rng.choice(VARIABLES)
+    left = Int(name)
+    if rng.random() < 0.4:
+        other = rng.choice([v for v in VARIABLES if v != name])
+        left = left - Int(other)
+    constant = rng.randint(-4, 4)
+    kind = rng.random()
+    if kind < 0.4:
+        return left <= constant
+    if kind < 0.8:
+        return left >= constant
+    return left.equals(constant)
+
+
+def random_formula(rng, depth=2):
+    """A random boolean combination (includes shapes only the lazy path takes)."""
+    if depth == 0 or rng.random() < 0.4:
+        return random_atom(rng)
+    kind = rng.random()
+    if kind < 0.1:
+        return rng.choice([TRUE, FALSE]) if rng.random() < 0.3 else random_atom(rng)
+    if kind < 0.4:
+        return Not(random_formula(rng, depth - 1))
+    operands = [random_formula(rng, depth - 1) for _ in range(rng.randint(2, 3))]
+    return And(*operands) if kind < 0.7 else Or(*operands)
+
+
+def from_scratch(formulas) -> CheckResult:
+    """The reference verdict: a fresh monolithic solve of the conjunction."""
+    solver = Solver()
+    solver.add(*formulas)
+    return solver.check()
+
+
+def assert_equivalent(actual: CheckResult, expected: CheckResult) -> None:
+    """Differential agreement up to UNKNOWN.
+
+    UNSAT is the load-bearing verdict (it is what the deduction engine prunes
+    on) and must match exactly.  SAT and UNKNOWN are interchangeable by
+    design -- the persistent session's learned clauses can change whether a
+    query converges within the theory-round budget -- so a SAT/UNKNOWN split
+    between the two strategies is benign.
+    """
+    if CheckResult.UNKNOWN in (actual, expected):
+        assert actual is not CheckResult.UNSAT
+        assert expected is not CheckResult.UNSAT
+    else:
+        assert actual is expected
+
+
+class TestAssumptionsAgainstFromScratch:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_check_assumptions_matches_monolithic(self, seed):
+        rng = random.Random(seed)
+        solver = Solver()
+        base = [random_formula(rng) for _ in range(rng.randint(0, 2))]
+        solver.add(*base)
+        # Several assumption queries against one persistent session: later
+        # calls must not be contaminated by earlier (retracted) assumptions.
+        for _ in range(4):
+            named = {
+                f"a{i}": random_formula(rng) for i in range(rng.randint(0, 3))
+            }
+            expected = from_scratch(base + list(named.values()))
+            actual = solver.check_assumptions(named)
+            assert_equivalent(actual, expected)
+            if actual is CheckResult.UNSAT:
+                assert set(solver.unsat_core()) <= set(named)
+            if actual is CheckResult.SAT:
+                model = solver.model()
+                assert model is not None
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_push_pop_sequences_match_monolithic(self, seed):
+        rng = random.Random(seed)
+        solver = Solver()
+        mirror = [[]]  # the reference view of the scope stack
+        for _ in range(12):
+            op = rng.random()
+            if op < 0.25:
+                solver.push()
+                mirror.append([])
+            elif op < 0.4 and len(mirror) > 1:
+                solver.pop()
+                mirror.pop()
+            elif op < 0.75:
+                formula = random_formula(rng)
+                solver.add(formula)
+                mirror[-1].append(formula)
+            else:
+                active = [f for scope in mirror for f in scope]
+                assert solver.check() is from_scratch(active)
+                # The incremental session must agree as well (empty
+                # assumption set = just the scoped assertions).
+                assert_equivalent(solver.check_assumptions({}), from_scratch(active))
+        active = [f for scope in mirror for f in scope]
+        assert solver.assertions() == tuple(active)
+        assert solver.check() is from_scratch(active)
+
+    def test_pop_restores_satisfiability(self):
+        x = Int("x")
+        solver = Solver()
+        solver.add(x >= 1)
+        assert solver.check_assumptions({}) is CheckResult.SAT
+        solver.push()
+        solver.add(x <= 0)
+        assert solver.check_assumptions({}) is CheckResult.UNSAT
+        solver.pop()
+        assert solver.check_assumptions({}) is CheckResult.SAT
+        assert solver.check() is CheckResult.SAT
+
+    def test_pop_outermost_scope_is_an_error(self):
+        solver = Solver()
+        with pytest.raises(IndexError):
+            solver.pop()
+        solver.push()
+        solver.pop()
+        with pytest.raises(IndexError):
+            solver.pop()
+
+    def test_session_reuses_formula_encodings(self):
+        x = Int("x")
+        solver = Solver()
+        solver.add(x >= 0)
+        shared = Or(x.equals(1), Not(And(x >= 2, x <= 3)))
+        solver.check_assumptions({"a": shared})
+        encoded = solver.incremental_stats.formulas_encoded
+        solver.check_assumptions({"a": shared})
+        assert solver.incremental_stats.formulas_encoded == encoded
+        assert solver.incremental_stats.formulas_reused > 0
+
+
+class TestSatSolverAssumptions:
+    """SAT-level differential: assumptions vs the same literals as units."""
+
+    @staticmethod
+    def random_instance(rng):
+        num_vars = rng.randint(3, 7)
+        clauses = []
+        for _ in range(rng.randint(2, 14)):
+            width = rng.randint(1, 3)
+            clause = [
+                rng.choice([-1, 1]) * rng.randint(1, num_vars) for _ in range(width)
+            ]
+            clauses.append(clause)
+        assumptions = []
+        for variable in rng.sample(range(1, num_vars + 1), rng.randint(0, num_vars)):
+            assumptions.append(rng.choice([-1, 1]) * variable)
+        return num_vars, clauses, assumptions
+
+    @pytest.mark.parametrize("seed", range(120))
+    def test_solve_under_assumptions_matches_unit_clauses(self, seed):
+        rng = random.Random(seed)
+        num_vars, clauses, assumptions = self.random_instance(rng)
+        incremental = SatSolver(num_vars, clauses)
+        result = incremental.solve(assumptions)
+        scratch = SatSolver(num_vars, clauses + [[a] for a in assumptions])
+        expected = scratch.solve()
+        assert (result is None) == (expected is None)
+        if result is not None:
+            for clause in clauses:
+                assert any(
+                    result[abs(lit)] == (lit > 0) for lit in clause
+                ), f"clause {clause} unsatisfied"
+            for assumption in assumptions:
+                assert result[abs(assumption)] == (assumption > 0)
+        else:
+            # The final conflict set must be a subset of the assumptions that
+            # is itself sufficient for unsatisfiability.
+            core = incremental.core
+            assert set(core) <= set(assumptions)
+            witness = SatSolver(num_vars, clauses + [[lit] for lit in core])
+            assert witness.solve() is None
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_clause_database_persists_across_calls(self, seed):
+        rng = random.Random(seed)
+        num_vars, clauses, assumptions = self.random_instance(rng)
+        solver = SatSolver(num_vars, clauses)
+        first = solver.solve(assumptions)
+        # Re-solving with the same assumptions (learned clauses retained)
+        # must not change the verdict; neither may an assumption-free solve.
+        again = solver.solve(assumptions)
+        assert (first is None) == (again is None)
+        free = solver.solve()
+        scratch = SatSolver(num_vars, clauses)
+        assert (free is None) == (scratch.solve() is None)
+
+    def test_contradictory_assumptions_core(self):
+        solver = SatSolver(2, [[1, 2]])
+        assert solver.solve([1, -1]) is None
+        assert set(solver.core) == {1, -1}
+
+    def test_assumption_beyond_known_variables_grows_the_solver(self):
+        solver = SatSolver(1, [[1]])
+        result = solver.solve([5])
+        assert result is not None
+        assert result[5] is True

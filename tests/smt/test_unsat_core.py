@@ -1,0 +1,141 @@
+"""Unsat-core soundness tests.
+
+Two properties are checked on curated fixtures (plus a seeded random sweep):
+
+* every returned core is itself UNSAT (together with the base assertions);
+* after :meth:`Solver.minimize_core`, dropping any single member of the core
+  makes the remaining query satisfiable.
+"""
+
+import random
+
+import pytest
+
+from repro.smt import And, CheckResult, Int, Not, Or, Solver
+from repro.smt.terms import FALSE
+
+x, y, z = Int("x"), Int("y"), Int("z")
+
+
+def assert_core_unsat(solver, named):
+    """Property 1: the named core members plus the base are jointly UNSAT."""
+    core = solver.unsat_core()
+    assert core, "expected a non-empty core"
+    replay = Solver()
+    replay.add(*solver.assertions())
+    replay.add(*[named[name] for name in core])
+    assert replay.check() is CheckResult.UNSAT
+    return core
+
+
+def assert_core_minimal(solver, named):
+    """Property 2: dropping any single member of a minimized core gives SAT."""
+    core = solver.minimize_core()
+    for dropped in core:
+        replay = Solver()
+        replay.add(*solver.assertions())
+        replay.add(*[named[name] for name in core if name != dropped])
+        assert replay.check() is CheckResult.SAT, (
+            f"core member {dropped!r} is redundant"
+        )
+    return core
+
+
+class TestCuratedFixtures:
+    def test_two_member_core_ignores_the_bystander(self):
+        solver = Solver()
+        named = {"lo": x >= 5, "hi": x <= 3, "bystander": y >= 0}
+        assert solver.check_assumptions(named) is CheckResult.UNSAT
+        core = assert_core_unsat(solver, named)
+        assert "bystander" not in core
+        core = assert_core_minimal(solver, named)
+        assert set(core) == {"lo", "hi"}
+
+    def test_transitive_cycle_needs_every_member(self):
+        solver = Solver()
+        named = {"ab": x < y, "bc": y < z, "ca": z < x}
+        assert solver.check_assumptions(named) is CheckResult.UNSAT
+        assert_core_unsat(solver, named)
+        core = assert_core_minimal(solver, named)
+        assert set(core) == {"ab", "bc", "ca"}
+
+    def test_core_excludes_base_assertions(self):
+        solver = Solver()
+        solver.add(x.equals(1))
+        named = {"clash": x.equals(2), "free": y.equals(3)}
+        assert solver.check_assumptions(named) is CheckResult.UNSAT
+        core = assert_core_minimal(solver, named)
+        assert set(core) == {"clash"}
+
+    def test_unsat_base_yields_an_empty_core(self):
+        solver = Solver()
+        solver.add(x.equals(1), x.equals(2))
+        named = {"free": y.equals(5)}
+        assert solver.check_assumptions(named) is CheckResult.UNSAT
+        assert solver.unsat_core() == ()
+
+    def test_false_assumption_is_the_whole_core(self):
+        solver = Solver()
+        named = {"bad": FALSE, "fine": x >= 0}
+        assert solver.check_assumptions(named) is CheckResult.UNSAT
+        core = assert_core_minimal(solver, named)
+        assert set(core) == {"bad"}
+
+    def test_boolean_structured_core_through_the_lazy_path(self):
+        # Not(And(...)) has irreducible boolean structure, forcing the
+        # persistent SAT session (final-conflict extraction) to produce the
+        # core instead of the clausal deletion loop.
+        solver = Solver()
+        named = {
+            "range": And(x >= 1, x <= 2),
+            "negation": Not(And(x >= 1, x <= 2)),
+            "bystander": Not(And(y >= 4, y <= 3)),
+        }
+        assert solver.check_assumptions(named) is CheckResult.UNSAT
+        assert_core_unsat(solver, named)
+        core = assert_core_minimal(solver, named)
+        assert set(core) == {"range", "negation"}
+
+    def test_disjunctive_core(self):
+        solver = Solver()
+        named = {
+            "cases": Or(x.equals(1), x.equals(5)),
+            "floor": x >= 6,
+            "bystander": y <= 9,
+        }
+        assert solver.check_assumptions(named) is CheckResult.UNSAT
+        core = assert_core_minimal(solver, named)
+        assert set(core) == {"cases", "floor"}
+
+    def test_minimize_is_idempotent(self):
+        solver = Solver()
+        named = {"lo": x >= 5, "hi": x <= 3, "noise": z.equals(0)}
+        assert solver.check_assumptions(named) is CheckResult.UNSAT
+        first = solver.minimize_core()
+        second = solver.minimize_core()
+        assert first == second
+
+    def test_sat_queries_leave_an_empty_core(self):
+        solver = Solver()
+        named = {"a": x >= 0, "b": x <= 10}
+        assert solver.check_assumptions(named) is CheckResult.SAT
+        assert solver.unsat_core() == ()
+
+
+class TestRandomizedCores:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_every_unsat_core_is_unsat_and_minimizable(self, seed):
+        rng = random.Random(seed)
+        names = ["u", "v"]
+        atoms = []
+        for _ in range(rng.randint(3, 6)):
+            name = rng.choice(names)
+            bound = rng.randint(-3, 3)
+            atoms.append(rng.choice([Int(name) >= bound, Int(name) <= bound,
+                                     Int(name).equals(bound)]))
+        named = {f"n{i}": atom for i, atom in enumerate(atoms)}
+        solver = Solver()
+        if solver.check_assumptions(named) is not CheckResult.UNSAT:
+            return
+        assert_core_unsat(solver, named)
+        assert_core_minimal(solver, named)
