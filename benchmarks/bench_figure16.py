@@ -15,6 +15,7 @@ import pytest
 from repro.baselines import FIGURE16_CONFIGS, spec2_config, spec2_no_cdcl_config
 from repro.benchmarks import (
     deduction_summary_table,
+    execution_summary_table,
     figure16_table,
     r_benchmark_suite,
     run_benchmark,
@@ -50,11 +51,15 @@ def test_figure16_summary(capsys):
     with capsys.disabled():
         print("\n" + table)
         print(deduction_summary_table(runs))
+        print(execution_summary_table(runs))
     assert runs["spec2"].solved >= runs["spec1"].solved >= 0
     assert runs["spec2"].solved >= runs["no-deduction"].solved
     # Conflict-driven lemma learning must actually fire on the subset.
     assert sum(outcome.lemma_prunes for outcome in runs["spec2"].outcomes) > 0
     assert sum(outcome.lemmas_learned for outcome in runs["spec2"].outcomes) > 0
+    # The columnar comparison fast path must actually fire on the subset.
+    assert sum(outcome.compare_fastpath_hits for outcome in runs["spec2"].outcomes) > 0
+    assert sum(outcome.tables_built for outcome in runs["spec2"].outcomes) > 0
 
 
 def test_cdcl_ablation_smoke(capsys):

@@ -22,10 +22,12 @@ from .runner import (
 )
 from .reporting import (
     deduction_summary_table,
+    execution_summary_table,
     figure16_table,
     figure17_series,
     figure17_table,
     figure18_table,
+    profile_table,
 )
 from .sql_suite import sql_benchmark_suite
 from .suite import Benchmark, BenchmarkSuite
@@ -39,10 +41,12 @@ __all__ = [
     "Figure18Row",
     "SuiteRun",
     "deduction_summary_table",
+    "execution_summary_table",
     "figure16_table",
     "figure17_series",
     "figure17_table",
     "figure18_table",
+    "profile_table",
     "r_benchmark_suite",
     "run_benchmark",
     "run_figure16",

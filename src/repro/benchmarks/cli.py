@@ -5,6 +5,7 @@ Examples::
     python -m repro.benchmarks.cli figure16 --timeout 20
     python -m repro.benchmarks.cli figure16 --timeout 20 --jobs 4
     python -m repro.benchmarks.cli figure16 --timeout 20 --no-cdcl --stats
+    python -m repro.benchmarks.cli figure16 --timeout 20 --profile
     python -m repro.benchmarks.cli figure17 --timeout 10 --categories C1 C2
     python -m repro.benchmarks.cli figure18 --timeout 15
     python -m repro.benchmarks.cli pruning
@@ -12,9 +13,12 @@ Examples::
 ``--jobs N`` distributes the benchmark x configuration pairs over ``N``
 worker processes (the ``repro-bench`` console script installed by the
 package accepts the same arguments).  ``--no-cdcl`` disables conflict-driven
-lemma learning in every Morpheus configuration (the ablation baseline), and
+lemma learning in every Morpheus configuration (the ablation baseline),
 ``--stats`` appends the per-configuration deduction counter table (SMT
-calls, lemma prunes, lemmas learned) to the figure output.
+calls, lemma prunes, lemmas learned) plus the concrete-execution counter
+table (tables built, cells interned, cache and comparison fast-path hits),
+and ``--profile`` appends a per-benchmark wall-clock split between
+deduction (SMT) and concrete execution.
 """
 
 from __future__ import annotations
@@ -31,9 +35,11 @@ from .r_suite import r_benchmark_suite
 from .reporting import (
     category_legend,
     deduction_summary_table,
+    execution_summary_table,
     figure16_table,
     figure17_table,
     figure18_table,
+    profile_table,
 )
 from .runner import run_figure16, run_figure17, run_figure18, run_pruning_statistics
 
@@ -73,7 +79,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--stats", action="store_true",
         help="append the per-configuration deduction counters (SMT calls, "
-             "lemma prunes, lemmas learned) to the figure output",
+             "lemma prunes, lemmas learned) and concrete-execution counters "
+             "(tables built, cells interned, cache hits, comparison "
+             "fast-path hits) to the figure output",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="append a per-benchmark wall-clock split between deduction "
+             "(SMT) and concrete execution (component runs + output "
+             "comparison) to the figure output",
     )
     parser.add_argument("--categories", nargs="*", default=None, help="restrict to these categories")
     parser.add_argument("--names", nargs="*", default=None, help="restrict to these benchmark names")
@@ -84,6 +98,8 @@ def main(argv=None) -> int:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.stats and args.figure not in ("figure16", "figure17"):
         parser.error("--stats is only available for figure16 and figure17")
+    if args.profile and args.figure not in ("figure16", "figure17"):
+        parser.error("--profile is only available for figure16 and figure17")
     if args.no_cdcl and args.figure == "legend":
         parser.error("--no-cdcl does not apply to the legend")
 
@@ -101,6 +117,9 @@ def main(argv=None) -> int:
         print(figure16_table(runs))
         if args.stats:
             print(deduction_summary_table(runs))
+            print(execution_summary_table(runs))
+        if args.profile:
+            print(profile_table(runs))
         return 0
     if args.figure == "figure17":
         runs = run_figure17(
@@ -110,6 +129,9 @@ def main(argv=None) -> int:
         print(figure17_table(runs))
         if args.stats:
             print(deduction_summary_table(runs))
+            print(execution_summary_table(runs))
+        if args.profile:
+            print(profile_table(runs))
         return 0
     if args.figure == "figure18":
         morpheus_config = None

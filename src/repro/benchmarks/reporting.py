@@ -133,6 +133,83 @@ def deduction_summary_table(runs: Dict[str, SuiteRun]) -> str:
     return "\n".join(lines)
 
 
+def execution_summary_table(runs: Dict[str, SuiteRun]) -> str:
+    """Per-configuration concrete-execution counters (columnar backend).
+
+    Complements :func:`deduction_summary_table` with the execution-side view:
+    how many tables each configuration materialised, how many cells the
+    intern pool deduplicated, how often fingerprint memos and the
+    fingerprint-keyed execution cache answered instead of recomputing, and
+    how many output comparisons the digest fast path decided without a
+    cell-by-cell walk.  Only deterministic counters appear (no wall-clock
+    values), so the table is byte-identical between serial and ``--jobs N``
+    runs.
+    """
+    lines = [
+        "Configuration\tTables built\tCells interned\tFingerprint hits"
+        "\tExec-cache hits\tCompare fast-path"
+    ]
+    for label, run in runs.items():
+        lines.append(
+            "\t".join(
+                [
+                    label,
+                    str(sum(outcome.tables_built for outcome in run.outcomes)),
+                    str(sum(outcome.cells_interned for outcome in run.outcomes)),
+                    str(sum(outcome.fingerprint_hits for outcome in run.outcomes)),
+                    str(sum(outcome.exec_cache_hits for outcome in run.outcomes)),
+                    str(sum(outcome.compare_fastpath_hits for outcome in run.outcomes)),
+                ]
+            )
+        )
+    return "\n".join(lines)
+
+
+def profile_table(runs: Dict[str, SuiteRun]) -> str:
+    """Per-benchmark wall-clock split: deduction (SMT) vs concrete execution.
+
+    ``deduction`` is the time inside SMT ``check()`` calls; ``execution`` is
+    component execution plus output comparison; ``other`` is everything else
+    (formula construction, search bookkeeping, completion enumeration).
+    Wall-clock values vary run to run -- this table is for profiling, not for
+    the determinism diffs.
+    """
+    lines = [
+        "Configuration\tBenchmark\ttotal (s)\tdeduction (s)\texecution (s)\tother (s)"
+    ]
+    for label, run in runs.items():
+        for outcome in run.outcomes:
+            other = max(0.0, outcome.elapsed - outcome.smt_time - outcome.exec_time)
+            lines.append(
+                "\t".join(
+                    [
+                        label,
+                        outcome.benchmark,
+                        f"{outcome.elapsed:.3f}",
+                        f"{outcome.smt_time:.3f}",
+                        f"{outcome.exec_time:.3f}",
+                        f"{other:.3f}",
+                    ]
+                )
+            )
+        total = sum(outcome.elapsed for outcome in run.outcomes)
+        smt = sum(outcome.smt_time for outcome in run.outcomes)
+        execution = sum(outcome.exec_time for outcome in run.outcomes)
+        lines.append(
+            "\t".join(
+                [
+                    label,
+                    "TOTAL",
+                    f"{total:.3f}",
+                    f"{smt:.3f}",
+                    f"{execution:.3f}",
+                    f"{max(0.0, total - smt - execution):.3f}",
+                ]
+            )
+        )
+    return "\n".join(lines)
+
+
 def category_legend() -> str:
     """The C1-C9 category descriptions (the 'Description' column of Figure 16)."""
     lines = []

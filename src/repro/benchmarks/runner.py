@@ -19,6 +19,7 @@ from ..baselines.lambda2 import Lambda2Synthesizer
 from ..baselines.sql_synthesizer import SqlSynthesizer
 from ..core.library import sql_library
 from ..core.synthesizer import Example, Morpheus, SynthesisConfig
+from ..dataframe.profiling import reset_execution_state
 from ..smt.solver import clear_formula_cache
 from .r_suite import r_benchmark_suite
 from .sql_suite import sql_benchmark_suite
@@ -51,6 +52,19 @@ class BenchmarkOutcome:
     #: probes), but reported so a CDCL-vs-ablation comparison of ``smt_calls``
     #: never hides the mining investment.
     lemma_mining_solves: int = 0
+    #: Concrete-execution counters (deterministic: the runner resets the
+    #: intern pool and counters before each task, so serial and ``--jobs N``
+    #: runs report identical values).
+    tables_built: int = 0
+    cells_interned: int = 0
+    fingerprint_hits: int = 0
+    exec_cache_hits: int = 0
+    compare_fastpath_hits: int = 0
+    #: Wall-clock time split (not deterministic; surfaced by ``--profile``):
+    #: seconds inside deduction SMT checks vs concrete component execution
+    #: plus output comparison.
+    smt_time: float = 0.0
+    exec_time: float = 0.0
 
 
 @dataclass
@@ -102,15 +116,19 @@ def run_benchmark(
 ) -> BenchmarkOutcome:
     """Run Morpheus on one benchmark under one configuration.
 
-    The process-wide SMT formula cache is cleared first so the outcome does
-    not depend on which benchmarks ran earlier in the same process -- that
-    independence is what makes parallel and serial harness runs equivalent
-    even for tasks near the timeout boundary.
+    The process-wide SMT formula cache, execution counters and value intern
+    pool are cleared first so the outcome does not depend on which benchmarks
+    ran earlier in the same process -- that independence is what makes
+    parallel and serial harness runs equivalent even for tasks near the
+    timeout boundary (and keeps the execution counters byte-identical
+    between schedulers).
     """
     clear_formula_cache()
+    reset_execution_state()
     synthesizer = Morpheus(library=library, config=config)
     result = synthesizer.synthesize(Example.make(benchmark.inputs, benchmark.output))
     deduction = result.stats.deduction
+    execution = result.stats.execution
     return BenchmarkOutcome(
         benchmark=benchmark.name,
         category=benchmark.category,
@@ -124,6 +142,13 @@ def run_benchmark(
         lemma_prunes=deduction.lemma_prunes,
         lemmas_learned=deduction.lemmas_learned,
         lemma_mining_solves=deduction.lemma_mining_solves,
+        tables_built=execution.tables_built,
+        cells_interned=execution.cells_interned,
+        fingerprint_hits=execution.fingerprint_hits,
+        exec_cache_hits=execution.exec_cache.hits,
+        compare_fastpath_hits=execution.compare_fastpath_hits,
+        smt_time=deduction.smt_time,
+        exec_time=execution.exec_time + execution.compare_time,
     )
 
 

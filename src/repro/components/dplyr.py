@@ -5,6 +5,18 @@
 long/wide orientation.  Grouping is carried as metadata on the table (see
 :class:`repro.dataframe.Table`), exactly the information Spec 2's ``T.group``
 attribute abstracts.
+
+Every verb is a **columnar** transform: inputs are consumed as shared column
+vectors and outputs are assembled column-by-column, so verbs that keep a
+column intact (``select``, ``group_by``, ``mutate``'s pass-through columns)
+share its vector with the input table instead of copying cells.  Grouping
+metadata propagates uniformly: a verb's output stays grouped by every
+grouping column that survives into the output schema (``summarise`` keeps
+its dplyr-specific rule of dropping the last grouping level).
+
+A row-major reference implementation of the same semantics lives in
+:mod:`repro.components.reference`; a differential property test keeps the
+two in lock-step.
 """
 
 from __future__ import annotations
@@ -36,8 +48,8 @@ class GroupContext:
 
     def column_values(self, column: str) -> Tuple[CellValue, ...]:
         """Values of *column* restricted to the rows of this group."""
-        index = self._table.column_index(column)
-        return tuple(self._table.rows[i][index] for i in self._row_indices)
+        vector = self._table.column_values(column)
+        return tuple(vector[i] for i in self._row_indices)
 
     @property
     def size(self) -> int:
@@ -49,6 +61,16 @@ def _check_columns_exist(table: Table, columns: Sequence[str], verb: str) -> Non
     for name in columns:
         if not table.has_column(name):
             raise InvalidArgumentError(f"{verb}: column {name!r} not in table {list(table.columns)}")
+
+
+def surviving_group_cols(table: Table, out_columns: Sequence[str]) -> Tuple[str, ...]:
+    """The grouping columns of *table* that survive into *out_columns*.
+
+    The uniform propagation rule shared by every verb that rebuilds its
+    output table: grouping metadata follows the columns that still exist.
+    """
+    out = set(out_columns)
+    return tuple(name for name in table.group_cols if name in out)
 
 
 def select(table: Table, columns: Sequence[str]) -> Table:
@@ -66,12 +88,12 @@ def select(table: Table, columns: Sequence[str]) -> Table:
 
 def filter_rows(table: Table, predicate: RowPredicate) -> Table:
     """Keep the rows satisfying *predicate*."""
-    kept = [row for index, row in enumerate(table.rows) if predicate(table.row_dict(index))]
-    if len(kept) == len(table.rows):
+    kept = [index for index in range(table.n_rows) if predicate(table.row_dict(index))]
+    if len(kept) == table.n_rows:
         # The paper's spec requires a strictly smaller table (footnote 3):
         # a filter that keeps everything is never needed for a minimal program.
         raise EvaluationError("filter: predicate keeps every row")
-    return table.with_rows(kept)
+    return table.take_rows(kept)
 
 
 def group_by(table: Table, columns: Sequence[str]) -> Table:
@@ -109,18 +131,23 @@ def summarise(
     if new_column in group_columns:
         raise EvaluationError(f"summarise: new column {new_column!r} collides with a grouping column")
 
-    out_rows: List[Tuple[CellValue, ...]] = []
-    for key, row_indices in table.group_row_indices():
-        if aggregator == "n":
-            value = agg_count([None] * len(row_indices))
-        else:
-            column_index = table.column_index(target_column)
-            values = [table.rows[i][column_index] for i in row_indices]
-            value = AGGREGATORS[aggregator](values)
-        out_rows.append(tuple(key) + (value,))
+    groups = table.group_row_indices()
+    if aggregator == "n":
+        aggregates = [agg_count([None] * len(row_indices)) for _key, row_indices in groups]
+    else:
+        target = table.column_values(target_column)
+        aggregates = [
+            AGGREGATORS[aggregator]([target[i] for i in row_indices])
+            for _key, row_indices in groups
+        ]
 
     out_columns = group_columns + [new_column]
-    result = Table(out_columns, out_rows)
+    out_vectors = [
+        [key[position] for key, _indices in groups]
+        for position in range(len(group_columns))
+    ]
+    out_vectors.append(aggregates)
+    result = Table.from_vectors(out_columns, out_vectors)
     remaining_groups = group_columns[:-1]
     if remaining_groups:
         result = result.with_grouping(remaining_groups)
@@ -145,31 +172,48 @@ def mutate(table: Table, new_column: str, expression: RowExpression) -> Table:
 
 
 def inner_join(left: Table, right: Table) -> Table:
-    """Natural inner join on all shared columns (like dplyr's default)."""
+    """Natural inner join on all shared columns (like dplyr's default).
+
+    The output keeps every left column followed by the right table's
+    non-shared columns; like dplyr, the left table's grouping survives (all
+    of its columns do).
+    """
     shared = [name for name in left.columns if right.has_column(name)]
     if not shared:
         raise EvaluationError("inner_join: tables share no columns")
-    left_indices = [left.column_index(name) for name in shared]
-    right_indices = [right.column_index(name) for name in shared]
+    left_vectors = [left.column_values(name) for name in shared]
+    right_vectors = [right.column_values(name) for name in shared]
     right_extra = [name for name in right.columns if name not in shared]
-    right_extra_indices = [right.column_index(name) for name in right_extra]
 
-    # Hash the right table on the join key.
-    buckets: Dict[Tuple, List[Tuple[CellValue, ...]]] = {}
-    for row in right.rows:
-        key = tuple(_join_key(row[index]) for index in right_indices)
-        buckets.setdefault(key, []).append(row)
+    # Hash the right table's rows on the join key.
+    buckets: Dict[Tuple, List[int]] = {}
+    for row_index in range(right.n_rows):
+        key = tuple(_join_key(vector[row_index]) for vector in right_vectors)
+        buckets.setdefault(key, []).append(row_index)
 
-    out_rows: List[Tuple[CellValue, ...]] = []
-    for row in left.rows:
-        key = tuple(_join_key(row[index]) for index in left_indices)
+    left_indices: List[int] = []
+    right_indices: List[int] = []
+    for row_index in range(left.n_rows):
+        key = tuple(_join_key(vector[row_index]) for vector in left_vectors)
         for match in buckets.get(key, ()):
-            out_rows.append(tuple(row) + tuple(match[index] for index in right_extra_indices))
+            left_indices.append(row_index)
+            right_indices.append(match)
+
+    if not left_indices:
+        raise EvaluationError("inner_join: join result is empty")
 
     out_columns = list(left.columns) + right_extra
-    if not out_rows:
-        raise EvaluationError("inner_join: join result is empty")
-    return Table(out_columns, out_rows)
+    out_vectors = [
+        [vector[i] for i in left_indices]
+        for vector in (left.column_values(name) for name in left.columns)
+    ]
+    out_vectors.extend(
+        [vector[i] for i in right_indices]
+        for vector in (right.column_values(name) for name in right_extra)
+    )
+    return Table.from_vectors(
+        out_columns, out_vectors, group_cols=surviving_group_cols(left, out_columns)
+    )
 
 
 def _join_key(value: CellValue):
@@ -188,9 +232,10 @@ def arrange(table: Table, columns: Sequence[str], descending: bool = False) -> T
     if len(set(columns)) != len(columns):
         raise InvalidArgumentError("arrange: sort columns must be distinct")
     _check_columns_exist(table, columns, "arrange")
-    indices = [table.column_index(name) for name in columns]
+    vectors = [table.column_values(name) for name in columns]
 
-    def key(row):
-        return tuple(value_sort_key(row[index]) for index in indices)
+    def key(index):
+        return tuple(value_sort_key(vector[index]) for vector in vectors)
 
-    return table.with_rows(sorted(table.rows, key=key, reverse=descending))
+    order = sorted(range(table.n_rows), key=key, reverse=descending)
+    return table.take_rows(order)

@@ -5,15 +5,22 @@ between its "wide" and "long" representations.  The semantics follow tidyr
 closely enough for the synthesis benchmarks: the executor is what candidate
 programs are run on, and the specs in :mod:`repro.core.specs` only need to
 over-approximate it.
+
+Like the dplyr verbs, every reshaping operation is columnar: outputs are
+assembled as column vectors (identifier columns of ``gather`` are whole-vector
+repetitions, ``spread`` cells are scattered into per-key vectors), and
+grouping metadata propagates to every grouping column that survives into the
+output schema.
 """
 
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..dataframe.cells import CellType, CellValue, format_value, value_sort_key
 from ..dataframe.table import Table
+from .dplyr import surviving_group_cols
 from .errors import EvaluationError, InvalidArgumentError
 
 #: Separator used by ``unite`` and (by default) by ``separate``.
@@ -48,19 +55,29 @@ def gather(table: Table, key: str, value: str, columns: Sequence[str]) -> Table:
     gathered_types = {table.column_type(name) for name in columns}
     value_type = CellType.NUM if gathered_types == {CellType.NUM} else CellType.STR
 
-    id_indices = [table.column_index(name) for name in id_columns]
-    out_rows: List[Tuple[CellValue, ...]] = []
+    repeats = len(columns)
+    out_vectors: List[Sequence[CellValue]] = [
+        table.column_values(name) * repeats for name in id_columns
+    ]
+    key_vector: List[CellValue] = []
+    value_vector: List[CellValue] = []
     for gathered in columns:
-        gathered_index = table.column_index(gathered)
-        for row in table.rows:
-            cell = row[gathered_index]
-            if value_type is CellType.STR and cell is not None:
-                cell = format_value(cell)
-            out_rows.append(tuple(row[index] for index in id_indices) + (gathered, cell))
+        key_vector.extend([gathered] * table.n_rows)
+        cells = table.column_values(gathered)
+        if value_type is CellType.STR:
+            cells = tuple(
+                format_value(cell) if cell is not None else None for cell in cells
+            )
+        value_vector.extend(cells)
+    out_vectors.append(key_vector)
+    out_vectors.append(value_vector)
 
     out_columns = id_columns + [key, value]
     out_types = [table.column_type(name) for name in id_columns] + [CellType.STR, value_type]
-    return Table(out_columns, out_rows, out_types)
+    return Table.from_vectors(
+        out_columns, out_vectors, out_types,
+        group_cols=surviving_group_cols(table, id_columns),
+    )
 
 
 def spread(table: Table, key: str, value: str) -> Table:
@@ -72,18 +89,18 @@ def spread(table: Table, key: str, value: str) -> Table:
     id_columns = [name for name in table.columns if name not in (key, value)]
     if not id_columns:
         raise EvaluationError("spread: no identifier columns remain")
-    id_indices = [table.column_index(name) for name in id_columns]
-    key_index = table.column_index(key)
-    value_index = table.column_index(value)
+    id_vectors = [table.column_values(name) for name in id_columns]
+    key_vector = table.column_values(key)
+    value_vector = table.column_values(value)
 
     # New columns are the distinct key values, in sorted order (like tidyr).
-    key_values: List[CellValue] = []
-    for row in table.rows:
-        if row[key_index] is None:
+    seen: Dict[CellValue, None] = {}
+    for cell in key_vector:
+        if cell is None:
             raise EvaluationError("spread: key column contains a missing value")
-        if row[key_index] not in key_values:
-            key_values.append(row[key_index])
-    key_values.sort(key=value_sort_key)
+        if cell not in seen:
+            seen[cell] = None
+    key_values = sorted(seen, key=value_sort_key)
     new_columns = [format_value(key_value) for key_value in key_values]
     if len(set(new_columns)) != len(new_columns):
         raise EvaluationError("spread: key values collide after formatting")
@@ -92,23 +109,29 @@ def spread(table: Table, key: str, value: str) -> Table:
             raise EvaluationError(f"spread: new column {name!r} collides with an existing column")
 
     groups: List[Tuple[CellValue, ...]] = []
-    cells = {}
-    for row in table.rows:
-        group_key = tuple(row[index] for index in id_indices)
+    cells: Dict[Tuple[CellValue, ...], Dict[str, CellValue]] = {}
+    for row_index in range(table.n_rows):
+        group_key = tuple(vector[row_index] for vector in id_vectors)
         if group_key not in cells:
             groups.append(group_key)
             cells[group_key] = {}
-        column_name = format_value(row[key_index])
+        column_name = format_value(key_vector[row_index])
         if column_name in cells[group_key]:
             raise EvaluationError("spread: duplicate identifiers for rows")
-        cells[group_key][column_name] = row[value_index]
+        cells[group_key][column_name] = value_vector[row_index]
 
-    out_rows = []
-    for group_key in groups:
-        out_rows.append(group_key + tuple(cells[group_key].get(name) for name in new_columns))
+    out_vectors: List[List[CellValue]] = [
+        [group_key[position] for group_key in groups]
+        for position in range(len(id_columns))
+    ]
+    for name in new_columns:
+        out_vectors.append([cells[group_key].get(name) for group_key in groups])
 
     out_columns = id_columns + new_columns
-    return Table(out_columns, out_rows)
+    return Table.from_vectors(
+        out_columns, out_vectors,
+        group_cols=surviving_group_cols(table, id_columns),
+    )
 
 
 def separate(
@@ -132,11 +155,9 @@ def separate(
         if name != column and table.has_column(name):
             raise EvaluationError(f"separate: column {name!r} already exists")
 
-    column_index = table.column_index(column)
     left_values: List[CellValue] = []
     right_values: List[CellValue] = []
-    for row in table.rows:
-        cell = row[column_index]
+    for cell in table.column_values(column):
         if cell is None:
             left_values.append(None)
             right_values.append(None)
@@ -151,19 +172,21 @@ def separate(
         left_values.append(parts[0])
         right_values.append(parts[1])
 
-    out_columns = []
-    out_rows_columns = []
+    out_columns: List[str] = []
+    out_vectors: List[Sequence[CellValue]] = []
     for name in table.columns:
         if name == column:
             out_columns.extend(into)
-            out_rows_columns.append(left_values)
-            out_rows_columns.append(right_values)
+            out_vectors.append(left_values)
+            out_vectors.append(right_values)
         else:
             out_columns.append(name)
-            out_rows_columns.append(list(table.column_values(name)))
+            out_vectors.append(table.column_values(name))
 
-    out_rows = list(zip(*out_rows_columns)) if out_rows_columns else []
-    return Table(out_columns, out_rows)
+    return Table.from_vectors(
+        out_columns, out_vectors,
+        group_cols=surviving_group_cols(table, [c for c in table.columns if c != column]),
+    )
 
 
 def unite(
@@ -182,28 +205,30 @@ def unite(
     if table.has_column(new_column) and new_column not in columns:
         raise EvaluationError(f"unite: column {new_column!r} already exists")
 
-    column_indices = [table.column_index(name) for name in columns]
-    united_values = []
-    for row in table.rows:
-        pieces = [format_value(row[index]) for index in column_indices]
-        united_values.append(separator.join(pieces))
+    united_vectors = [table.column_values(name) for name in columns]
+    united_values = [
+        separator.join(format_value(vector[row_index]) for vector in united_vectors)
+        for row_index in range(table.n_rows)
+    ]
 
     first_position = min(table.column_index(name) for name in columns)
     out_columns: List[str] = []
-    out_columns_values: List[List[CellValue]] = []
+    out_vectors: List[Sequence[CellValue]] = []
     inserted = False
     for position, name in enumerate(table.columns):
         if name in columns:
             if position == first_position and not inserted:
                 out_columns.append(new_column)
-                out_columns_values.append(united_values)
+                out_vectors.append(united_values)
                 inserted = True
             continue
         out_columns.append(name)
-        out_columns_values.append(list(table.column_values(name)))
+        out_vectors.append(table.column_values(name))
     if not inserted:
         out_columns.insert(0, new_column)
-        out_columns_values.insert(0, united_values)
+        out_vectors.insert(0, united_values)
 
-    out_rows = list(zip(*out_columns_values)) if out_columns_values else []
-    return Table(out_columns, out_rows)
+    return Table.from_vectors(
+        out_columns, out_vectors,
+        group_cols=surviving_group_cols(table, [c for c in table.columns if c not in columns]),
+    )

@@ -148,7 +148,9 @@ class SketchCompleter:
         """
         try:
             evaluated = partial_evaluate(
-                sketch, self.engine.inputs, memo=self.engine.evaluation_memo
+                sketch, self.engine.inputs,
+                memo=self.engine.evaluation_memo,
+                exec_cache=self.engine.execution_cache,
             )
         except EvaluationFailure:
             return None

@@ -30,8 +30,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..dataframe.profiling import execution_stats
 from ..dataframe.table import Table
-from ..engine.cache import CacheStats, LRUCache
+from ..engine.cache import CacheStats, ExecutionCache, LRUCache
 from ..smt.solver import CheckResult, IncrementalStats, Solver
 from ..smt.terms import Formula, conjoin, disjoin
 from .abstraction import (
@@ -171,8 +172,15 @@ class DeductionEngine:
         self._output_vars = TableVars("y")
         #: Cross-candidate cache of subtree evaluations (see partial_evaluate).
         self.evaluation_memo: Dict = {}
-        #: Cache of table attribute vectors used by the abstraction function.
-        self._attribute_cache: Dict[Table, tuple] = {}
+        #: Fingerprint-keyed memo of concrete component executions: two
+        #: hypotheses whose sub-programs produce identical intermediate
+        #: tables share the execution above them.  Hit/miss accounting goes
+        #: to the process-wide execution counters (sliced per run).
+        self.execution_cache = ExecutionCache(stats=execution_stats().exec_cache)
+        #: Cache of table attribute vectors used by the abstraction function,
+        #: keyed by table fingerprint so structurally identical tables
+        #: produced by different hypotheses share one entry.
+        self._attribute_cache: Dict[bytes, tuple] = {}
         #: LRU-bounded memo of abstraction formulas (hits/misses are surfaced
         #: through ``stats.abstraction_cache``).
         self._abstraction = AbstractionCache(stats=self.stats.abstraction_cache)
@@ -221,7 +229,8 @@ class DeductionEngine:
         whole-table scans they require are skipped (zeroing them also keeps
         the abstraction/verdict cache keys from splitting on unused fields).
         """
-        attributes = self._attribute_cache.get(table)
+        fingerprint = table.fingerprint()
+        attributes = self._attribute_cache.get(fingerprint)
         if attributes is None:
             if self.level is SpecLevel.SPEC1:
                 attributes = (table.n_rows, table.n_cols, 0, 0, 0)
@@ -233,7 +242,7 @@ class DeductionEngine:
                     self.baseline.new_cols(table),
                     self.baseline.new_vals(table),
                 )
-            self._attribute_cache[table] = attributes
+            self._attribute_cache[fingerprint] = attributes
         return attributes
 
     def _abstract(self, table: Table, variables: TableVars, symbolic_group: bool = False):
@@ -347,7 +356,10 @@ class DeductionEngine:
         evaluated: Dict[int, Table] = {}
         if self.use_partial_evaluation:
             try:
-                evaluated = partial_evaluate(hypothesis, self.inputs, memo=self.evaluation_memo)
+                evaluated = partial_evaluate(
+                    hypothesis, self.inputs,
+                    memo=self.evaluation_memo, exec_cache=self.execution_cache,
+                )
             except EvaluationFailure:
                 self.stats.evaluation_failures += 1
                 self.stats.hypotheses_rejected += 1
@@ -529,6 +541,9 @@ class DeductionEngine:
     def evaluate_if_possible(self, hypothesis: Hypothesis) -> Optional[Dict[int, Table]]:
         """Partially evaluate, returning ``None`` when a complete subterm fails."""
         try:
-            return partial_evaluate(hypothesis, self.inputs, memo=self.evaluation_memo)
+            return partial_evaluate(
+                hypothesis, self.inputs,
+                memo=self.evaluation_memo, exec_cache=self.execution_cache,
+            )
         except EvaluationFailure:
             return None

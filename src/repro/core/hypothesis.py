@@ -18,9 +18,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, replace
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..components.errors import PRUNABLE_ERRORS
+from ..dataframe.profiling import execution_stats
 from ..dataframe.table import Table
 from .arguments import ValueArgument
 from .component import Component
@@ -227,6 +229,7 @@ def partial_evaluate(
     hypothesis: Hypothesis,
     inputs: Sequence[Table],
     memo: Optional[Dict[Hypothesis, object]] = None,
+    exec_cache=None,
 ) -> Dict[int, Table]:
     """Evaluate every *complete* subterm of the hypothesis.
 
@@ -241,6 +244,12 @@ def partial_evaluate(
     for every candidate filling of the upper holes, so memoisation avoids the
     repeated work.  The cache must only be shared between calls that use the
     same ``inputs``.
+
+    ``exec_cache`` is an optional
+    :class:`~repro.engine.cache.ExecutionCache` keyed by the *fingerprints*
+    of the argument tables rather than by sub-hypothesis structure, so two
+    different sub-programs that happen to produce identical intermediate
+    tables share the concrete work (and the result object) above them.
     """
     results: Dict[int, Table] = {}
 
@@ -267,15 +276,38 @@ def partial_evaluate(
             if hole.value is None:
                 return None
             arguments.append(hole.value)
+        exec_key = None
+        if exec_cache is not None:
+            exec_key = (
+                node.component.name,
+                node.node_id,
+                tuple(table.fingerprint() for table in child_tables),
+                tuple(arguments),
+            )
+            cached = exec_cache.get(exec_key)
+            if cached is not None:
+                if memo is not None:
+                    memo[node] = cached
+                if isinstance(cached, EvaluationFailure):
+                    raise cached
+                results[node.node_id] = cached
+                return cached
+        started = perf_counter()
         try:
             table = node.component.execute(child_tables, arguments, f"_n{node.node_id}_")
         except PRUNABLE_ERRORS as error:
+            execution_stats().exec_time += perf_counter() - started
             failure = EvaluationFailure(str(error))
             if memo is not None:
                 memo[node] = failure
+            if exec_key is not None:
+                exec_cache.put(exec_key, failure)
             raise failure from error
+        execution_stats().exec_time += perf_counter() - started
         if memo is not None:
             memo[node] = table
+        if exec_key is not None:
+            exec_cache.put(exec_key, table)
         results[node.node_id] = table
         return table
 
@@ -283,11 +315,16 @@ def partial_evaluate(
     return results
 
 
-def evaluate(hypothesis: Hypothesis, inputs: Sequence[Table]) -> Table:
+def evaluate(
+    hypothesis: Hypothesis,
+    inputs: Sequence[Table],
+    memo: Optional[Dict[Hypothesis, object]] = None,
+    exec_cache=None,
+) -> Table:
     """Evaluate a complete hypothesis to its output table."""
     if not is_complete(hypothesis):
         raise ValueError("cannot fully evaluate a hypothesis that still has holes")
-    results = partial_evaluate(hypothesis, inputs)
+    results = partial_evaluate(hypothesis, inputs, memo=memo, exec_cache=exec_cache)
     return results[hypothesis.node_id]
 
 

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..components.errors import PRUNABLE_ERRORS
 from ..dataframe.compare import tables_match_for_synthesis
+from ..dataframe.profiling import ExecutionStats, execution_stats
 from ..dataframe.table import Table
 from ..engine.cache import CacheStats
 from ..smt.solver import formula_cache_stats
@@ -121,6 +122,9 @@ class SynthesisStats:
     completion: CompletionStats = field(default_factory=CompletionStats)
     #: This run's slice of the process-wide SMT formula-cache activity.
     solver_cache: CacheStats = field(default_factory=CacheStats)
+    #: This run's slice of the concrete-execution counters (tables built,
+    #: cells interned, fingerprint/exec-cache hits, comparison fast paths).
+    execution: ExecutionStats = field(default_factory=ExecutionStats)
 
     @property
     def prune_rate(self) -> float:
@@ -153,6 +157,26 @@ class SynthesisStats:
     def smt_calls(self) -> int:
         """Deduction SMT ``check()`` calls issued this run."""
         return self.deduction.smt_calls
+
+    @property
+    def tables_built(self) -> int:
+        """Tables constructed while executing candidate programs this run."""
+        return self.execution.tables_built
+
+    @property
+    def cells_interned(self) -> int:
+        """Cell values deduplicated against the intern pool this run."""
+        return self.execution.cells_interned
+
+    @property
+    def compare_fastpath_hits(self) -> int:
+        """Output comparisons decided by the digest fast path this run."""
+        return self.execution.compare_fastpath_hits
+
+    @property
+    def exec_cache_hit_rate(self) -> float:
+        """Fraction of component executions answered from the execution memo."""
+        return self.execution.exec_cache.hit_rate
 
 
 @dataclass
@@ -238,6 +262,7 @@ class Morpheus:
             return deadline is not None and time.monotonic() > deadline
 
         solver_cache_baseline = formula_cache_stats().snapshot()
+        execution_baseline = execution_stats().snapshot()
         program: Optional[Hypothesis] = None
         try:
             while worklist:
@@ -273,6 +298,7 @@ class Morpheus:
             program = None
 
         stats.solver_cache = formula_cache_stats().snapshot().since(solver_cache_baseline)
+        stats.execution = execution_stats().snapshot().since(execution_baseline)
         elapsed = time.monotonic() - started
         return SynthesisResult(
             solved=program is not None,
@@ -303,22 +329,33 @@ class Morpheus:
             try:
                 for candidate in completer.fill_sketch(sketch):
                     stats.programs_checked += 1
-                    if self._check(candidate, example):
+                    if self._check(candidate, example, completer.engine):
                         return candidate
             except CompletionBudgetExceeded:
                 # This sketch used up its budget; move on to the next one.
                 continue
         return None
 
-    def _check(self, candidate: Hypothesis, example: Example) -> bool:
-        """CHECK(p, E): run the program and compare against the expected output."""
+    def _check(self, candidate: Hypothesis, example: Example, engine) -> bool:
+        """CHECK(p, E): run the program and compare against the expected output.
+
+        Evaluation goes through the engine's evaluation memo and
+        fingerprint-keyed execution cache, so the sub-programs the completer
+        already executed are never re-run here.
+        """
         if not is_complete(candidate):
             return False
         try:
-            actual = evaluate(candidate, example.inputs)
+            actual = evaluate(
+                candidate, example.inputs,
+                memo=engine.evaluation_memo, exec_cache=engine.execution_cache,
+            )
         except (EvaluationFailure, *PRUNABLE_ERRORS):
             return False
-        return tables_match_for_synthesis(actual, example.output)
+        started = time.perf_counter()
+        matched = tables_match_for_synthesis(actual, example.output)
+        execution_stats().compare_time += time.perf_counter() - started
+        return matched
 
 
 class _Worklist:

@@ -33,6 +33,8 @@ from .errors import (
     DuplicateColumnError,
     SchemaError,
 )
+from .interning import clear_intern_pool, intern_pool_size, intern_value
+from .profiling import ExecutionStats, execution_stats, reset_execution_state
 from .table import Table
 
 __all__ = [
@@ -44,17 +46,23 @@ __all__ = [
     "DataFrameError",
     "DEFAULT_POLICY",
     "DuplicateColumnError",
+    "ExecutionStats",
     "POSITIONAL_POLICY",
     "STRICT_POLICY",
     "SchemaError",
     "Table",
     "align_columns",
+    "clear_intern_pool",
+    "execution_stats",
     "format_value",
     "tables_match_for_synthesis",
     "infer_cell_type",
     "infer_column_type",
+    "intern_pool_size",
+    "intern_value",
     "is_missing",
     "is_numeric",
+    "reset_execution_state",
     "tables_equivalent",
     "value_sort_key",
     "values_equal",

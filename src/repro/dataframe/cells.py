@@ -153,3 +153,36 @@ def format_value(value: CellValue) -> str:
     if is_numeric(value):
         return format_number(value)
     return str(value)
+
+
+def cell_token(value: CellValue) -> str:
+    """A type-tagged canonical string for one cell.
+
+    Two cells share a token exactly when :func:`values_equal` considers them
+    equal *at zero float distance*: numbers are rendered through
+    :func:`format_number` (so ``5`` and ``5.0`` coincide) and tagged apart
+    from strings (so the string ``"5"`` and the number ``5`` do not).  Table
+    fingerprints and comparison digests are built from these tokens.
+    """
+    if is_missing(value):
+        return "\x00"
+    if is_numeric(value):
+        return "n" + format_number(value)
+    return "s" + value
+
+
+def column_multiset_key(values: Iterable[CellValue]) -> tuple:
+    """A canonical multiset of one column's values (float-tolerant).
+
+    Floats are rounded to six decimal places and integral floats collapse to
+    ints, so columns whose values differ only by sub-tolerance float noise
+    share a key.  Used by column alignment during output comparison.
+    """
+    canonical = []
+    for value in values:
+        if isinstance(value, float):
+            value = round(value, 6)
+            if value.is_integer():
+                value = int(value)
+        canonical.append(value)
+    return tuple(sorted(canonical, key=value_sort_key))

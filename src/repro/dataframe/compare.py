@@ -6,13 +6,32 @@ candidate output against the expected output with configurable leniency.  The
 default (:data:`DEFAULT_POLICY`) ignores row order but requires identical
 column names; this matches how the paper's motivating examples are judged
 (Example 3 uses an explicit ``arrange`` when the asker requested an order).
+
+Comparisons are layered for speed, because CHECK runs on thousands of
+candidate outputs per synthesis task:
+
+1. shape prechecks (rows/columns) reject most candidates immediately;
+2. a **digest fast path** -- the memoised
+   :meth:`~repro.dataframe.table.Table.row_multiset_digest` and per-column
+   :meth:`~repro.dataframe.table.Table.column_multiset_keys` -- decides
+   shape-compatible comparisons without walking cells (equal digests
+   guarantee a multiset match; a mismatched column-key multiset guarantees
+   no bijection exists);
+3. only float-noise edge cases fall through to the tolerant cell-by-cell
+   comparison, which is unchanged and keeps the verdicts bit-identical to
+   the row-major implementation.
+
+Fast-path activity is counted in
+:mod:`repro.dataframe.profiling` (``compare_fastpath_hits``).
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
 from .cells import value_sort_key, values_equal
+from .profiling import execution_stats
 from .table import Table
 
 
@@ -62,15 +81,13 @@ def _multiset_rows_equal(left_rows, right_rows) -> bool:
     return all(_rows_equal(lrow, rrow) for lrow, rrow in zip(left_sorted, right_sorted))
 
 
-def _column_fingerprint(table: Table, index: int):
-    """A canonical multiset of the values of one column (float-tolerant)."""
-    values = []
-    for row in table.rows:
-        value = row[index]
-        if isinstance(value, float):
-            value = round(value, 6)
-        values.append(value if not isinstance(value, float) or not value.is_integer() else int(value))
-    return tuple(sorted(values, key=value_sort_key))
+def _multiset_tables_equal(left: Table, right: Table) -> bool:
+    """Order-insensitive row comparison with the digest fast path."""
+    if left.row_multiset_digest() == right.row_multiset_digest():
+        execution_stats().compare_fastpath_hits += 1
+        return True
+    execution_stats().compare_fastpath_misses += 1
+    return _multiset_rows_equal(left.rows, right.rows)
 
 
 def align_columns(actual: Table, expected: Table):
@@ -88,15 +105,26 @@ def align_columns(actual: Table, expected: Table):
     if actual.n_rows != expected.n_rows or actual.n_cols != expected.n_cols:
         return None
 
+    actual_keys = actual.column_multiset_keys()
+    expected_keys = expected.column_multiset_keys()
+
+    # Prefilter: a bijection pairs every expected column with a distinct
+    # actual column of equal value multiset, so unequal key multisets rule
+    # out any alignment without touching cells.
+    if Counter(actual_keys) != Counter(expected_keys):
+        execution_stats().compare_fastpath_hits += 1
+        return None
+
     expected_count = expected.n_cols
     candidates = []
     for expected_index in range(expected_count):
         expected_name = expected.columns[expected_index]
-        fingerprint = _column_fingerprint(expected, expected_index)
-        matching = []
-        for actual_index in range(actual.n_cols):
-            if _column_fingerprint(actual, actual_index) == fingerprint:
-                matching.append(actual_index)
+        fingerprint = expected_keys[expected_index]
+        matching = [
+            actual_index
+            for actual_index in range(actual.n_cols)
+            if actual_keys[actual_index] == fingerprint
+        ]
         if not matching:
             return None
         # Prefer a same-named column when one exists.
@@ -109,7 +137,7 @@ def align_columns(actual: Table, expected: Table):
     def backtrack(position: int) -> bool:
         if position == expected_count:
             aligned = actual.select_columns([actual.columns[i] for i in assignment])
-            return _multiset_rows_equal(aligned.rows, expected.rows)
+            return _multiset_tables_equal(aligned, expected)
         for actual_index in candidates[position]:
             if actual_index in used:
                 continue
@@ -127,6 +155,11 @@ def align_columns(actual: Table, expected: Table):
 
 def tables_match_for_synthesis(actual: Table, expected: Table) -> bool:
     """The CHECK used by the synthesizer: rows as a multiset, columns up to renaming."""
+    if actual.shape == expected.shape and actual.columns == expected.columns:
+        # Identity alignment: equal digests prove the match outright.
+        if actual.row_multiset_digest() == expected.row_multiset_digest():
+            execution_stats().compare_fastpath_hits += 1
+            return True
     return align_columns(actual, expected) is not None
 
 
@@ -138,20 +171,27 @@ def tables_equivalent(
         return False
 
     if policy.ignore_col_names:
-        actual_rows = actual.rows
-        expected_rows = expected.rows
+        pass
     elif policy.ignore_col_order:
         if actual.header_set() != expected.header_set():
             return False
         actual = actual.select_columns(list(expected.columns))
-        actual_rows = actual.rows
-        expected_rows = expected.rows
     else:
         if actual.columns != expected.columns:
             return False
-        actual_rows = actual.rows
-        expected_rows = expected.rows
 
     if policy.ignore_row_order:
-        return _multiset_rows_equal(actual_rows, expected_rows)
-    return all(_rows_equal(arow, erow) for arow, erow in zip(actual_rows, expected_rows))
+        if policy.ignore_col_names:
+            # Positional comparison: digests include cell contents only per
+            # row, so they remain sound without the column-name check.
+            if actual.row_multiset_digest() == expected.row_multiset_digest():
+                execution_stats().compare_fastpath_hits += 1
+                return True
+            execution_stats().compare_fastpath_misses += 1
+            return _multiset_rows_equal(actual.rows, expected.rows)
+        return _multiset_tables_equal(actual, expected)
+    if actual.fingerprint() == expected.fingerprint():
+        execution_stats().compare_fastpath_hits += 1
+        return True
+    execution_stats().compare_fastpath_misses += 1
+    return all(_rows_equal(arow, erow) for arow, erow in zip(actual.rows, expected.rows))

@@ -16,26 +16,49 @@ definition together with the handful of extras the rest of the system needs:
   the number of column names / values of a table that do not already appear in
   the input tables.  :meth:`Table.header_set` and :meth:`Table.value_set`
   expose the underlying sets.
+
+Storage is **columnar**: cells live in one immutable tuple per column, and
+every derived-table operation that keeps a column intact (projection,
+renaming, grouping, appending a column) *shares* the underlying vectors
+instead of copying cells.  Cell values are interned through a process-wide
+pool (:mod:`repro.dataframe.interning`), every table exposes a stable
+structural :meth:`fingerprint`, and the Spec-2 attributes (``n_groups``,
+``header_set``, ``value_set``) are computed once per table and memoised.
+The row-major views (:attr:`rows`, :meth:`row_dict`) are materialised
+lazily for the call sites that still want them.
 """
 
 from __future__ import annotations
 
+from hashlib import blake2b
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .cells import (
     CellType,
     CellValue,
+    cell_token,
     coerce_value,
+    column_multiset_key,
     format_value,
     infer_column_type,
     value_sort_key,
     values_equal,
 )
 from .errors import ColumnNotFoundError, DuplicateColumnError, SchemaError
+from .interning import intern_value
+from .profiling import execution_stats
+
+
+def _encode_tokens(hasher, tokens: Iterable[str]) -> None:
+    """Feed length-prefixed tokens into *hasher* (unambiguous framing)."""
+    for token in tokens:
+        data = token.encode("utf-8", "surrogatepass")
+        hasher.update(b"%d:" % len(data))
+        hasher.update(data)
 
 
 class Table:
-    """An immutable table of typed cells.
+    """An immutable table of typed cells (columnar storage).
 
     Parameters
     ----------
@@ -52,7 +75,20 @@ class Table:
         ``group_by``, consumed by ``summarise``).
     """
 
-    __slots__ = ("_columns", "_col_types", "_rows", "_group_cols")
+    __slots__ = (
+        "_columns",
+        "_col_types",
+        "_group_cols",
+        "_n_rows",
+        "_column_data",
+        "_rows",
+        "_fingerprint",
+        "_multiset_digest",
+        "_column_keys",
+        "_n_groups",
+        "_header_set",
+        "_value_set",
+    )
 
     def __init__(
         self,
@@ -74,32 +110,113 @@ class Table:
                 )
             materialized.append(row)
 
+        vectors: List[Tuple[CellValue, ...]] = [
+            tuple(row[index] for row in materialized) for index in range(len(columns))
+        ]
         if col_types is None:
-            inferred = []
-            for index in range(len(columns)):
-                inferred.append(infer_column_type(row[index] for row in materialized))
-            col_types = inferred
+            col_types = [infer_column_type(vector) for vector in vectors]
         col_types = tuple(col_types)
         if len(col_types) != len(columns):
             raise SchemaError("col_types must have one entry per column")
 
-        coerced_rows = [
-            tuple(coerce_value(value, col_types[index]) for index, value in enumerate(row))
-            for row in materialized
-        ]
+        coerced = tuple(
+            tuple(
+                intern_value(coerce_value(value, col_types[index]))
+                for value in vectors[index]
+            )
+            for index in range(len(columns))
+        )
 
         for name in group_cols:
             if name not in columns:
                 raise ColumnNotFoundError(name, columns)
 
+        self._init_shared(columns, col_types, coerced, tuple(group_cols), len(materialized))
+
+    def _init_shared(
+        self,
+        columns: Tuple[str, ...],
+        col_types: Tuple[CellType, ...],
+        column_data: Tuple[Tuple[CellValue, ...], ...],
+        group_cols: Tuple[str, ...],
+        n_rows: int,
+    ) -> None:
         self._columns = columns
         self._col_types = col_types
-        self._rows = tuple(coerced_rows)
-        self._group_cols = tuple(group_cols)
+        self._column_data = column_data
+        self._group_cols = group_cols
+        self._n_rows = n_rows
+        self._rows = None
+        self._fingerprint = None
+        self._multiset_digest = None
+        self._column_keys = None
+        self._n_groups = None
+        self._header_set = None
+        self._value_set = None
+        execution_stats().tables_built += 1
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    @classmethod
+    def _from_shared(
+        cls,
+        columns: Tuple[str, ...],
+        col_types: Tuple[CellType, ...],
+        column_data: Tuple[Tuple[CellValue, ...], ...],
+        group_cols: Tuple[str, ...],
+        n_rows: int,
+    ) -> "Table":
+        """Trusted constructor sharing already-coerced, interned vectors.
+
+        Internal copy-on-write fast path: callers guarantee the vectors came
+        out of an existing table (or were coerced and interned by
+        :meth:`from_vectors`), so no validation or per-cell work happens.
+        """
+        table = cls.__new__(cls)
+        table._init_shared(columns, col_types, column_data, group_cols, n_rows)
+        return table
+
+    @classmethod
+    def from_vectors(
+        cls,
+        columns: Sequence[str],
+        vectors: Sequence[Sequence[CellValue]],
+        col_types: Optional[Sequence[CellType]] = None,
+        group_cols: Sequence[str] = (),
+    ) -> "Table":
+        """Build a table from parallel column vectors (validating, coercing).
+
+        The columnar analogue of the row-major constructor: duplicate names,
+        inconsistent lengths and type mismatches raise the same errors, cells
+        are coerced and interned per column, but no row tuples are ever built.
+        """
+        columns = tuple(str(c) for c in columns)
+        if len(set(columns)) != len(columns):
+            raise DuplicateColumnError(f"duplicate column names in {list(columns)}")
+        if len(vectors) != len(columns):
+            raise SchemaError("from_vectors needs one vector per column")
+        lengths = {len(vector) for vector in vectors}
+        if len(lengths) > 1:
+            raise SchemaError(f"columns have inconsistent lengths: {sorted(lengths)}")
+        n_rows = lengths.pop() if lengths else 0
+        if col_types is None:
+            col_types = [infer_column_type(vector) for vector in vectors]
+        col_types = tuple(col_types)
+        if len(col_types) != len(columns):
+            raise SchemaError("col_types must have one entry per column")
+        coerced = tuple(
+            tuple(
+                intern_value(coerce_value(value, col_types[index]))
+                for value in vectors[index]
+            )
+            for index in range(len(columns))
+        )
+        for name in group_cols:
+            if name not in columns:
+                raise ColumnNotFoundError(name, columns)
+        return cls._from_shared(columns, col_types, coerced, tuple(group_cols), n_rows)
+
     @classmethod
     def from_records(
         cls,
@@ -117,13 +234,7 @@ class Table:
     @classmethod
     def from_columns(cls, data: Mapping[str, Sequence[CellValue]]) -> "Table":
         """Build a table from a mapping of column name to column values."""
-        columns = list(data.keys())
-        lengths = {len(values) for values in data.values()}
-        if len(lengths) > 1:
-            raise SchemaError(f"columns have inconsistent lengths: {sorted(lengths)}")
-        n_rows = lengths.pop() if lengths else 0
-        rows = [[data[column][index] for column in columns] for index in range(n_rows)]
-        return cls(columns, rows)
+        return cls.from_vectors(list(data.keys()), list(data.values()))
 
     @classmethod
     def empty(cls, columns: Sequence[str], col_types: Optional[Sequence[CellType]] = None) -> "Table":
@@ -145,7 +256,12 @@ class Table:
 
     @property
     def rows(self) -> Tuple[Tuple[CellValue, ...], ...]:
-        """All rows as tuples of cell values."""
+        """All rows as tuples of cell values (materialised lazily, memoised)."""
+        if self._rows is None:
+            if self._column_data:
+                self._rows = tuple(zip(*self._column_data))
+            else:
+                self._rows = tuple(() for _ in range(self._n_rows))
         return self._rows
 
     @property
@@ -156,7 +272,7 @@ class Table:
     @property
     def n_rows(self) -> int:
         """``T.row`` in the paper's notation."""
-        return len(self._rows)
+        return self._n_rows
 
     @property
     def n_cols(self) -> int:
@@ -166,7 +282,7 @@ class Table:
     @property
     def shape(self) -> Tuple[int, int]:
         """``(rows, columns)``."""
-        return (self.n_rows, self.n_cols)
+        return (self._n_rows, len(self._columns))
 
     def schema(self) -> Dict[str, CellType]:
         """``type(T)``: mapping from column name to cell type."""
@@ -188,97 +304,177 @@ class Table:
         return self._col_types[self.column_index(name)]
 
     def column_values(self, name: str) -> Tuple[CellValue, ...]:
-        """Return all values of column *name*, in row order."""
-        index = self.column_index(name)
-        return tuple(row[index] for row in self._rows)
+        """Return all values of column *name*, in row order (shared vector)."""
+        return self._column_data[self.column_index(name)]
 
     def cell(self, row_index: int, column: str) -> CellValue:
         """Return the value stored at ``(row_index, column)``."""
-        return self._rows[row_index][self.column_index(column)]
+        return self._column_data[self.column_index(column)][row_index]
 
     def row_dict(self, row_index: int) -> Dict[str, CellValue]:
         """Return row *row_index* as an ordered ``{column: value}`` mapping."""
-        return dict(zip(self._columns, self._rows[row_index]))
+        return {
+            name: vector[row_index]
+            for name, vector in zip(self._columns, self._column_data)
+        }
 
     def iter_records(self) -> Iterable[Dict[str, CellValue]]:
         """Iterate over all rows as dictionaries."""
-        for index in range(self.n_rows):
+        for index in range(self._n_rows):
             yield self.row_dict(index)
 
     # ------------------------------------------------------------------
     # Grouping (used by Spec 2's T.group attribute)
     # ------------------------------------------------------------------
     def with_grouping(self, group_cols: Sequence[str]) -> "Table":
-        """Return a copy of this table grouped by *group_cols*."""
+        """Return a copy of this table grouped by *group_cols* (vectors shared)."""
         for name in group_cols:
             if name not in self._columns:
                 raise ColumnNotFoundError(name, self._columns)
-        return Table(self._columns, self._rows, self._col_types, tuple(group_cols))
+        return Table._from_shared(
+            self._columns, self._col_types, self._column_data,
+            tuple(group_cols), self._n_rows,
+        )
 
     def ungrouped(self) -> "Table":
         """Return a copy of this table with grouping metadata removed."""
         if not self._group_cols:
             return self
-        return Table(self._columns, self._rows, self._col_types, ())
+        return Table._from_shared(
+            self._columns, self._col_types, self._column_data, (), self._n_rows
+        )
 
     def group_keys(self) -> List[Tuple[CellValue, ...]]:
         """Distinct values of the grouping columns, in first-appearance order."""
         if not self._group_cols:
-            return [()] if self._rows else []
-        indices = [self.column_index(name) for name in self._group_cols]
-        seen: List[Tuple[CellValue, ...]] = []
-        for row in self._rows:
-            key = tuple(row[index] for index in indices)
+            return [()] if self._n_rows else []
+        vectors = [self._column_data[self.column_index(name)] for name in self._group_cols]
+        seen: Dict[Tuple[CellValue, ...], None] = {}
+        for key in zip(*vectors):
             if key not in seen:
-                seen.append(key)
-        return seen
+                seen[key] = None
+        return list(seen)
 
     def group_row_indices(self) -> List[Tuple[Tuple[CellValue, ...], List[int]]]:
         """Rows of each group as ``(key, row_indices)`` pairs."""
         if not self._group_cols:
-            return [((), list(range(self.n_rows)))] if self._rows else []
-        indices = [self.column_index(name) for name in self._group_cols]
+            return [((), list(range(self._n_rows)))] if self._n_rows else []
+        vectors = [self._column_data[self.column_index(name)] for name in self._group_cols]
         buckets: Dict[Tuple[CellValue, ...], List[int]] = {}
-        order: List[Tuple[CellValue, ...]] = []
-        for row_index, row in enumerate(self._rows):
-            key = tuple(row[index] for index in indices)
-            if key not in buckets:
-                buckets[key] = []
-                order.append(key)
-            buckets[key].append(row_index)
-        return [(key, buckets[key]) for key in order]
+        for row_index, key in enumerate(zip(*vectors)):
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [row_index]
+            else:
+                bucket.append(row_index)
+        return list(buckets.items())
 
     @property
     def n_groups(self) -> int:
-        """``T.group``: the number of groups.
+        """``T.group``: the number of groups (memoised).
 
         An ungrouped non-empty table forms a single group; an empty table has
         no groups; a grouped table has one group per distinct key.
         """
-        if not self._group_cols:
-            return 1 if self._rows else 0
-        return len(self.group_keys())
+        if self._n_groups is None:
+            if not self._group_cols:
+                self._n_groups = 1 if self._n_rows else 0
+            else:
+                self._n_groups = len(self.group_keys())
+        return self._n_groups
 
     # ------------------------------------------------------------------
     # Sets used by the Spec 2 abstraction (T.newCols / T.newVals)
     # ------------------------------------------------------------------
     def header_set(self) -> frozenset:
-        """The set of column names of this table."""
-        return frozenset(self._columns)
+        """The set of column names of this table (memoised)."""
+        if self._header_set is None:
+            self._header_set = frozenset(self._columns)
+        return self._header_set
 
     def value_set(self) -> frozenset:
-        """The set of values of this table.
+        """The set of values of this table (memoised).
 
         Following the appendix of the paper, the value set of a table contains
         its column names *and* its cell contents (cells are canonicalised via
         :func:`repro.dataframe.cells.format_value` so ``5`` and ``5.0`` are the
         same value).
         """
-        values = set(self._columns)
-        for row in self._rows:
-            for value in row:
-                values.add(format_value(value))
-        return frozenset(values)
+        if self._value_set is None:
+            values = set(self._columns)
+            for vector in self._column_data:
+                for value in vector:
+                    values.add(format_value(value))
+            self._value_set = frozenset(values)
+        return self._value_set
+
+    # ------------------------------------------------------------------
+    # Fingerprints (structural identity keys for the engine caches)
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> bytes:
+        """A stable structural digest of this table (memoised).
+
+        Two tables share a fingerprint exactly when their column names,
+        column types, grouping metadata and canonicalised cell contents all
+        coincide, so the digest can key cross-hypothesis caches (attribute
+        vectors, component executions).  The digest is content-derived
+        (BLAKE2b over a canonical serialisation), **not** built on Python's
+        randomised ``hash()``, so it is identical across processes -- the
+        property ``--jobs N`` determinism rests on.
+        """
+        if self._fingerprint is None:
+            execution_stats().fingerprint_misses += 1
+            hasher = blake2b(digest_size=16)
+            _encode_tokens(hasher, self._columns)
+            hasher.update(b"|")
+            _encode_tokens(hasher, (cell_type.value for cell_type in self._col_types))
+            hasher.update(b"|")
+            _encode_tokens(hasher, self._group_cols)
+            hasher.update(b"|%d|" % self._n_rows)
+            for vector in self._column_data:
+                _encode_tokens(hasher, (cell_token(value) for value in vector))
+                hasher.update(b";")
+            self._fingerprint = hasher.digest()
+        else:
+            execution_stats().fingerprint_hits += 1
+        return self._fingerprint
+
+    def row_multiset_digest(self) -> bytes:
+        """A digest of the rows as a multiset (memoised).
+
+        Row order, grouping metadata and column types do not contribute --
+        only the ordered cell contents of each row, canonicalised the same
+        way :func:`~repro.dataframe.cells.values_equal` considers cells equal
+        at zero float distance.  Equal digests therefore *guarantee* the two
+        tables' rows match as multisets; unequal digests guarantee nothing
+        (float tolerance), so comparisons use this as a positive fast path
+        only.
+        """
+        if self._multiset_digest is None:
+            row_tokens = sorted(
+                tuple(cell_token(vector[index]) for vector in self._column_data)
+                for index in range(self._n_rows)
+            )
+            hasher = blake2b(digest_size=16)
+            hasher.update(b"%d|%d|" % (self._n_rows, len(self._columns)))
+            for tokens in row_tokens:
+                _encode_tokens(hasher, tokens)
+                hasher.update(b";")
+            self._multiset_digest = hasher.digest()
+        return self._multiset_digest
+
+    def column_multiset_keys(self) -> Tuple[tuple, ...]:
+        """Canonical value multisets of every column (memoised).
+
+        Used by :func:`repro.dataframe.compare.align_columns` to match
+        candidate columns against expected columns without re-scanning the
+        table for every comparison.
+        """
+        if self._column_keys is None:
+            self._column_keys = tuple(
+                column_multiset_key(vector) for vector in self._column_data
+            )
+        return self._column_keys
 
     # ------------------------------------------------------------------
     # Derived tables
@@ -287,13 +483,30 @@ class Table:
         """Return a table with the same schema but different rows."""
         return Table(self._columns, rows, self._col_types, self._group_cols)
 
+    def take_rows(self, indices: Sequence[int]) -> "Table":
+        """Project this table onto the given row indices (types preserved).
+
+        The columnar analogue of ``with_rows`` for rows that already live in
+        this table: each column vector is sliced directly, skipping type
+        inference and coercion.
+        """
+        column_data = tuple(
+            tuple(vector[index] for index in indices) for vector in self._column_data
+        )
+        return Table._from_shared(
+            self._columns, self._col_types, column_data, self._group_cols, len(indices)
+        )
+
     def select_columns(self, names: Sequence[str]) -> "Table":
-        """Project this table onto *names* (in the given order)."""
+        """Project this table onto *names* (in the given order, vectors shared)."""
+        names = tuple(str(name) for name in names)
         indices = [self.column_index(name) for name in names]
-        rows = [tuple(row[index] for index in indices) for row in self._rows]
-        col_types = [self._col_types[index] for index in indices]
-        group_cols = [name for name in self._group_cols if name in names]
-        return Table(names, rows, col_types, group_cols)
+        column_data = tuple(self._column_data[index] for index in indices)
+        col_types = tuple(self._col_types[index] for index in indices)
+        group_cols = tuple(name for name in self._group_cols if name in names)
+        if len(set(names)) != len(names):
+            raise DuplicateColumnError(f"duplicate column names in {list(names)}")
+        return Table._from_shared(names, col_types, column_data, group_cols, self._n_rows)
 
     def drop_columns(self, names: Sequence[str]) -> "Table":
         """Remove *names* from this table."""
@@ -301,41 +514,49 @@ class Table:
         return self.select_columns(keep)
 
     def rename_column(self, old: str, new: str) -> "Table":
-        """Rename a single column."""
+        """Rename a single column (vectors shared)."""
         index = self.column_index(old)
         if new in self._columns and new != old:
             raise DuplicateColumnError(f"column {new!r} already exists")
         columns = list(self._columns)
-        columns[index] = new
-        group_cols = [new if name == old else name for name in self._group_cols]
-        return Table(columns, self._rows, self._col_types, group_cols)
+        columns[index] = str(new)
+        group_cols = tuple(new if name == old else name for name in self._group_cols)
+        return Table._from_shared(
+            tuple(columns), self._col_types, self._column_data, group_cols, self._n_rows
+        )
 
     def with_column(self, name: str, values: Sequence[CellValue]) -> "Table":
-        """Append a new column called *name* with the given values."""
+        """Append a new column called *name* (existing vectors shared)."""
         if name in self._columns:
             raise DuplicateColumnError(f"column {name!r} already exists")
-        if len(values) != self.n_rows:
+        if len(values) != self._n_rows:
             raise SchemaError(
-                f"new column has {len(values)} values but the table has {self.n_rows} rows"
+                f"new column has {len(values)} values but the table has {self._n_rows} rows"
             )
-        columns = list(self._columns) + [name]
-        rows = [tuple(row) + (values[index],) for index, row in enumerate(self._rows)]
-        col_types = list(self._col_types) + [infer_column_type(values)]
-        return Table(columns, rows, col_types, self._group_cols)
+        new_type = infer_column_type(values)
+        new_vector = tuple(intern_value(coerce_value(value, new_type)) for value in values)
+        return Table._from_shared(
+            self._columns + (str(name),),
+            self._col_types + (new_type,),
+            self._column_data + (new_vector,),
+            self._group_cols,
+            self._n_rows,
+        )
 
     def sorted_by(self, names: Sequence[str]) -> "Table":
         """Return this table sorted (ascending) by the given columns."""
-        indices = [self.column_index(name) for name in names]
+        vectors = [self._column_data[self.column_index(name)] for name in names]
 
-        def key(row):
-            return tuple(value_sort_key(row[index]) for index in indices)
+        def key(index):
+            return tuple(value_sort_key(vector[index]) for vector in vectors)
 
-        return self.with_rows(sorted(self._rows, key=key))
+        order = sorted(range(self._n_rows), key=key)
+        return self.take_rows(order)
 
     def canonical_rows(self) -> Tuple[Tuple[CellValue, ...], ...]:
         """Rows sorted into a canonical order (used for order-insensitive comparison)."""
         return tuple(
-            sorted(self._rows, key=lambda row: tuple(value_sort_key(value) for value in row))
+            sorted(self.rows, key=lambda row: tuple(value_sort_key(value) for value in row))
         )
 
     # ------------------------------------------------------------------
@@ -349,11 +570,13 @@ class Table:
         """
         if not isinstance(other, Table):
             return NotImplemented
-        if self._columns != other._columns or self.n_rows != other.n_rows:
+        if self._columns != other._columns or self._n_rows != other._n_rows:
             return False
         if self._group_cols != other._group_cols:
             return False
-        for left, right in zip(self._rows, other._rows):
+        for left, right in zip(self._column_data, other._column_data):
+            if left is right:
+                continue
             for lvalue, rvalue in zip(left, right):
                 if not values_equal(lvalue, rvalue):
                     return False
@@ -364,19 +587,22 @@ class Table:
             (
                 self._columns,
                 self._group_cols,
-                tuple(tuple(format_value(v) for v in row) for row in self._rows),
+                tuple(
+                    tuple(format_value(value) for value in vector)
+                    for vector in self._column_data
+                ),
             )
         )
 
     def __len__(self) -> int:
-        return self.n_rows
+        return self._n_rows
 
     def to_markdown(self) -> str:
         """Render this table as a GitHub-flavoured markdown table."""
         header = "| " + " | ".join(self._columns) + " |"
         separator = "| " + " | ".join("---" for _ in self._columns) + " |"
         lines = [header, separator]
-        for row in self._rows:
+        for row in self.rows:
             lines.append("| " + " | ".join(format_value(value) for value in row) + " |")
         return "\n".join(lines)
 

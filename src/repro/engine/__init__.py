@@ -17,7 +17,7 @@ The parallel layer is imported lazily: :mod:`repro.core.deduction` and
 would be circular.
 """
 
-from .cache import CacheStats, LRUCache
+from .cache import CacheStats, ExecutionCache, LRUCache
 
 _PARALLEL_EXPORTS = frozenset(
     {
@@ -29,7 +29,7 @@ _PARALLEL_EXPORTS = frozenset(
     }
 )
 
-__all__ = ["CacheStats", "LRUCache", *sorted(_PARALLEL_EXPORTS)]
+__all__ = ["CacheStats", "ExecutionCache", "LRUCache", *sorted(_PARALLEL_EXPORTS)]
 
 
 def __getattr__(name):

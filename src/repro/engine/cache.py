@@ -69,6 +69,55 @@ class CacheStats:
         self.evictions = 0
 
 
+#: Default bound of one :class:`ExecutionCache` (entries hold whole tables,
+#: but candidate programs revisit a small universe of intermediate results).
+EXECUTION_CACHE_SIZE = 16384
+
+
+class ExecutionCache:
+    """Fingerprint-keyed memo of concrete component executions.
+
+    The partial evaluator executes the same ``component(tables, args)``
+    application for many *different* hypotheses: two candidate programs whose
+    sub-programs produce structurally identical intermediate tables repeat
+    exactly the same concrete work above them.  This cache keys each
+    execution by ``(component, node id, input-table fingerprints, argument
+    values)`` -- the table *contents* rather than the sub-hypothesis that
+    produced them -- so identical intermediate tables share one execution
+    (and one result object, which in turn shares its memoised fingerprints
+    and comparison digests downstream).
+
+    Failed executions are cached too: the stored value is the
+    ``EvaluationFailure`` to re-raise.
+    """
+
+    __slots__ = ("_results",)
+
+    def __init__(
+        self,
+        maxsize: Optional[int] = EXECUTION_CACHE_SIZE,
+        stats: Optional[CacheStats] = None,
+    ) -> None:
+        self._results: "LRUCache[tuple, object]" = LRUCache(maxsize=maxsize, stats=stats)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss counters of the execution memo."""
+        return self._results.stats
+
+    def get(self, key: tuple):
+        """The cached result (table or failure) for *key*, or ``None``."""
+        return self._results.get(key)
+
+    def put(self, key: tuple, result: object) -> None:
+        """Record the execution result (table or failure) for *key*."""
+        self._results.put(key, result)
+
+    def clear(self) -> None:
+        """Drop every memoised execution (counters are left untouched)."""
+        self._results.clear()
+
+
 class LRUCache(Generic[K, V]):
     """A size-bounded mapping with least-recently-used eviction.
 

@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..benchmarks.runner import BenchmarkOutcome, SuiteRun, run_benchmark
 from ..benchmarks.suite import Benchmark, BenchmarkSuite
 from ..core.synthesizer import Example, Morpheus, SynthesisConfig, SynthesisResult
+from ..dataframe.profiling import reset_execution_state
 from ..smt.solver import clear_formula_cache
 
 #: A unit of benchmark work: (benchmark, configuration, label, library).
@@ -70,10 +71,12 @@ def _run_pair_task(task):
 
 def _synthesize_task(task):
     index, example, config, library = task
-    # Start from a cold formula cache so the outcome does not depend on what
-    # this process (or pool worker) ran before -- the same independence
-    # discipline run_benchmark applies for the benchmark harness.
+    # Start from a cold formula cache, execution counters and intern pool so
+    # the outcome does not depend on what this process (or pool worker) ran
+    # before -- the same independence discipline run_benchmark applies for
+    # the benchmark harness.
     clear_formula_cache()
+    reset_execution_state()
     result = Morpheus(library=library, config=config).synthesize(example)
     return index, result
 

@@ -1,0 +1,133 @@
+"""Regression: grouping metadata survives every component uniformly.
+
+Before the columnar refactor the reshaping verbs (``gather``, ``spread``,
+``separate``, ``unite``) and ``inner_join`` rebuilt their output tables ad
+hoc and silently dropped ``group_cols``.  The uniform propagation rule
+(:func:`repro.components.dplyr.surviving_group_cols`) is: the output stays
+grouped by every grouping column that survives into the output schema;
+``summarise`` keeps its dplyr-specific behaviour of dropping the last
+grouping level.
+"""
+
+from repro.components import (
+    arrange,
+    filter_rows,
+    gather,
+    group_by,
+    inner_join,
+    mutate,
+    select,
+    separate,
+    spread,
+    summarise,
+    unite,
+)
+from repro.dataframe import Table
+
+
+def grouped_table():
+    return group_by(
+        Table(
+            ["g", "k", "a", "b"],
+            [
+                ["x", "p", 1, 2],
+                ["x", "q", 3, 4],
+                ["y", "p", 5, 6],
+                ["y", "q", 7, 8],
+            ],
+        ),
+        ["g"],
+    )
+
+
+def test_select_keeps_surviving_groups():
+    assert select(grouped_table(), ["g", "a"]).group_cols == ("g",)
+
+
+def test_select_drops_vanished_groups():
+    assert select(grouped_table(), ["a", "b"]).group_cols == ()
+
+
+def test_filter_keeps_groups():
+    result = filter_rows(grouped_table(), lambda row: row["g"] == "x")
+    assert result.group_cols == ("g",)
+
+
+def test_arrange_keeps_groups():
+    assert arrange(grouped_table(), ["a"]).group_cols == ("g",)
+
+
+def test_mutate_keeps_groups():
+    result = mutate(grouped_table(), "s", lambda row, group: row["a"] + 1)
+    assert result.group_cols == ("g",)
+
+
+def test_gather_keeps_surviving_groups():
+    result = gather(grouped_table(), "key", "value", ["a", "b"])
+    assert result.group_cols == ("g",)
+
+
+def test_gather_drops_gathered_group_column():
+    table = group_by(grouped_table().ungrouped(), ["a"])
+    result = gather(table, "key", "value", ["a", "b"])
+    assert result.group_cols == ()
+
+
+def test_spread_keeps_surviving_groups():
+    result = spread(grouped_table(), "k", "a")
+    assert result.group_cols == ("g",)
+
+
+def test_spread_drops_key_group_column():
+    table = group_by(grouped_table().ungrouped(), ["k"])
+    result = spread(table, "k", "a")
+    assert result.group_cols == ()
+
+
+def test_separate_keeps_surviving_groups():
+    table = group_by(
+        Table(["g", "v"], [["x", "a_1"], ["x", "b_2"], ["y", "c_3"]]), ["g"]
+    )
+    result = separate(table, "v", ["left", "right"])
+    assert result.group_cols == ("g",)
+
+
+def test_separate_drops_split_group_column():
+    table = group_by(
+        Table(["g", "v"], [["x_0", "a_1"], ["y_0", "b_2"]]), ["g"]
+    )
+    result = separate(table, "g", ["left", "right"])
+    assert result.group_cols == ()
+
+
+def test_unite_keeps_surviving_groups():
+    result = unite(grouped_table(), "ab", ["a", "b"])
+    assert result.group_cols == ("g",)
+
+
+def test_unite_drops_united_group_column():
+    result = unite(grouped_table(), "gk", ["g", "k"])
+    assert result.group_cols == ()
+
+
+def test_inner_join_keeps_left_groups():
+    left = grouped_table()
+    right = Table(["k", "extra"], [["p", 10], ["q", 20]])
+    result = inner_join(left, right)
+    assert result.group_cols == ("g",)
+
+
+def test_summarise_drops_last_grouping_level_only():
+    table = group_by(grouped_table().ungrouped(), ["g", "k"])
+    result = summarise(table, "total", "sum", "a")
+    assert result.group_cols == ("g",)
+
+
+def test_group_by_sets_groups():
+    assert group_by(grouped_table().ungrouped(), ["g", "k"]).group_cols == ("g", "k")
+
+
+def test_propagated_groups_feed_n_groups():
+    # The Spec-2 T.group attribute sees the propagated metadata.
+    result = gather(grouped_table(), "key", "value", ["a", "b"])
+    assert result.n_groups == 2

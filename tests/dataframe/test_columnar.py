@@ -1,0 +1,132 @@
+"""Tests for the columnar backend: interning, sharing, fingerprints, memos."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.dataframe import Table
+from repro.dataframe.interning import clear_intern_pool, intern_pool_size
+from repro.dataframe.profiling import execution_stats, reset_execution_state
+
+
+class TestInterning:
+    def test_equal_cells_share_one_object(self):
+        clear_intern_pool()
+        left = Table(["a"], [["shared-string"]])
+        right = Table(["a"], [["shared-" + "string"]])
+        assert left.cell(0, "a") is right.cell(0, "a")
+
+    def test_interning_is_counted(self):
+        reset_execution_state()
+        Table(["a"], [["v"], ["v"], ["v"]])
+        assert execution_stats().cells_interned == 2
+
+    def test_pool_clears(self):
+        Table(["a"], [["x"]])
+        assert intern_pool_size() > 0
+        clear_intern_pool()
+        assert intern_pool_size() == 0
+
+
+class TestCopyOnWriteSharing:
+    def test_select_shares_vectors(self):
+        table = Table(["a", "b"], [[1, "x"], [2, "y"]])
+        projected = table.select_columns(["b"])
+        assert projected.column_values("b") is table.column_values("b")
+
+    def test_grouping_shares_vectors(self):
+        table = Table(["a", "b"], [[1, "x"], [2, "y"]])
+        grouped = table.with_grouping(["a"])
+        assert grouped.column_values("a") is table.column_values("a")
+        assert grouped.ungrouped().column_values("b") is table.column_values("b")
+
+    def test_rename_shares_vectors(self):
+        table = Table(["a", "b"], [[1, "x"]])
+        renamed = table.rename_column("a", "z")
+        assert renamed.column_values("z") is table.column_values("a")
+
+    def test_with_column_shares_existing_vectors(self):
+        table = Table(["a"], [[1], [2]])
+        extended = table.with_column("b", ["x", "y"])
+        assert extended.column_values("a") is table.column_values("a")
+
+    def test_take_rows_preserves_types(self):
+        table = Table(["a"], [[1.5], [2.5], [3.5]])
+        sliced = table.take_rows([2, 0])
+        assert sliced.col_types == table.col_types
+        assert sliced.column_values("a") == (3.5, 1.5)
+
+    def test_from_vectors_matches_row_major_constructor(self):
+        columnar = Table.from_vectors(["a", "b"], [[1, 2.0], ["x", "y"]])
+        row_major = Table(["a", "b"], [[1, "x"], [2.0, "y"]])
+        assert columnar == row_major
+        assert columnar.col_types == row_major.col_types
+
+
+class TestFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        left = Table(["a", "b"], [[1, "x"], [2, "y"]])
+        right = Table(["a", "b"], [[1, "x"], [2, "y"]])
+        assert left.fingerprint() == right.fingerprint()
+
+    def test_number_formatting_is_canonical(self):
+        assert Table(["a"], [[5]]).fingerprint() == Table(["a"], [[5.0]]).fingerprint()
+
+    def test_cell_content_changes_fingerprint(self):
+        assert Table(["a"], [[1]]).fingerprint() != Table(["a"], [[2]]).fingerprint()
+
+    def test_grouping_changes_fingerprint(self):
+        plain = Table(["a"], [["x"]])
+        assert plain.fingerprint() != plain.with_grouping(["a"]).fingerprint()
+
+    def test_row_order_changes_fingerprint_but_not_multiset_digest(self):
+        forward = Table(["a"], [[1], [2]])
+        backward = Table(["a"], [[2], [1]])
+        assert forward.fingerprint() != backward.fingerprint()
+        assert forward.row_multiset_digest() == backward.row_multiset_digest()
+
+    def test_string_and_number_cells_are_distinguished(self):
+        assert Table(["a"], [["5"]]).fingerprint() != Table(["a"], [[5]]).fingerprint()
+
+    def test_fingerprint_is_memoised(self):
+        reset_execution_state()
+        table = Table(["a"], [[1]])
+        table.fingerprint()
+        misses = execution_stats().fingerprint_misses
+        table.fingerprint()
+        assert execution_stats().fingerprint_misses == misses
+        assert execution_stats().fingerprint_hits >= 1
+
+    def test_fingerprint_is_stable_across_processes(self):
+        # --jobs N determinism rests on content-derived digests, so the
+        # fingerprint must not depend on PYTHONHASHSEED.
+        script = (
+            "import sys; sys.path.insert(0, 'src');"
+            "from repro.dataframe import Table;"
+            "print(Table(['a','b'],[[1,'x'],[2.5,'y']],"
+            "group_cols=['a']).fingerprint().hex())"
+        )
+        digests = set()
+        for seed in ("0", "1", "random"):
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+                cwd=str(Path(__file__).resolve().parents[2]),
+            )
+            digests.add(result.stdout.strip())
+        assert len(digests) == 1
+
+
+class TestMemoisedAttributes:
+    def test_spec2_attributes_computed_once(self):
+        table = Table(["g", "v"], [["a", 1], ["b", 2], ["a", 3]]).with_grouping(["g"])
+        assert table.n_groups == 2
+        assert table.n_groups == 2  # second read served from the memo
+        assert table.header_set() is table.header_set()
+        assert table.value_set() is table.value_set()
+
+    def test_rows_view_is_lazy_and_memoised(self):
+        table = Table(["a", "b"], [[1, "x"], [2, "y"]])
+        assert table.rows is table.rows
+        assert table.rows == ((1, "x"), (2, "y"))

@@ -38,6 +38,13 @@ def deterministic_fingerprint(run):
             outcome.smt_calls,
             outcome.lemma_prunes,
             outcome.lemmas_learned,
+            # Concrete-execution counters: the runner resets the intern pool
+            # and counters per task, so these must match byte for byte too.
+            outcome.tables_built,
+            outcome.cells_interned,
+            outcome.fingerprint_hits,
+            outcome.exec_cache_hits,
+            outcome.compare_fastpath_hits,
         )
         for outcome in run.outcomes
     ]
