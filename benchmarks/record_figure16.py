@@ -1,0 +1,98 @@
+"""Record the Figure-16 perf trajectory as machine-readable JSON.
+
+Runs the representative Figure-16 subset under the full spec2 configuration
+and its ``--no-prescreen`` ablation, and writes ``BENCH_figure16.json`` with
+per-task wall times, prune counts and the prescreen / exec-cache counters,
+plus an A/B comparison block quantifying the tier-1 prescreen's end-to-end
+wall-clock win.  CI runs this on every push and uploads the file as an
+artifact; re-record the checked-in copy with::
+
+    PYTHONPATH=src python benchmarks/record_figure16.py --timeout 20 --out BENCH_figure16.json
+
+(Absolute numbers depend on the machine; the counters are deterministic.)
+"""
+
+import argparse
+import json
+import platform
+import sys
+
+from repro.baselines import spec2_config, spec2_no_prescreen_config
+from repro.benchmarks import r_benchmark_suite, run_suite, suite_runs_json
+
+from conftest import REPRESENTATIVE_BENCHMARKS
+
+
+def record(timeout: float, full: bool = False) -> dict:
+    """Run the prescreen A/B on the Figure-16 subset and build the payload."""
+    suite = r_benchmark_suite()
+    if not full:
+        suite = suite.subset(names=REPRESENTATIVE_BENCHMARKS)
+    runs = {
+        "spec2": run_suite(suite, spec2_config, timeout=timeout, label="spec2"),
+        "spec2-no-prescreen": run_suite(
+            suite, spec2_no_prescreen_config, timeout=timeout,
+            label="spec2-no-prescreen",
+        ),
+    }
+    # The per-run aggregates come from the shared reporting serialiser; the
+    # comparison block only pairs them up, so the two can never disagree.
+    payload = suite_runs_json(runs)
+    tiered, plain = payload["spec2"], payload["spec2-no-prescreen"]
+    programs = lambda label: [  # noqa: E731
+        (o.benchmark, o.solved, o.program) for o in runs[label].outcomes
+    ]
+    return {
+        "suite": "figure16-full" if full else "figure16-representative",
+        "timeout_s": timeout,
+        "python": platform.python_version(),
+        "runs": payload,
+        "prescreen_comparison": {
+            "wall_total_s": tiered["wall_total_s"],
+            "wall_total_no_prescreen_s": plain["wall_total_s"],
+            "speedup": (
+                round(plain["wall_total_s"] / tiered["wall_total_s"], 3)
+                if tiered["wall_total_s"] else None
+            ),
+            "smt_calls": tiered["smt_calls"],
+            "smt_calls_no_prescreen": plain["smt_calls"],
+            "prescreen_decided": tiered["prescreen_decided"],
+            "prescreen_fallback": tiered["prescreen_fallback"],
+            "prescreen_hit_rate": tiered["prescreen_hit_rate"],
+            "programs_identical": programs("spec2") == programs("spec2-no-prescreen"),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timeout", type=float, default=20.0)
+    parser.add_argument("--out", default="BENCH_figure16.json")
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run all 80 r-suite benchmarks instead of the representative subset",
+    )
+    args = parser.parse_args(argv)
+    payload = record(args.timeout, full=args.full)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    comparison = payload["prescreen_comparison"]
+    print(
+        f"wall {comparison['wall_total_s']}s vs {comparison['wall_total_no_prescreen_s']}s "
+        f"no-prescreen (speedup {comparison['speedup']}x), "
+        f"prescreen hit-rate {comparison['prescreen_hit_rate']}, "
+        f"programs identical: {comparison['programs_identical']}",
+        file=sys.stderr,
+    )
+    # The acceptance gate (also enforced by CI): byte-identical programs and
+    # a tier-1 hit rate of at least 50% on the subset.
+    if not comparison["programs_identical"]:
+        return 1
+    if not comparison["prescreen_hit_rate"] or comparison["prescreen_hit_rate"] < 0.5:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

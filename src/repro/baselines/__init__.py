@@ -15,10 +15,13 @@ from .configurations import (
     no_deduction_config,
     spec1_config,
     spec1_no_partial_eval_config,
+    override_config,
     spec2_config,
     spec2_no_cdcl_config,
     spec2_no_partial_eval_config,
+    spec2_no_prescreen_config,
     without_cdcl,
+    without_prescreen,
 )
 from .lambda2 import Lambda2Synthesizer
 from .sql_synthesizer import SqlQuery, SqlSynthesizer
@@ -31,10 +34,13 @@ __all__ = [
     "SqlSynthesizer",
     "full_morpheus_config",
     "no_deduction_config",
+    "override_config",
     "spec1_config",
     "spec1_no_partial_eval_config",
     "spec2_config",
     "spec2_no_cdcl_config",
     "spec2_no_partial_eval_config",
+    "spec2_no_prescreen_config",
     "without_cdcl",
+    "without_prescreen",
 ]

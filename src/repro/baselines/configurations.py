@@ -62,18 +62,38 @@ def spec2_no_cdcl_config(timeout: Optional[float] = 60.0) -> SynthesisConfig:
     return SynthesisConfig(spec_level=SpecLevel.SPEC2, cdcl=False, **_base(timeout))
 
 
-def without_cdcl(configurations: Dict) -> Dict:
-    """Rewrite a label->factory map so every configuration disables CDCL.
+def spec2_no_prescreen_config(timeout: Optional[float] = 60.0) -> SynthesisConfig:
+    """Spec 2 deduction without the tier-1 interval prescreen (``--no-prescreen``)."""
+    return SynthesisConfig(spec_level=SpecLevel.SPEC2, prescreen=False, **_base(timeout))
 
-    Used by the benchmark CLI's ``--no-cdcl`` ablation: the labels stay
-    unchanged so tables from both modes line up column-for-column.
-    """
+
+def override_config(factory, **overrides):
+    """A configuration factory applying field *overrides* to another factory."""
     from dataclasses import replace
 
+    return lambda timeout: replace(factory(timeout), **overrides)
+
+
+def _with_overrides(configurations: Dict, **overrides) -> Dict:
+    """Rewrite a label->factory map applying the same field overrides.
+
+    Used by the benchmark CLI's ablation flags: the labels stay unchanged so
+    tables from both modes line up column-for-column.
+    """
     return {
-        label: (lambda timeout, _factory=factory: replace(_factory(timeout), cdcl=False))
+        label: override_config(factory, **overrides)
         for label, factory in configurations.items()
     }
+
+
+def without_cdcl(configurations: Dict) -> Dict:
+    """Disable conflict-driven lemma learning in every configuration."""
+    return _with_overrides(configurations, cdcl=False)
+
+
+def without_prescreen(configurations: Dict) -> Dict:
+    """Disable the tier-1 interval prescreen in every configuration."""
+    return _with_overrides(configurations, prescreen=False)
 
 
 #: The three configurations of Figure 16, keyed by the column label.

@@ -27,7 +27,9 @@ from .reporting import (
     figure17_series,
     figure17_table,
     figure18_table,
+    outcome_record,
     profile_table,
+    suite_runs_json,
 )
 from .sql_suite import sql_benchmark_suite
 from .suite import Benchmark, BenchmarkSuite
@@ -46,8 +48,10 @@ __all__ = [
     "figure17_series",
     "figure17_table",
     "figure18_table",
+    "outcome_record",
     "profile_table",
     "r_benchmark_suite",
+    "suite_runs_json",
     "run_benchmark",
     "run_figure16",
     "run_figure17",

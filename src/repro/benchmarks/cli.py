@@ -5,7 +5,9 @@ Examples::
     python -m repro.benchmarks.cli figure16 --timeout 20
     python -m repro.benchmarks.cli figure16 --timeout 20 --jobs 4
     python -m repro.benchmarks.cli figure16 --timeout 20 --no-cdcl --stats
+    python -m repro.benchmarks.cli figure16 --timeout 20 --no-prescreen --stats
     python -m repro.benchmarks.cli figure16 --timeout 20 --profile
+    python -m repro.benchmarks.cli figure16 --timeout 20 --json BENCH_figure16.json
     python -m repro.benchmarks.cli figure17 --timeout 10 --categories C1 C2
     python -m repro.benchmarks.cli figure18 --timeout 15
     python -m repro.benchmarks.cli pruning
@@ -13,23 +15,30 @@ Examples::
 ``--jobs N`` distributes the benchmark x configuration pairs over ``N``
 worker processes (the ``repro-bench`` console script installed by the
 package accepts the same arguments).  ``--no-cdcl`` disables conflict-driven
-lemma learning in every Morpheus configuration (the ablation baseline),
-``--stats`` appends the per-configuration deduction counter table (SMT
-calls, lemma prunes, lemmas learned) plus the concrete-execution counter
-table (tables built, cells interned, cache and comparison fast-path hits),
-and ``--profile`` appends a per-benchmark wall-clock split between
-deduction (SMT) and concrete execution.
+lemma learning and ``--no-prescreen`` the tier-1 interval prescreen in every
+Morpheus configuration (the ablation baselines; verdicts and synthesized
+programs are unchanged, only the work split moves).  ``--stats`` appends the
+per-configuration deduction counter table (SMT calls, prescreen decisions,
+lemma prunes, lemmas learned) plus the concrete-execution counter table
+(tables built, cells interned, cache and comparison fast-path hits),
+``--profile`` appends a per-benchmark wall-clock split between deduction
+(SMT) and concrete execution with the prescreen hit rate, and
+``--json FILE`` additionally writes the per-task outcomes (wall time, prune
+counts, prescreen/exec-cache counters) as machine-readable JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from ..baselines.configurations import (
     ALL_FIGURE17_CONFIGS,
     FIGURE16_CONFIGS,
+    override_config,
     without_cdcl,
+    without_prescreen,
 )
 from .r_suite import r_benchmark_suite
 from .reporting import (
@@ -40,6 +49,7 @@ from .reporting import (
     figure17_table,
     figure18_table,
     profile_table,
+    suite_runs_json,
 )
 from .runner import run_figure16, run_figure17, run_figure18, run_pruning_statistics
 
@@ -77,17 +87,30 @@ def main(argv=None) -> int:
              "tables line up against a default run)",
     )
     parser.add_argument(
+        "--no-prescreen", action="store_true",
+        help="disable the tier-1 interval prescreen in every Morpheus "
+             "configuration, sending every deduction query straight to the "
+             "SMT stack (ablation; labels are left unchanged so the tables "
+             "line up against a default run)",
+    )
+    parser.add_argument(
         "--stats", action="store_true",
         help="append the per-configuration deduction counters (SMT calls, "
-             "lemma prunes, lemmas learned) and concrete-execution counters "
-             "(tables built, cells interned, cache hits, comparison "
-             "fast-path hits) to the figure output",
+             "prescreen decisions, lemma prunes, lemmas learned) and "
+             "concrete-execution counters (tables built, cells interned, "
+             "cache hits, comparison fast-path hits) to the figure output",
     )
     parser.add_argument(
         "--profile", action="store_true",
         help="append a per-benchmark wall-clock split between deduction "
              "(SMT) and concrete execution (component runs + output "
-             "comparison) to the figure output",
+             "comparison), with the prescreen hit rate, to the figure output",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the per-task outcomes (wall time, prune counts, "
+             "prescreen/exec-cache counters) as machine-readable JSON "
+             "(figure16 and figure17 only)",
     )
     parser.add_argument("--categories", nargs="*", default=None, help="restrict to these categories")
     parser.add_argument("--names", nargs="*", default=None, help="restrict to these benchmark names")
@@ -100,11 +123,37 @@ def main(argv=None) -> int:
         parser.error("--stats is only available for figure16 and figure17")
     if args.profile and args.figure not in ("figure16", "figure17"):
         parser.error("--profile is only available for figure16 and figure17")
-    if args.no_cdcl and args.figure == "legend":
-        parser.error("--no-cdcl does not apply to the legend")
+    if args.json and args.figure not in ("figure16", "figure17"):
+        parser.error("--json is only available for figure16 and figure17")
+    if args.figure == "legend" and (args.no_cdcl or args.no_prescreen):
+        parser.error("ablation flags do not apply to the legend")
 
     def configured(configurations):
-        return without_cdcl(configurations) if args.no_cdcl else configurations
+        if args.no_cdcl:
+            configurations = without_cdcl(configurations)
+        if args.no_prescreen:
+            configurations = without_prescreen(configurations)
+        return configurations
+
+    def emit(runs) -> int:
+        if args.stats:
+            print(deduction_summary_table(runs))
+            print(execution_summary_table(runs))
+        if args.profile:
+            print(profile_table(runs))
+        if args.json:
+            payload = {
+                "figure": args.figure,
+                "timeout_s": args.timeout,
+                "jobs": args.jobs,
+                "cdcl": not args.no_cdcl,
+                "prescreen": not args.no_prescreen,
+                "runs": suite_runs_json(runs),
+            }
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        return 0
 
     if args.figure == "legend":
         print(category_legend())
@@ -115,30 +164,24 @@ def main(argv=None) -> int:
             jobs=args.jobs, configurations=configured(FIGURE16_CONFIGS),
         )
         print(figure16_table(runs))
-        if args.stats:
-            print(deduction_summary_table(runs))
-            print(execution_summary_table(runs))
-        if args.profile:
-            print(profile_table(runs))
-        return 0
+        return emit(runs)
     if args.figure == "figure17":
         runs = run_figure17(
             timeout=args.timeout, suite=_subset(args), progress=progress,
             jobs=args.jobs, configurations=configured(ALL_FIGURE17_CONFIGS),
         )
         print(figure17_table(runs))
-        if args.stats:
-            print(deduction_summary_table(runs))
-            print(execution_summary_table(runs))
-        if args.profile:
-            print(profile_table(runs))
-        return 0
+        return emit(runs)
     if args.figure == "figure18":
         morpheus_config = None
-        if args.no_cdcl:
-            from ..baselines.configurations import spec2_no_cdcl_config
+        if args.no_cdcl or args.no_prescreen:
+            from .runner import _morpheus_config
 
-            morpheus_config = spec2_no_cdcl_config
+            morpheus_config = override_config(
+                _morpheus_config,
+                cdcl=not args.no_cdcl,
+                prescreen=not args.no_prescreen,
+            )
         rows = run_figure18(
             timeout=args.timeout, r_suite=_subset(args), jobs=args.jobs,
             morpheus_config=morpheus_config,
@@ -148,7 +191,7 @@ def main(argv=None) -> int:
     if args.figure == "pruning":
         statistics = run_pruning_statistics(
             timeout=args.timeout, suite=_subset(args), jobs=args.jobs,
-            cdcl=not args.no_cdcl,
+            cdcl=not args.no_cdcl, prescreen=not args.no_prescreen,
         )
         print(statistics)
         return 0

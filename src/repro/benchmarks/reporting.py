@@ -105,25 +105,45 @@ def figure18_table(rows: Sequence[Figure18Row]) -> str:
     return "\n".join(lines)
 
 
-def deduction_summary_table(runs: Dict[str, SuiteRun]) -> str:
-    """Per-configuration deduction counters (SMT calls, lemma activity).
+def _prescreen_hit_rate(decided: int, fallback: int) -> str:
+    """The prescreen hit-rate cell: deterministic (counters only), rendered
+    with fixed precision so serial and ``--jobs N`` tables stay byte-identical."""
+    total = decided + fallback
+    if total == 0:
+        return "-"
+    return f"{100.0 * decided / total:.1f}%"
 
-    Complements the Figure 16/17 tables: with CDCL enabled the lemma columns
-    show how much solver work the conflict-driven lemma store absorbed, and
-    comparing the ``SMT calls`` column against a ``--no-cdcl`` run quantifies
-    the saving.  ``Mining solves`` is the price paid for it -- incremental
-    deletion probes, much cheaper apiece than a full check but reported so
-    the comparison never hides the investment.  Only deterministic counters
-    appear (no wall-clock values), so the table is byte-identical between
-    serial and ``--jobs N`` runs.
+
+def deduction_summary_table(runs: Dict[str, SuiteRun]) -> str:
+    """Per-configuration deduction counters (prescreen, SMT calls, lemma activity).
+
+    Complements the Figure 16/17 tables: the prescreen columns show how many
+    deduction queries the tier-1 interval sweep decided before any formula
+    was built (``hit-rate`` = decided / prescreened), and with CDCL enabled
+    the lemma columns show how much solver work the conflict-driven lemma
+    store absorbed.  Comparing the ``SMT calls`` column against a
+    ``--no-prescreen`` / ``--no-cdcl`` run quantifies each saving.  ``Mining
+    solves`` is the price paid for lemmas -- incremental deletion probes,
+    much cheaper apiece than a full check but reported so the comparison
+    never hides the investment.  Only deterministic counters appear (no
+    wall-clock values), so the table is byte-identical between serial and
+    ``--jobs N`` runs.
     """
-    lines = ["Configuration\tSMT calls\tLemma prunes\tLemmas learned\tMining solves"]
+    lines = [
+        "Configuration\tSMT calls\tPrescreen decided\tPrescreen fallback"
+        "\tPrescreen hit-rate\tLemma prunes\tLemmas learned\tMining solves"
+    ]
     for label, run in runs.items():
+        decided = sum(outcome.prescreen_decided for outcome in run.outcomes)
+        fallback = sum(outcome.prescreen_fallback for outcome in run.outcomes)
         lines.append(
             "\t".join(
                 [
                     label,
                     str(sum(outcome.smt_calls for outcome in run.outcomes)),
+                    str(decided),
+                    str(fallback),
+                    _prescreen_hit_rate(decided, fallback),
                     str(sum(outcome.lemma_prunes for outcome in run.outcomes)),
                     str(sum(outcome.lemmas_learned for outcome in run.outcomes)),
                     str(sum(outcome.lemma_mining_solves for outcome in run.outcomes)),
@@ -171,11 +191,14 @@ def profile_table(runs: Dict[str, SuiteRun]) -> str:
     ``deduction`` is the time inside SMT ``check()`` calls; ``execution`` is
     component execution plus output comparison; ``other`` is everything else
     (formula construction, search bookkeeping, completion enumeration).
-    Wall-clock values vary run to run -- this table is for profiling, not for
-    the determinism diffs.
+    ``prescreen`` is the tier-1 hit rate -- the fraction of deduction
+    queries the interval sweep decided without the solver, which explains a
+    small ``deduction`` column.  Wall-clock values vary run to run -- this
+    table is for profiling, not for the determinism diffs.
     """
     lines = [
-        "Configuration\tBenchmark\ttotal (s)\tdeduction (s)\texecution (s)\tother (s)"
+        "Configuration\tBenchmark\ttotal (s)\tdeduction (s)\texecution (s)"
+        "\tother (s)\tprescreen"
     ]
     for label, run in runs.items():
         for outcome in run.outcomes:
@@ -189,6 +212,9 @@ def profile_table(runs: Dict[str, SuiteRun]) -> str:
                         f"{outcome.smt_time:.3f}",
                         f"{outcome.exec_time:.3f}",
                         f"{other:.3f}",
+                        _prescreen_hit_rate(
+                            outcome.prescreen_decided, outcome.prescreen_fallback
+                        ),
                     ]
                 )
             )
@@ -204,10 +230,70 @@ def profile_table(runs: Dict[str, SuiteRun]) -> str:
                     f"{smt:.3f}",
                     f"{execution:.3f}",
                     f"{max(0.0, total - smt - execution):.3f}",
+                    _prescreen_hit_rate(
+                        sum(o.prescreen_decided for o in run.outcomes),
+                        sum(o.prescreen_fallback for o in run.outcomes),
+                    ),
                 ]
             )
         )
     return "\n".join(lines)
+
+
+def outcome_record(outcome) -> Dict:
+    """One benchmark outcome as a JSON-ready dict (the ``BENCH_*.json`` rows).
+
+    Everything the perf trajectory needs per task: wall time, prune counts,
+    and the prescreen / lemma / execution-cache counters.  Counter fields are
+    deterministic; ``elapsed`` and the ``*_time`` splits are wall clock.
+    """
+    return {
+        "benchmark": outcome.benchmark,
+        "category": outcome.category,
+        "configuration": outcome.configuration,
+        "solved": outcome.solved,
+        "elapsed_s": round(outcome.elapsed, 4),
+        "program_size": outcome.program_size,
+        "prune_rate": round(outcome.prune_rate, 4),
+        "smt_calls": outcome.smt_calls,
+        "smt_time_s": round(outcome.smt_time, 4),
+        "exec_time_s": round(outcome.exec_time, 4),
+        "prescreen_decided": outcome.prescreen_decided,
+        "prescreen_fallback": outcome.prescreen_fallback,
+        "lemma_prunes": outcome.lemma_prunes,
+        "lemmas_learned": outcome.lemmas_learned,
+        "lemma_mining_solves": outcome.lemma_mining_solves,
+        "tables_built": outcome.tables_built,
+        "cells_interned": outcome.cells_interned,
+        "fingerprint_hits": outcome.fingerprint_hits,
+        "exec_cache_hits": outcome.exec_cache_hits,
+        "compare_fastpath_hits": outcome.compare_fastpath_hits,
+    }
+
+
+def suite_runs_json(runs: Dict[str, SuiteRun]) -> Dict:
+    """A whole figure run as a JSON-ready dict, keyed by configuration label.
+
+    Emitted by the CLI's ``--json`` flag (and the ``BENCH_figure16.json``
+    recorder) so the perf trajectory is machine-readable across PRs.
+    """
+    payload: Dict = {}
+    for label, run in runs.items():
+        decided = sum(o.prescreen_decided for o in run.outcomes)
+        fallback = sum(o.prescreen_fallback for o in run.outcomes)
+        payload[label] = {
+            "solved": run.solved,
+            "total": run.total,
+            "wall_total_s": round(sum(o.elapsed for o in run.outcomes), 4),
+            "smt_calls": sum(o.smt_calls for o in run.outcomes),
+            "prescreen_decided": decided,
+            "prescreen_fallback": fallback,
+            "prescreen_hit_rate": (
+                round(decided / (decided + fallback), 4) if decided + fallback else None
+            ),
+            "outcomes": [outcome_record(o) for o in run.outcomes],
+        }
+    return payload
 
 
 def category_legend() -> str:

@@ -52,6 +52,10 @@ class BenchmarkOutcome:
     #: probes), but reported so a CDCL-vs-ablation comparison of ``smt_calls``
     #: never hides the mining investment.
     lemma_mining_solves: int = 0
+    #: Deduction queries decided UNSAT by the tier-1 interval prescreen
+    #: (no formula built, no solver run) vs handed to the SMT tier.
+    prescreen_decided: int = 0
+    prescreen_fallback: int = 0
     #: Concrete-execution counters (deterministic: the runner resets the
     #: intern pool and counters before each task, so serial and ``--jobs N``
     #: runs report identical values).
@@ -142,6 +146,8 @@ def run_benchmark(
         lemma_prunes=deduction.lemma_prunes,
         lemmas_learned=deduction.lemmas_learned,
         lemma_mining_solves=deduction.lemma_mining_solves,
+        prescreen_decided=deduction.prescreen_decided,
+        prescreen_fallback=deduction.prescreen_fallback,
         tables_built=execution.tables_built,
         cells_interned=execution.cells_interned,
         fingerprint_hits=execution.fingerprint_hits,
@@ -325,15 +331,16 @@ def run_pruning_statistics(
     suite: Optional[BenchmarkSuite] = None,
     jobs: Optional[int] = None,
     cdcl: bool = True,
+    prescreen: bool = True,
 ) -> Dict[str, float]:
     """Measure how many partial programs deduction prunes before completion."""
     suite = suite if suite is not None else r_benchmark_suite()
-    if cdcl:
-        factory, label = _morpheus_config, "spec2"
-    else:
-        from ..baselines.configurations import spec2_no_cdcl_config
+    factory, label = _morpheus_config, "spec2"
+    if not cdcl or not prescreen:
+        from ..baselines.configurations import override_config
 
-        factory, label = spec2_no_cdcl_config, "spec2-no-cdcl"
+        factory = override_config(factory, cdcl=cdcl, prescreen=prescreen)
+        label += ("" if cdcl else "-no-cdcl") + ("" if prescreen else "-no-prescreen")
     run = run_suite(suite, factory, timeout=timeout, label=label, jobs=jobs)
     rates = [outcome.prune_rate for outcome in run.outcomes if outcome.prune_rate > 0]
     return {
@@ -347,5 +354,11 @@ def run_pruning_statistics(
         ),
         "lemma_mining_solves": float(
             sum(outcome.lemma_mining_solves for outcome in run.outcomes)
+        ),
+        "prescreen_decided": float(
+            sum(outcome.prescreen_decided for outcome in run.outcomes)
+        ),
+        "prescreen_fallback": float(
+            sum(outcome.prescreen_fallback for outcome in run.outcomes)
         ),
     }

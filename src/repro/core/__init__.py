@@ -39,7 +39,8 @@ from .hypothesis import (
 )
 from .inhabitation import enumerate_arguments
 from .library import sql_library, standard_library
-from .specs import SPECIFICATIONS
+from .propagation import ground_check, prescreen_infeasible
+from .specs import SPECIFICATIONS, TRANSFERS
 from .synthesizer import (
     Example,
     Morpheus,
@@ -71,6 +72,7 @@ __all__ = [
     "Predicate",
     "SPECIFICATIONS",
     "SpecLevel",
+    "TRANSFERS",
     "SynthesisConfig",
     "SynthesisResult",
     "SynthesisStats",
@@ -84,11 +86,13 @@ __all__ = [
     "default_ngram_model",
     "enumerate_arguments",
     "evaluate",
+    "ground_check",
     "hypothesis_size",
     "initial_hypothesis",
     "is_complete",
     "is_sketch",
     "partial_evaluate",
+    "prescreen_infeasible",
     "refine",
     "render_program",
     "sketches",

@@ -128,6 +128,30 @@ def table_group_count(table: Table) -> int:
     return table.n_groups
 
 
+def table_attribute_vector(
+    table: Table, level: SpecLevel, baseline: ExampleBaseline
+) -> Tuple[int, int, int, int, int]:
+    """The ground ``(row, col, group, newCols, newVals)`` vector of a table.
+
+    This is the attribute vector both tiers of the deduction pipeline consume:
+    tier 1 (:mod:`repro.core.propagation`) plugs it straight into compiled
+    interval transfers, tier 2 wraps it in SMT variables via
+    :func:`abstract_attributes`.  Under Spec 1 the last three attributes never
+    reach either tier, so the whole-table scans they require are skipped
+    (zeroing them also keeps attribute-keyed caches from splitting on unused
+    fields).
+    """
+    if level is SpecLevel.SPEC1:
+        return (table.n_rows, table.n_cols, 0, 0, 0)
+    return (
+        table.n_rows,
+        table.n_cols,
+        table_group_count(table),
+        baseline.new_cols(table),
+        baseline.new_vals(table),
+    )
+
+
 def abstract_table(
     table: Table,
     variables: TableVars,
@@ -142,18 +166,7 @@ def abstract_table(
     metadata, so (as in the appendix of the paper) its group count is a fresh
     unknown.
     """
-    if level is SpecLevel.SPEC1:
-        # The Spec 2 attributes scan the whole table; don't pay for them when
-        # the coarse abstraction discards them anyway.
-        attributes = (table.n_rows, table.n_cols, 0, 0, 0)
-    else:
-        attributes = (
-            table.n_rows,
-            table.n_cols,
-            table_group_count(table),
-            baseline.new_cols(table),
-            baseline.new_vals(table),
-        )
+    attributes = table_attribute_vector(table, level, baseline)
     return abstract_attributes(attributes, variables, level, symbolic_group)
 
 

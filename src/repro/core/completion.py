@@ -52,12 +52,17 @@ class CompletionStats:
     partial_programs: int = 0
     pruned_partial: int = 0
     complete_programs: int = 0
+    #: Of :attr:`pruned_partial`, how many the tier-1 interval prescreen
+    #: decided (the completer's per-hole fills are the bulk deduction
+    #: traffic, so this is where most of the prescreen's saving lands).
+    pruned_by_prescreen: int = 0
 
     def merge(self, other: "CompletionStats") -> None:
         """Accumulate another stats object into this one."""
         self.partial_programs += other.partial_programs
         self.pruned_partial += other.pruned_partial
         self.complete_programs += other.complete_programs
+        self.pruned_by_prescreen += other.pruned_by_prescreen
 
 
 @dataclass
@@ -127,8 +132,7 @@ class SketchCompleter:
             # concrete abstraction may already contradict the example.
             self._charge_budget()
             self.stats.partial_programs += 1
-            if not self.engine.deduce(sketch, learn=False):
-                self.stats.pruned_partial += 1
+            if not self._deduce_partial(sketch):
                 return
             yield sketch
             return
@@ -187,13 +191,26 @@ class SketchCompleter:
             self._charge_budget()
             candidate = fill_value_hole(sketch, hole, argument)
             self.stats.partial_programs += 1
-            # ``learn=False``: per-hole fills come in bulk and mostly differ
-            # only in evaluated-table abstractions; they consult the lemma
-            # store but are not worth a mining replay each.
-            if not completes_program and not self.engine.deduce(candidate, learn=False):
-                self.stats.pruned_partial += 1
+            if not completes_program and not self._deduce_partial(candidate):
                 continue
             yield from self._fill_holes(candidate, node, rest, context_table)
+
+    def _deduce_partial(self, candidate: Hypothesis) -> bool:
+        """Rule 3's deduction check for one partially filled sketch.
+
+        ``learn=False``: per-hole fills come in bulk and mostly differ only
+        in evaluated-table abstractions; they consult the lemma store (and
+        the tier-1 prescreen) but are not worth a mining replay each.  The
+        prescreen counter delta attributes each prune to the tier that
+        decided it.
+        """
+        decided_before = self.engine.stats.prescreen_decided
+        if self.engine.deduce(candidate, learn=False):
+            return True
+        self.stats.pruned_partial += 1
+        if self.engine.stats.prescreen_decided > decided_before:
+            self.stats.pruned_by_prescreen += 1
+        return False
 
     def _param_of(self, node: Apply, hole: Hole):
         for index, child in enumerate(node.value_children):

@@ -15,7 +15,8 @@ from ..dataframe.table import Table
 from ..smt.terms import Formula
 from .abstraction import SpecLevel, TableVars
 from .arguments import ValueArgument
-from .specs import SPECIFICATIONS, SpecFunction, spec_true
+from .propagation import TransferFunction
+from .specs import SPECIFICATIONS, TRANSFERS, SpecFunction, spec_true
 from .types import Type
 
 #: Executor signature: (input tables, value arguments, fresh-name prefix) -> table.
@@ -44,10 +45,19 @@ class Component:
     renderer: Renderer = None
     description: str = ""
     spec: SpecFunction = field(default=None)
+    #: The compiled (tier-1) interpretation of the spec: an interval transfer
+    #: function over attribute boxes, or ``None`` when only the formula
+    #: interpretation exists (the prescreen then treats the component as
+    #: unconstrained, which is always sound).  Defaults to the registry twin
+    #: of :attr:`spec`; custom components overriding ``spec`` without
+    #: supplying a matching transfer keep ``None``.
+    transfer: TransferFunction = field(default=None)
 
     def __post_init__(self):
         if self.spec is None:
             object.__setattr__(self, "spec", SPECIFICATIONS.get(self.name, spec_true))
+            if self.transfer is None:
+                object.__setattr__(self, "transfer", TRANSFERS.get(self.name))
 
     @property
     def arity(self) -> int:

@@ -41,6 +41,7 @@ from .abstraction import (
     SpecLevel,
     TableVars,
     nonnegativity,
+    table_attribute_vector,
 )
 from .hypothesis import (
     Apply,
@@ -51,6 +52,7 @@ from .hypothesis import (
     partial_evaluate,
 )
 from .lemmas import LemmaStore
+from .propagation import prescreen_infeasible
 from .types import Type
 
 
@@ -84,6 +86,12 @@ class DeductionStats:
     hypotheses_checked: int = 0
     hypotheses_rejected: int = 0
     evaluation_failures: int = 0
+    #: Deduction queries decided UNSAT by the tier-1 interval prescreen
+    #: (no ``Formula`` was built, no solver ran).
+    prescreen_decided: int = 0
+    #: Queries the prescreen swept inconclusively before falling through to
+    #: the SMT tier.
+    prescreen_fallback: int = 0
     #: Hypotheses rejected by the lemma store without an SMT query.
     lemma_prunes: int = 0
     #: Blocking lemmas mined from unsat cores and stored.
@@ -124,6 +132,18 @@ class DeductionStats:
         return self.verdict_cache.hit_rate
 
     @property
+    def prescreen_queries(self) -> int:
+        """Queries that reached the tier-1 prescreen (decided + fallback)."""
+        return self.prescreen_decided + self.prescreen_fallback
+
+    @property
+    def prescreen_hit_rate(self) -> float:
+        """Fraction of prescreened queries decided without the solver."""
+        if self.prescreen_queries == 0:
+            return 0.0
+        return self.prescreen_decided / self.prescreen_queries
+
+    @property
     def mean_core_size(self) -> float:
         """Average size of the mined unsat cores (0.0 when none were mined)."""
         if self.cores_extracted == 0:
@@ -137,6 +157,8 @@ class DeductionStats:
         self.hypotheses_checked += other.hypotheses_checked
         self.hypotheses_rejected += other.hypotheses_rejected
         self.evaluation_failures += other.evaluation_failures
+        self.prescreen_decided += other.prescreen_decided
+        self.prescreen_fallback += other.prescreen_fallback
         self.lemma_prunes += other.lemma_prunes
         self.lemmas_learned += other.lemmas_learned
         self.cores_extracted += other.cores_extracted
@@ -159,6 +181,12 @@ class DeductionEngine:
     #: Conflict-driven lemma learning: mine unsat cores into blocking lemmas
     #: and consult the lemma store before building SMT queries.
     cdcl: bool = True
+    #: Tier-1 interval prescreen: sweep each query with compiled attribute
+    #: propagation (:mod:`repro.core.propagation`) and answer UNSAT without
+    #: building a formula when some attribute box empties.  Conservative by
+    #: construction -- disabling it (the ``--no-prescreen`` ablation) changes
+    #: how much solver work runs, never a verdict.
+    prescreen: bool = True
     #: The lemma store (created fresh per engine when not provided; lemmas
     #: rest on the example formula and must never outlive the example).
     lemma_store: Optional[LemmaStore] = None
@@ -201,6 +229,11 @@ class DeductionEngine:
         )
         if self.cdcl and self.lemma_store is None:
             self.lemma_store = LemmaStore()
+        #: Ground attribute vectors of the example tables, precomputed for
+        #: the tier-1 prescreen (the output's ``group`` stays symbolic there,
+        #: exactly as in the example formula).
+        self._input_attributes = [self.table_attributes(t) for t in self.inputs]
+        self._output_attributes = self.table_attributes(self.output)
         #: Persistent incremental solver session used to replay rejected
         #: hypotheses under named assumptions (created lazily; the example
         #: formula and phi_out are asserted exactly once per run).
@@ -232,16 +265,7 @@ class DeductionEngine:
         fingerprint = table.fingerprint()
         attributes = self._attribute_cache.get(fingerprint)
         if attributes is None:
-            if self.level is SpecLevel.SPEC1:
-                attributes = (table.n_rows, table.n_cols, 0, 0, 0)
-            else:
-                attributes = (
-                    table.n_rows,
-                    table.n_cols,
-                    table.n_groups,
-                    self.baseline.new_cols(table),
-                    self.baseline.new_vals(table),
-                )
+            attributes = table_attribute_vector(table, self.level, self.baseline)
             self._attribute_cache[fingerprint] = attributes
         return attributes
 
@@ -342,15 +366,28 @@ class DeductionEngine:
 
     # ------------------------------------------------------------------
     def deduce(self, hypothesis: Hypothesis, learn: bool = True) -> bool:
-        """Algorithm 2: return ``False`` when the hypothesis can be rejected.
+        """Algorithm 2, staged: return ``False`` when the hypothesis can be rejected.
 
-        With CDCL enabled the lemma store is consulted first -- a hypothesis
-        matching a previously mined conflict is rejected without building a
-        formula -- and, when *learn* is set, every fresh rejection is mined
-        for a new lemma.  Callers issuing bulk near-duplicate queries (the
-        sketch completer's per-hole fills) pass ``learn=False``: they still
-        benefit from the store, but only hypothesis- and sketch-level
-        conflicts are worth the mining replay.
+        The query passes through progressively more expensive tiers, each of
+        which may reject (never accept) before the next one runs:
+
+        1. partial evaluation (a complete subterm that fails to execute);
+        2. the conflict-driven lemma store (with CDCL enabled, consulted
+           first so path-keyed lemmas keep absorbing whole families);
+        3. the verdict memo;
+        4. the tier-1 interval prescreen -- compiled attribute propagation
+           that decides ground-heavy queries without constructing a
+           ``Formula`` (see :mod:`repro.core.propagation`);
+        5. the incremental SMT stack (tier 2), the only tier that can also
+           *accept*.
+
+        When *learn* is set, every tier-2 rejection is mined for a new lemma.
+        Callers issuing bulk near-duplicate queries (the sketch completer's
+        per-hole fills) pass ``learn=False``: they still benefit from the
+        store, but only hypothesis- and sketch-level conflicts are worth the
+        mining replay.  Prescreen-decided rejections are never mined: the
+        replay solve they would need costs exactly the solver work the
+        prescreen exists to skip.
         """
         self.stats.hypotheses_checked += 1
         evaluated: Dict[int, Table] = {}
@@ -388,6 +425,17 @@ class DeductionEngine:
             if not cached:
                 self.stats.hypotheses_rejected += 1
             return cached
+
+        if self.prescreen:
+            if prescreen_infeasible(
+                hypothesis, evaluated, self.table_attributes,
+                self._input_attributes, self._output_attributes, self.level,
+            ):
+                self.stats.prescreen_decided += 1
+                self.stats.hypotheses_rejected += 1
+                self._verdict_cache.put(cache_key, False)
+                return False
+            self.stats.prescreen_fallback += 1
 
         query = self.build_query(hypothesis, evaluated)
         solver = Solver()

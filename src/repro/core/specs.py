@@ -15,6 +15,22 @@ for faithful tidyr/dplyr semantics (e.g. ``unite`` can *remove* previously-new
 column names, ``spread`` over a single key value can shrink the table), the
 bound is relaxed just enough to stay an over-approximation.  DESIGN.md lists
 these adjustments.
+
+Every specification carries **two interpretations** that must be kept in
+lock-step (the two-tier deduction invariant, see DESIGN.md):
+
+* ``spec_<name>`` builds the :class:`~repro.smt.terms.Formula` discharged by
+  the SMT stack (tier 2);
+* ``transfer_<name>`` is the compiled interval transfer function consumed by
+  the tier-1 prescreen (:mod:`repro.core.propagation`): the same
+  inequalities, expressed as ``[lo, hi]`` box refinements over the attribute
+  indices ``ROW`` .. ``NEW_VALS``.
+
+A transfer may be *weaker* than its formula twin (any missed refinement just
+falls through to the solver) but never stronger; the property tests in
+``tests/core/test_propagation.py`` enforce the over-approximation direction
+for every component, so an edit to one interpretation that forgets the other
+fails CI.
 """
 
 from __future__ import annotations
@@ -23,6 +39,25 @@ from typing import Callable, Dict, Sequence
 
 from ..smt.terms import Formula, Or, conjoin
 from .abstraction import SpecLevel, TableVars
+from .propagation import (
+    COL,
+    GROUP,
+    NEW_COLS,
+    NEW_VALS,
+    ROW,
+    Box,
+    TransferFunction,
+    at_least,
+    eq,
+    exact,
+    ge,
+    ge_min,
+    gt,
+    le,
+    le_max,
+    le_sum,
+    lt,
+)
 
 #: The type of a component specification: ``spec(output, inputs, level)``.
 SpecFunction = Callable[[TableVars, Sequence[TableVars], SpecLevel], Formula]
@@ -239,4 +274,155 @@ SPECIFICATIONS: Dict[str, SpecFunction] = {
     "mutate": spec_mutate,
     "inner_join": spec_inner_join,
     "arrange": spec_arrange,
+}
+
+
+# ----------------------------------------------------------------------
+# Compiled interval interpretation (tier 1 of the deduction pipeline)
+# ----------------------------------------------------------------------
+# Each ``transfer_<name>`` below restates its ``spec_<name>`` twin
+# constraint-for-constraint over attribute boxes.  Keep the two in lock-step: a
+# constraint added to the formula must be added (or consciously omitted as
+# "solver-only") here, and vice versa -- the prescreen may only ever be
+# weaker than the formula, never stronger.
+
+def transfer_gather(out: Box, ins: Sequence[Box], level: SpecLevel) -> None:
+    (t,) = ins
+    ge(out, ROW, t, ROW)
+    le(out, COL, t, COL)
+    at_least(out, COL, 3)
+    if level is SpecLevel.SPEC2:
+        le(out, GROUP, t, GROUP)
+        le(out, NEW_VALS, t, NEW_VALS, 2)
+        le(out, NEW_COLS, t, NEW_COLS, 2)
+
+
+def transfer_spread(out: Box, ins: Sequence[Box], level: SpecLevel) -> None:
+    (t,) = ins
+    le(out, ROW, t, ROW)
+    ge(out, COL, t, COL, -1)
+    at_least(out, ROW, 1)
+    if level is SpecLevel.SPEC2:
+        le(out, GROUP, t, GROUP)
+        le(out, NEW_VALS, t, NEW_VALS)
+        le(out, NEW_COLS, t, NEW_VALS)
+
+
+def transfer_separate(out: Box, ins: Sequence[Box], level: SpecLevel) -> None:
+    (t,) = ins
+    eq(out, ROW, t, ROW)
+    eq(out, COL, t, COL, 1)
+    if level is SpecLevel.SPEC2:
+        le(out, GROUP, t, GROUP)
+        ge(out, NEW_VALS, t, NEW_VALS, 2)
+        le(out, NEW_COLS, t, NEW_COLS, 2)
+        at_least(out, NEW_COLS, 2)
+
+
+def transfer_unite(out: Box, ins: Sequence[Box], level: SpecLevel) -> None:
+    (t,) = ins
+    eq(out, ROW, t, ROW)
+    eq(out, COL, t, COL, -1)
+    if level is SpecLevel.SPEC2:
+        le(out, GROUP, t, GROUP)
+        ge(out, NEW_VALS, t, NEW_VALS, -1)
+        le_sum(out, NEW_VALS, t, NEW_VALS, t, ROW, 1)
+        le(out, NEW_COLS, t, NEW_COLS, 1)
+        ge(out, NEW_COLS, t, NEW_COLS, -1)
+        at_least(out, NEW_COLS, 1)
+
+
+def transfer_select(out: Box, ins: Sequence[Box], level: SpecLevel) -> None:
+    (t,) = ins
+    eq(out, ROW, t, ROW)
+    lt(out, COL, t, COL)
+    if level is SpecLevel.SPEC2:
+        le(out, GROUP, t, GROUP)
+        le(out, NEW_VALS, t, NEW_VALS)
+        le(out, NEW_COLS, t, NEW_COLS)
+
+
+def transfer_filter(out: Box, ins: Sequence[Box], level: SpecLevel) -> None:
+    (t,) = ins
+    lt(out, ROW, t, ROW)
+    eq(out, COL, t, COL)
+    if level is SpecLevel.SPEC2:
+        le(out, GROUP, t, GROUP)
+        le(out, NEW_VALS, t, NEW_VALS)
+        eq(out, NEW_COLS, t, NEW_COLS)
+
+
+def transfer_summarise(out: Box, ins: Sequence[Box], level: SpecLevel) -> None:
+    (t,) = ins
+    le(out, ROW, t, ROW)
+    le(out, COL, t, COL, 1)
+    at_least(out, COL, 1)
+    if level is SpecLevel.SPEC2:
+        eq(out, ROW, t, GROUP)
+        le(out, GROUP, t, GROUP)
+        le_sum(out, NEW_VALS, t, NEW_VALS, t, GROUP, 1)
+        le(out, NEW_COLS, t, NEW_COLS, 1)
+        at_least(out, NEW_COLS, 1)
+
+
+def transfer_group_by(out: Box, ins: Sequence[Box], level: SpecLevel) -> None:
+    (t,) = ins
+    eq(out, ROW, t, ROW)
+    eq(out, COL, t, COL)
+    if level is SpecLevel.SPEC2:
+        at_least(out, GROUP, 1)
+        le(out, GROUP, t, ROW)
+        eq(out, NEW_VALS, t, NEW_VALS)
+        eq(out, NEW_COLS, t, NEW_COLS)
+
+
+def transfer_mutate(out: Box, ins: Sequence[Box], level: SpecLevel) -> None:
+    (t,) = ins
+    eq(out, ROW, t, ROW)
+    eq(out, COL, t, COL, 1)
+    if level is SpecLevel.SPEC2:
+        eq(out, GROUP, t, GROUP)
+        eq(out, NEW_COLS, t, NEW_COLS, 1)
+        gt(out, NEW_VALS, t, NEW_VALS)
+        le_sum(out, NEW_VALS, t, NEW_VALS, t, ROW, 1)
+
+
+def transfer_inner_join(out: Box, ins: Sequence[Box], level: SpecLevel) -> None:
+    t1, t2 = ins
+    # Min(r1, r2) <= out.row <= Max(r1, r2).
+    ge_min(out, ROW, [(t1, ROW), (t2, ROW)])
+    le_max(out, ROW, [(t1, ROW), (t2, ROW)])
+    le_sum(out, COL, t1, COL, t2, COL, -1)
+    ge(out, COL, t1, COL)
+    ge(out, COL, t2, COL)
+    if level is SpecLevel.SPEC2:
+        exact(out, GROUP, 1)
+        le_sum(out, NEW_COLS, t1, NEW_COLS, t2, NEW_COLS)
+        le_sum(out, NEW_VALS, t1, NEW_VALS, t2, NEW_VALS)
+
+
+def transfer_arrange(out: Box, ins: Sequence[Box], level: SpecLevel) -> None:
+    (t,) = ins
+    eq(out, ROW, t, ROW)
+    eq(out, COL, t, COL)
+    if level is SpecLevel.SPEC2:
+        eq(out, GROUP, t, GROUP)
+        eq(out, NEW_VALS, t, NEW_VALS)
+        eq(out, NEW_COLS, t, NEW_COLS)
+
+
+#: The compiled interpretation of every built-in specification, keyed like
+#: :data:`SPECIFICATIONS` (the key sets must match; pinned by the tests).
+TRANSFERS: Dict[str, TransferFunction] = {
+    "gather": transfer_gather,
+    "spread": transfer_spread,
+    "separate": transfer_separate,
+    "unite": transfer_unite,
+    "select": transfer_select,
+    "filter": transfer_filter,
+    "summarise": transfer_summarise,
+    "group_by": transfer_group_by,
+    "mutate": transfer_mutate,
+    "inner_join": transfer_inner_join,
+    "arrange": transfer_arrange,
 }

@@ -83,6 +83,12 @@ class SynthesisConfig:
     #: touching the solver.  Disable (the ``--no-cdcl`` ablation) to measure
     #: plain Algorithm 2.
     cdcl: bool = True
+    #: Tier-1 interval prescreen: decide ground-heavy deduction queries with
+    #: compiled attribute propagation before any formula is built.  Disable
+    #: (the ``--no-prescreen`` ablation) to send every query straight to the
+    #: SMT stack; verdicts (and synthesized programs) are identical either
+    #: way, only the work split changes.
+    prescreen: bool = True
     #: Use the statistical (bigram) cost model; otherwise order by size only.
     ngram_ranking: bool = True
     #: Largest number of component applications to consider.
@@ -106,6 +112,8 @@ class SynthesisConfig:
             name += "-no-pe"
         if not self.cdcl:
             name += "-no-cdcl"
+        if not self.prescreen:
+            name += "-no-prescreen"
         return name
 
 
@@ -157,6 +165,21 @@ class SynthesisStats:
     def smt_calls(self) -> int:
         """Deduction SMT ``check()`` calls issued this run."""
         return self.deduction.smt_calls
+
+    @property
+    def prescreen_decided(self) -> int:
+        """Deduction queries decided by the tier-1 interval prescreen."""
+        return self.deduction.prescreen_decided
+
+    @property
+    def prescreen_fallback(self) -> int:
+        """Deduction queries the prescreen handed to the SMT tier."""
+        return self.deduction.prescreen_fallback
+
+    @property
+    def prescreen_hit_rate(self) -> float:
+        """Fraction of prescreened queries decided without the solver."""
+        return self.deduction.prescreen_hit_rate
 
     @property
     def tables_built(self) -> int:
@@ -234,6 +257,7 @@ class Morpheus:
             use_partial_evaluation=self.config.partial_evaluation,
             enabled=self.config.deduction,
             cdcl=self.config.cdcl and self.config.deduction,
+            prescreen=self.config.prescreen and self.config.deduction,
             stats=stats.deduction,
         )
         completer = SketchCompleter(

@@ -75,8 +75,11 @@ class TestLemmaStore:
 
 
 class TestEngineIntegration:
+    # These tests pin the tier-2 (CDCL) machinery in isolation: the tier-1
+    # interval prescreen would decide the simple UNSAT chains below before
+    # any lemma could be mined, so it is disabled here.
     def test_rejection_mines_a_lemma_and_blocks_the_replay(self):
-        engine = DeductionEngine(inputs=[T1], output=T1)
+        engine = DeductionEngine(inputs=[T1], output=T1, prescreen=False)
         hypothesis = build_chain("select")  # select must drop a column: UNSAT
         assert engine.deduce(hypothesis) is False
         assert engine.stats.lemmas_learned >= 1
@@ -85,7 +88,7 @@ class TestEngineIntegration:
         assert engine.stats.lemma_prunes == 1
 
     def test_learn_false_skips_mining_but_still_consults_the_store(self):
-        engine = DeductionEngine(inputs=[T1], output=T1)
+        engine = DeductionEngine(inputs=[T1], output=T1, prescreen=False)
         assert engine.deduce(build_chain("select"), learn=False) is False
         assert engine.stats.lemmas_learned == 0
         # Mine via a learning call (the verdict cache is cleared first: a
@@ -99,7 +102,7 @@ class TestEngineIntegration:
         assert engine.stats.lemma_prunes >= 1
 
     def test_cdcl_disabled_engine_never_touches_lemma_state(self):
-        engine = DeductionEngine(inputs=[T1], output=T1, cdcl=False)
+        engine = DeductionEngine(inputs=[T1], output=T1, cdcl=False, prescreen=False)
         assert engine.deduce(build_chain("select")) is False
         assert engine.lemma_store is None
         assert engine.stats.lemmas_learned == 0
@@ -111,7 +114,7 @@ class TestEngineIntegration:
         # table does not have, whatever its subtree computes: the mined core
         # is the root spec alone, so every deeper hypothesis keeping mutate
         # at the root is rejected without a new SMT call.
-        engine = DeductionEngine(inputs=[T1], output=T1)
+        engine = DeductionEngine(inputs=[T1], output=T1, prescreen=False)
         assert engine.deduce(build_chain("mutate")) is False
         assert frozenset({("spec", (), "mutate")}) in engine.lemma_store.lemmas()
         calls = engine.stats.smt_calls
@@ -124,8 +127,8 @@ class TestEngineIntegration:
         # Soundness differential: every verdict of the CDCL engine (lemma
         # prunes included) must coincide with the plain Algorithm 2 verdict.
         names = ["select", "filter", "mutate", "gather", "spread", "group_by"]
-        cdcl = DeductionEngine(inputs=[T1], output=T3)
-        plain = DeductionEngine(inputs=[T1], output=T3, cdcl=False)
+        cdcl = DeductionEngine(inputs=[T1], output=T3, prescreen=False)
+        plain = DeductionEngine(inputs=[T1], output=T3, cdcl=False, prescreen=False)
         hypotheses = [build_chain(name) for name in names]
         hypotheses += [
             build_chain(first, second)
@@ -140,8 +143,8 @@ class TestEngineIntegration:
         assert cdcl.stats.smt_calls < plain.stats.smt_calls
 
     def test_stats_merge_accumulates_lemma_counters(self):
-        first = DeductionEngine(inputs=[T1], output=T1)
-        second = DeductionEngine(inputs=[T1], output=T1)
+        first = DeductionEngine(inputs=[T1], output=T1, prescreen=False)
+        second = DeductionEngine(inputs=[T1], output=T1, prescreen=False)
         first.deduce(build_chain("select"))
         second.deduce(build_chain("select"))
         merged = first.stats

@@ -38,6 +38,10 @@ def deterministic_fingerprint(run):
             outcome.smt_calls,
             outcome.lemma_prunes,
             outcome.lemmas_learned,
+            # Tier-1 prescreen counters: pure functions of the (deterministic)
+            # query sequence, so they too must match byte for byte.
+            outcome.prescreen_decided,
+            outcome.prescreen_fallback,
             # Concrete-execution counters: the runner resets the intern pool
             # and counters per task, so these must match byte for byte too.
             outcome.tables_built,
@@ -57,8 +61,27 @@ def test_jobs4_suite_is_byte_identical_to_serial_with_cdcl():
         suite, FIGURE16_CONFIGS["spec2"], timeout=TIMEOUT, label="spec2"
     )
     assert deterministic_fingerprint(parallel) == deterministic_fingerprint(serial)
-    # The CDCL machinery actually ran (this is not a vacuous comparison).
+    # The tier-1 prescreen actually ran (this is not a vacuous comparison).
+    assert sum(outcome.prescreen_decided for outcome in serial.outcomes) > 0
+
+
+def test_jobs4_is_byte_identical_to_serial_without_prescreen():
+    # With the prescreen ablated, every UNSAT query reaches the SMT tier and
+    # the CDCL machinery carries the pruning -- the lemma counters must stay
+    # deterministic across schedulers there too (and actually fire, which
+    # they rarely do with the prescreen absorbing the easy conflicts).
+    from repro.baselines import spec2_no_prescreen_config
+
+    suite = fast_suite()
+    serial = run_suite(
+        suite, spec2_no_prescreen_config, timeout=TIMEOUT, label="spec2-no-prescreen"
+    )
+    parallel = ParallelRunner(jobs=4).run_suite(
+        suite, spec2_no_prescreen_config, timeout=TIMEOUT, label="spec2-no-prescreen"
+    )
+    assert deterministic_fingerprint(parallel) == deterministic_fingerprint(serial)
     assert sum(outcome.lemmas_learned for outcome in serial.outcomes) > 0
+    assert all(outcome.prescreen_decided == 0 for outcome in serial.outcomes)
 
 
 def test_cdcl_and_ablation_agree_on_programs_across_schedulers():

@@ -57,7 +57,9 @@ class TestVerdictMemo:
     def test_lemma_store_answers_repeated_rejections_before_the_cache(self):
         # With lemma learning on, the first rejection mines a blocking lemma,
         # and the replay is answered by the store without a cache probe.
-        engine = DeductionEngine(inputs=[T1], output=T1)
+        # (Prescreen off: tier 1 would decide this chain before the SMT
+        # tier, and prescreen rejections deliberately skip lemma mining.)
+        engine = DeductionEngine(inputs=[T1], output=T1, prescreen=False)
         hypothesis = build_chain("select")
         assert engine.deduce(hypothesis) is False
         assert engine.stats.lemmas_learned >= 1
