@@ -17,6 +17,7 @@ from repro.baselines import (
     override_config,
     spec2_config,
     spec2_no_cdcl_config,
+    spec2_no_oe_config,
     spec2_no_prescreen_config,
 )
 from repro.benchmarks import (
@@ -104,6 +105,36 @@ def test_prescreen_ablation_smoke(capsys):
         o.smt_calls for o in plain.outcomes
     )
     assert all(o.prescreen_decided == 0 for o in plain.outcomes)
+
+
+def test_oe_ablation_smoke(capsys):
+    """OE vs --no-oe on the Figure 16 subset: same programs, less completion work.
+
+    The acceptance bar for the observational-equivalence store (ISSUE 5):
+    with merging enabled the run must collapse at least one duplicate
+    completion state (``oe_merged > 0``), try no *more* candidate hole
+    fillings than the ablation, and synthesize byte-identical programs with
+    identical solve/fail outcomes.
+    """
+    subset = SUITE.subset(names=NAMES)
+    merged = run_suite(subset, spec2_config, timeout=BENCH_TIMEOUT, label="spec2")
+    plain = run_suite(
+        subset, spec2_no_oe_config, timeout=BENCH_TIMEOUT, label="spec2-no-oe"
+    )
+    oe_merged = sum(o.oe_merged for o in merged.outcomes)
+    with capsys.disabled():
+        print(
+            f"\noe: candidates={sum(o.oe_candidates for o in merged.outcomes)} "
+            f"merged={oe_merged} "
+            f"partial={sum(o.partial_programs for o in merged.outcomes)} | "
+            f"no-oe: partial={sum(o.partial_programs for o in plain.outcomes)}"
+        )
+    assert _outcomes(merged) == _outcomes(plain)
+    assert oe_merged > 0
+    assert sum(o.partial_programs for o in merged.outcomes) <= sum(
+        o.partial_programs for o in plain.outcomes
+    )
+    assert all(o.oe_candidates == 0 for o in plain.outcomes)
 
 
 def test_cdcl_ablation_smoke(capsys):

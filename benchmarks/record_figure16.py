@@ -1,11 +1,13 @@
 """Record the Figure-16 perf trajectory as machine-readable JSON.
 
 Runs the representative Figure-16 subset under the full spec2 configuration
-and its ``--no-prescreen`` ablation, and writes ``BENCH_figure16.json`` with
-per-task wall times, prune counts and the prescreen / exec-cache counters,
-plus an A/B comparison block quantifying the tier-1 prescreen's end-to-end
-wall-clock win.  CI runs this on every push and uploads the file as an
-artifact; re-record the checked-in copy with::
+and its ``--no-prescreen`` and ``--no-oe`` ablations, and writes
+``BENCH_figure16.json`` with per-task wall times, prune counts and the
+prescreen / OE / exec-cache counters, plus A/B comparison blocks quantifying
+the tier-1 prescreen's end-to-end wall-clock win and the
+observational-equivalence store's completion-work dedup.  CI runs this on
+every push and uploads the file as an artifact; re-record the checked-in
+copy with::
 
     PYTHONPATH=src python benchmarks/record_figure16.py --timeout 20 --out BENCH_figure16.json
 
@@ -17,14 +19,14 @@ import json
 import platform
 import sys
 
-from repro.baselines import spec2_config, spec2_no_prescreen_config
+from repro.baselines import spec2_config, spec2_no_oe_config, spec2_no_prescreen_config
 from repro.benchmarks import r_benchmark_suite, run_suite, suite_runs_json
 
 from conftest import REPRESENTATIVE_BENCHMARKS
 
 
 def record(timeout: float, full: bool = False) -> dict:
-    """Run the prescreen A/B on the Figure-16 subset and build the payload."""
+    """Run the prescreen and OE A/Bs on the Figure-16 subset and build the payload."""
     suite = r_benchmark_suite()
     if not full:
         suite = suite.subset(names=REPRESENTATIVE_BENCHMARKS)
@@ -34,11 +36,15 @@ def record(timeout: float, full: bool = False) -> dict:
             suite, spec2_no_prescreen_config, timeout=timeout,
             label="spec2-no-prescreen",
         ),
+        "spec2-no-oe": run_suite(
+            suite, spec2_no_oe_config, timeout=timeout, label="spec2-no-oe",
+        ),
     }
     # The per-run aggregates come from the shared reporting serialiser; the
-    # comparison block only pairs them up, so the two can never disagree.
+    # comparison blocks only pair them up, so the two can never disagree.
     payload = suite_runs_json(runs)
     tiered, plain = payload["spec2"], payload["spec2-no-prescreen"]
+    unmerged = payload["spec2-no-oe"]
     programs = lambda label: [  # noqa: E731
         (o.benchmark, o.solved, o.program) for o in runs[label].outcomes
     ]
@@ -61,6 +67,19 @@ def record(timeout: float, full: bool = False) -> dict:
             "prescreen_hit_rate": tiered["prescreen_hit_rate"],
             "programs_identical": programs("spec2") == programs("spec2-no-prescreen"),
         },
+        "oe_comparison": {
+            "wall_total_s": tiered["wall_total_s"],
+            "wall_total_no_oe_s": unmerged["wall_total_s"],
+            "oe_candidates": tiered["oe_candidates"],
+            "oe_merged": tiered["oe_merged"],
+            "oe_merge_rate": tiered["oe_merge_rate"],
+            "partial_programs": tiered["partial_programs"],
+            "partial_programs_no_oe": unmerged["partial_programs"],
+            "partial_programs_saved": (
+                unmerged["partial_programs"] - tiered["partial_programs"]
+            ),
+            "programs_identical": programs("spec2") == programs("spec2-no-oe"),
+        },
     }
 
 
@@ -78,6 +97,7 @@ def main(argv=None) -> int:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     comparison = payload["prescreen_comparison"]
+    oe = payload["oe_comparison"]
     print(
         f"wall {comparison['wall_total_s']}s vs {comparison['wall_total_no_prescreen_s']}s "
         f"no-prescreen (speedup {comparison['speedup']}x), "
@@ -85,11 +105,24 @@ def main(argv=None) -> int:
         f"programs identical: {comparison['programs_identical']}",
         file=sys.stderr,
     )
-    # The acceptance gate (also enforced by CI): byte-identical programs and
-    # a tier-1 hit rate of at least 50% on the subset.
+    print(
+        f"oe merged {oe['oe_merged']}/{oe['oe_candidates']} states, "
+        f"partial programs {oe['partial_programs']} vs "
+        f"{oe['partial_programs_no_oe']} no-oe "
+        f"({oe['partial_programs_saved']} saved), "
+        f"programs identical: {oe['programs_identical']}",
+        file=sys.stderr,
+    )
+    # The acceptance gates (also enforced by CI): byte-identical programs
+    # under both ablations, a tier-1 hit rate of at least 50%, and a live
+    # OE store (merges > 0, never more completion work than the ablation).
     if not comparison["programs_identical"]:
         return 1
     if not comparison["prescreen_hit_rate"] or comparison["prescreen_hit_rate"] < 0.5:
+        return 1
+    if not oe["programs_identical"]:
+        return 1
+    if not oe["oe_merged"] or oe["partial_programs_saved"] < 0:
         return 1
     return 0
 

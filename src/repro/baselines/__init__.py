@@ -18,9 +18,12 @@ from .configurations import (
     override_config,
     spec2_config,
     spec2_no_cdcl_config,
+    spec2_no_oe_config,
     spec2_no_partial_eval_config,
     spec2_no_prescreen_config,
+    with_top_k,
     without_cdcl,
+    without_oe,
     without_prescreen,
 )
 from .lambda2 import Lambda2Synthesizer
@@ -39,8 +42,11 @@ __all__ = [
     "spec1_no_partial_eval_config",
     "spec2_config",
     "spec2_no_cdcl_config",
+    "spec2_no_oe_config",
     "spec2_no_partial_eval_config",
     "spec2_no_prescreen_config",
+    "with_top_k",
     "without_cdcl",
+    "without_oe",
     "without_prescreen",
 ]

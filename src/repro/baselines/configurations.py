@@ -67,6 +67,11 @@ def spec2_no_prescreen_config(timeout: Optional[float] = 60.0) -> SynthesisConfi
     return SynthesisConfig(spec_level=SpecLevel.SPEC2, prescreen=False, **_base(timeout))
 
 
+def spec2_no_oe_config(timeout: Optional[float] = 60.0) -> SynthesisConfig:
+    """Spec 2 deduction without observational-equivalence merging (``--no-oe``)."""
+    return SynthesisConfig(spec_level=SpecLevel.SPEC2, oe=False, **_base(timeout))
+
+
 def override_config(factory, **overrides):
     """A configuration factory applying field *overrides* to another factory."""
     from dataclasses import replace
@@ -94,6 +99,16 @@ def without_cdcl(configurations: Dict) -> Dict:
 def without_prescreen(configurations: Dict) -> Dict:
     """Disable the tier-1 interval prescreen in every configuration."""
     return _with_overrides(configurations, prescreen=False)
+
+
+def without_oe(configurations: Dict) -> Dict:
+    """Disable observational-equivalence merging in every configuration."""
+    return _with_overrides(configurations, oe=False)
+
+
+def with_top_k(configurations: Dict, k: int) -> Dict:
+    """Collect up to *k* distinct solutions per task."""
+    return _with_overrides(configurations, top_k=k)
 
 
 #: The three configurations of Figure 16, keyed by the column label.

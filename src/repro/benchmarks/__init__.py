@@ -13,6 +13,7 @@ from .runner import (
     BenchmarkOutcome,
     Figure18Row,
     SuiteRun,
+    outcome_from_result,
     run_benchmark,
     run_figure16,
     run_figure17,
@@ -29,6 +30,7 @@ from .reporting import (
     figure18_table,
     outcome_record,
     profile_table,
+    search_summary_table,
     suite_runs_json,
 )
 from .sql_suite import sql_benchmark_suite
@@ -48,9 +50,11 @@ __all__ = [
     "figure17_series",
     "figure17_table",
     "figure18_table",
+    "outcome_from_result",
     "outcome_record",
     "profile_table",
     "r_benchmark_suite",
+    "search_summary_table",
     "suite_runs_json",
     "run_benchmark",
     "run_figure16",

@@ -6,38 +6,55 @@ Examples::
     python -m repro.benchmarks.cli figure16 --timeout 20 --jobs 4
     python -m repro.benchmarks.cli figure16 --timeout 20 --no-cdcl --stats
     python -m repro.benchmarks.cli figure16 --timeout 20 --no-prescreen --stats
+    python -m repro.benchmarks.cli figure16 --timeout 20 --no-oe --stats
     python -m repro.benchmarks.cli figure16 --timeout 20 --profile
     python -m repro.benchmarks.cli figure16 --timeout 20 --json BENCH_figure16.json
+    python -m repro.benchmarks.cli figure16 --tasks 'c[12]_' --timeout 10
+    python -m repro.benchmarks.cli figure16 --list-tasks
     python -m repro.benchmarks.cli figure17 --timeout 10 --categories C1 C2
     python -m repro.benchmarks.cli figure18 --timeout 15
     python -m repro.benchmarks.cli pruning
 
-``--jobs N`` distributes the benchmark x configuration pairs over ``N``
-worker processes (the ``repro-bench`` console script installed by the
-package accepts the same arguments).  ``--no-cdcl`` disables conflict-driven
-lemma learning and ``--no-prescreen`` the tier-1 interval prescreen in every
-Morpheus configuration (the ablation baselines; verdicts and synthesized
-programs are unchanged, only the work split moves).  ``--stats`` appends the
-per-configuration deduction counter table (SMT calls, prescreen decisions,
-lemma prunes, lemmas learned) plus the concrete-execution counter table
-(tables built, cells interned, cache and comparison fast-path hits),
-``--profile`` appends a per-benchmark wall-clock split between deduction
-(SMT) and concrete execution with the prescreen hit rate, and
-``--json FILE`` additionally writes the per-task outcomes (wall time, prune
-counts, prescreen/exec-cache counters) as machine-readable JSON.
+``--jobs N`` fans the benchmark x configuration pairs over ``N`` worker
+processes, each of which *interleaves the search-kernel steps* of its batch
+(the ``repro-bench`` console script installed by the package accepts the
+same arguments).  ``--tasks REGEX`` restricts the suite to benchmarks whose
+name matches the regex (combinable with ``--categories``/``--names``), and
+``--list-tasks`` prints the selected benchmark names without running
+anything -- the single-task iteration loop.
+
+``--no-cdcl`` disables conflict-driven lemma learning, ``--no-prescreen``
+the tier-1 interval prescreen, and ``--no-oe`` the observational-equivalence
+store in every Morpheus configuration (ablation baselines; verdicts and
+synthesized programs are unchanged, only the amount of work moves).
+``--top-k K`` keeps each task's search running until ``K`` distinct
+programs are found (the reported tables still describe the first).
+
+``--stats`` appends the per-configuration deduction counter table (SMT
+calls, prescreen decisions, lemma prunes, lemmas learned), the
+concrete-execution counter table (tables built, cells interned, cache and
+comparison fast-path hits) and the search-kernel counter table (partial
+programs, OE candidates/merged, frontier peak); ``--profile`` appends a
+per-benchmark wall-clock split between deduction (SMT) and concrete
+execution with the prescreen hit rate and OE merge count, and ``--json
+FILE`` additionally writes the per-task outcomes (wall time, prune counts,
+prescreen/OE/exec-cache counters) as machine-readable JSON.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 
 from ..baselines.configurations import (
     ALL_FIGURE17_CONFIGS,
     FIGURE16_CONFIGS,
     override_config,
+    with_top_k,
     without_cdcl,
+    without_oe,
     without_prescreen,
 )
 from .r_suite import r_benchmark_suite
@@ -49,6 +66,7 @@ from .reporting import (
     figure17_table,
     figure18_table,
     profile_table,
+    search_summary_table,
     suite_runs_json,
 )
 from .runner import run_figure16, run_figure17, run_figure18, run_pruning_statistics
@@ -62,20 +80,32 @@ def _progress(outcome) -> None:
     )
 
 
-def _subset(args):
+def _subset(args, parser):
     suite = r_benchmark_suite()
     if args.categories or args.names:
         suite = suite.subset(names=args.names or None, categories=args.categories or None)
+    if args.tasks:
+        try:
+            pattern = re.compile(args.tasks)
+        except re.error as error:
+            parser.error(f"--tasks is not a valid regex: {error}")
+        suite = suite.subset(
+            names=[name for name in suite.names() if pattern.search(name)]
+        )
     return suite
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("figure", choices=["figure16", "figure17", "figure18", "pruning", "legend"])
+    parser.add_argument(
+        "figure", nargs="?", default="figure16",
+        choices=["figure16", "figure17", "figure18", "pruning", "legend"],
+    )
     parser.add_argument("--timeout", type=float, default=20.0, help="per-benchmark timeout in seconds")
     parser.add_argument(
         "--jobs", "-j", type=int, default=1, metavar="N",
-        help="fan benchmark x configuration pairs over N worker processes "
+        help="fan benchmark x configuration pairs over N worker processes, "
+             "each interleaving the search-kernel steps of its batch "
              "(1 = serial; solve/fail outcomes match the serial run unless "
              "per-task solve times approach --timeout while workers "
              "oversubscribe the CPUs)",
@@ -94,22 +124,48 @@ def main(argv=None) -> int:
              "line up against a default run)",
     )
     parser.add_argument(
+        "--no-oe", action="store_true",
+        help="disable the observational-equivalence store in every Morpheus "
+             "configuration, exploring every duplicate completion state "
+             "(ablation; synthesized programs are identical either way)",
+    )
+    parser.add_argument(
+        "--top-k", type=int, default=1, metavar="K",
+        help="keep each task's search running until K distinct programs are "
+             "found (the tables still report the first program; K > 1 "
+             "costs extra search time; combine with --no-oe for "
+             "exhaustive enumeration of coincident alternatives)",
+    )
+    parser.add_argument(
+        "--tasks", metavar="REGEX", default=None,
+        help="restrict the r-suite to benchmarks whose name matches REGEX "
+             "(applied after --categories/--names)",
+    )
+    parser.add_argument(
+        "--list-tasks", action="store_true",
+        help="print the selected benchmark names (one per line, with "
+             "category) and exit without running anything",
+    )
+    parser.add_argument(
         "--stats", action="store_true",
         help="append the per-configuration deduction counters (SMT calls, "
-             "prescreen decisions, lemma prunes, lemmas learned) and "
+             "prescreen decisions, lemma prunes, lemmas learned), "
              "concrete-execution counters (tables built, cells interned, "
-             "cache hits, comparison fast-path hits) to the figure output",
+             "cache hits, comparison fast-path hits) and search-kernel "
+             "counters (partial programs, OE candidates/merged, frontier "
+             "peak) to the figure output",
     )
     parser.add_argument(
         "--profile", action="store_true",
         help="append a per-benchmark wall-clock split between deduction "
              "(SMT) and concrete execution (component runs + output "
-             "comparison), with the prescreen hit rate, to the figure output",
+             "comparison), with the prescreen hit rate and OE merge count, "
+             "to the figure output",
     )
     parser.add_argument(
         "--json", metavar="FILE", default=None,
         help="also write the per-task outcomes (wall time, prune counts, "
-             "prescreen/exec-cache counters) as machine-readable JSON "
+             "prescreen/OE/exec-cache counters) as machine-readable JSON "
              "(figure16 and figure17 only)",
     )
     parser.add_argument("--categories", nargs="*", default=None, help="restrict to these categories")
@@ -119,13 +175,21 @@ def main(argv=None) -> int:
     progress = None if args.quiet else _progress
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.top_k < 1:
+        parser.error(f"--top-k must be >= 1, got {args.top_k}")
+    if args.list_tasks:
+        for benchmark in _subset(args, parser):
+            print(f"{benchmark.name}\t{benchmark.category}\t{benchmark.description}")
+        return 0
+    if args.top_k != 1 and args.figure not in ("figure16", "figure17"):
+        parser.error("--top-k is only available for figure16 and figure17")
     if args.stats and args.figure not in ("figure16", "figure17"):
         parser.error("--stats is only available for figure16 and figure17")
     if args.profile and args.figure not in ("figure16", "figure17"):
         parser.error("--profile is only available for figure16 and figure17")
     if args.json and args.figure not in ("figure16", "figure17"):
         parser.error("--json is only available for figure16 and figure17")
-    if args.figure == "legend" and (args.no_cdcl or args.no_prescreen):
+    if args.figure == "legend" and (args.no_cdcl or args.no_prescreen or args.no_oe):
         parser.error("ablation flags do not apply to the legend")
 
     def configured(configurations):
@@ -133,12 +197,17 @@ def main(argv=None) -> int:
             configurations = without_cdcl(configurations)
         if args.no_prescreen:
             configurations = without_prescreen(configurations)
+        if args.no_oe:
+            configurations = without_oe(configurations)
+        if args.top_k != 1:
+            configurations = with_top_k(configurations, args.top_k)
         return configurations
 
     def emit(runs) -> int:
         if args.stats:
             print(deduction_summary_table(runs))
             print(execution_summary_table(runs))
+            print(search_summary_table(runs))
         if args.profile:
             print(profile_table(runs))
         if args.json:
@@ -148,6 +217,8 @@ def main(argv=None) -> int:
                 "jobs": args.jobs,
                 "cdcl": not args.no_cdcl,
                 "prescreen": not args.no_prescreen,
+                "oe": not args.no_oe,
+                "top_k": args.top_k,
                 "runs": suite_runs_json(runs),
             }
             with open(args.json, "w") as handle:
@@ -160,38 +231,40 @@ def main(argv=None) -> int:
         return 0
     if args.figure == "figure16":
         runs = run_figure16(
-            timeout=args.timeout, suite=_subset(args), progress=progress,
+            timeout=args.timeout, suite=_subset(args, parser), progress=progress,
             jobs=args.jobs, configurations=configured(FIGURE16_CONFIGS),
         )
         print(figure16_table(runs))
         return emit(runs)
     if args.figure == "figure17":
         runs = run_figure17(
-            timeout=args.timeout, suite=_subset(args), progress=progress,
+            timeout=args.timeout, suite=_subset(args, parser), progress=progress,
             jobs=args.jobs, configurations=configured(ALL_FIGURE17_CONFIGS),
         )
         print(figure17_table(runs))
         return emit(runs)
     if args.figure == "figure18":
         morpheus_config = None
-        if args.no_cdcl or args.no_prescreen:
+        if args.no_cdcl or args.no_prescreen or args.no_oe:
             from .runner import _morpheus_config
 
             morpheus_config = override_config(
                 _morpheus_config,
                 cdcl=not args.no_cdcl,
                 prescreen=not args.no_prescreen,
+                oe=not args.no_oe,
             )
         rows = run_figure18(
-            timeout=args.timeout, r_suite=_subset(args), jobs=args.jobs,
+            timeout=args.timeout, r_suite=_subset(args, parser), jobs=args.jobs,
             morpheus_config=morpheus_config,
         )
         print(figure18_table(rows))
         return 0
     if args.figure == "pruning":
         statistics = run_pruning_statistics(
-            timeout=args.timeout, suite=_subset(args), jobs=args.jobs,
+            timeout=args.timeout, suite=_subset(args, parser), jobs=args.jobs,
             cdcl=not args.no_cdcl, prescreen=not args.no_prescreen,
+            oe=not args.no_oe,
         )
         print(statistics)
         return 0

@@ -185,6 +185,42 @@ def execution_summary_table(runs: Dict[str, SuiteRun]) -> str:
     return "\n".join(lines)
 
 
+def search_summary_table(runs: Dict[str, SuiteRun]) -> str:
+    """Per-configuration search-kernel counters (completion + OE + frontier).
+
+    Complements the deduction and execution tables with the search-shape
+    view: how many candidate hole fillings each configuration tried
+    (``partial programs``), how many node-boundary states were offered to
+    the observational-equivalence store, how many of those were merged into
+    an earlier representative (duplicated completion work skipped -- the
+    ``--no-oe`` ablation reports zeroes), and the peak number of pending
+    frontier states.  Only deterministic counters appear (no wall-clock
+    values), so the table is byte-identical between serial and ``--jobs N``
+    runs.
+    """
+    lines = [
+        "Configuration\tPartial programs\tOE candidates\tOE merged"
+        "\tOE merge-rate\tFrontier peak"
+    ]
+    for label, run in runs.items():
+        candidates = sum(outcome.oe_candidates for outcome in run.outcomes)
+        merged = sum(outcome.oe_merged for outcome in run.outcomes)
+        rate = "-" if candidates == 0 else f"{100.0 * merged / candidates:.1f}%"
+        lines.append(
+            "\t".join(
+                [
+                    label,
+                    str(sum(outcome.partial_programs for outcome in run.outcomes)),
+                    str(candidates),
+                    str(merged),
+                    rate,
+                    str(max((outcome.frontier_peak for outcome in run.outcomes), default=0)),
+                ]
+            )
+        )
+    return "\n".join(lines)
+
+
 def profile_table(runs: Dict[str, SuiteRun]) -> str:
     """Per-benchmark wall-clock split: deduction (SMT) vs concrete execution.
 
@@ -193,12 +229,15 @@ def profile_table(runs: Dict[str, SuiteRun]) -> str:
     (formula construction, search bookkeeping, completion enumeration).
     ``prescreen`` is the tier-1 hit rate -- the fraction of deduction
     queries the interval sweep decided without the solver, which explains a
-    small ``deduction`` column.  Wall-clock values vary run to run -- this
-    table is for profiling, not for the determinism diffs.
+    small ``deduction`` column.  ``oe merged`` is the number of completion
+    states the observational-equivalence store collapsed, which explains a
+    small ``other`` column on duplicate-heavy tasks.  Wall-clock values vary
+    run to run -- this table is for profiling, not for the determinism
+    diffs.
     """
     lines = [
         "Configuration\tBenchmark\ttotal (s)\tdeduction (s)\texecution (s)"
-        "\tother (s)\tprescreen"
+        "\tother (s)\tprescreen\toe merged"
     ]
     for label, run in runs.items():
         for outcome in run.outcomes:
@@ -215,6 +254,7 @@ def profile_table(runs: Dict[str, SuiteRun]) -> str:
                         _prescreen_hit_rate(
                             outcome.prescreen_decided, outcome.prescreen_fallback
                         ),
+                        str(outcome.oe_merged),
                     ]
                 )
             )
@@ -234,6 +274,7 @@ def profile_table(runs: Dict[str, SuiteRun]) -> str:
                         sum(o.prescreen_decided for o in run.outcomes),
                         sum(o.prescreen_fallback for o in run.outcomes),
                     ),
+                    str(sum(o.oe_merged for o in run.outcomes)),
                 ]
             )
         )
@@ -260,6 +301,10 @@ def outcome_record(outcome) -> Dict:
         "exec_time_s": round(outcome.exec_time, 4),
         "prescreen_decided": outcome.prescreen_decided,
         "prescreen_fallback": outcome.prescreen_fallback,
+        "partial_programs": outcome.partial_programs,
+        "oe_candidates": outcome.oe_candidates,
+        "oe_merged": outcome.oe_merged,
+        "frontier_peak": outcome.frontier_peak,
         "lemma_prunes": outcome.lemma_prunes,
         "lemmas_learned": outcome.lemmas_learned,
         "lemma_mining_solves": outcome.lemma_mining_solves,
@@ -281,6 +326,8 @@ def suite_runs_json(runs: Dict[str, SuiteRun]) -> Dict:
     for label, run in runs.items():
         decided = sum(o.prescreen_decided for o in run.outcomes)
         fallback = sum(o.prescreen_fallback for o in run.outcomes)
+        oe_candidates = sum(o.oe_candidates for o in run.outcomes)
+        oe_merged = sum(o.oe_merged for o in run.outcomes)
         payload[label] = {
             "solved": run.solved,
             "total": run.total,
@@ -290,6 +337,12 @@ def suite_runs_json(runs: Dict[str, SuiteRun]) -> Dict:
             "prescreen_fallback": fallback,
             "prescreen_hit_rate": (
                 round(decided / (decided + fallback), 4) if decided + fallback else None
+            ),
+            "partial_programs": sum(o.partial_programs for o in run.outcomes),
+            "oe_candidates": oe_candidates,
+            "oe_merged": oe_merged,
+            "oe_merge_rate": (
+                round(oe_merged / oe_candidates, 4) if oe_candidates else None
             ),
             "outcomes": [outcome_record(o) for o in run.outcomes],
         }

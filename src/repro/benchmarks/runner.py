@@ -56,6 +56,15 @@ class BenchmarkOutcome:
     #: (no formula built, no solver run) vs handed to the SMT tier.
     prescreen_decided: int = 0
     prescreen_fallback: int = 0
+    #: Candidate hole fillings tried during sketch completion, and the
+    #: observational-equivalence store's share of the dedup: states offered
+    #: to the store vs states merged into an earlier representative (the
+    #: ``--no-oe`` ablation reports ``oe_candidates = oe_merged = 0``).
+    partial_programs: int = 0
+    oe_candidates: int = 0
+    oe_merged: int = 0
+    #: Peak number of simultaneously pending search-frontier states.
+    frontier_peak: int = 0
     #: Concrete-execution counters (deterministic: the runner resets the
     #: intern pool and counters before each task, so serial and ``--jobs N``
     #: runs report identical values).
@@ -112,6 +121,49 @@ def _morpheus_config(timeout: Optional[float]) -> SynthesisConfig:
     return SynthesisConfig(timeout=timeout)
 
 
+def outcome_from_result(
+    benchmark: Benchmark,
+    config: SynthesisConfig,
+    result,
+    label: Optional[str] = None,
+) -> BenchmarkOutcome:
+    """Flatten a :class:`~repro.core.SynthesisResult` into a BenchmarkOutcome.
+
+    Shared by the serial runner and the interleaved kernel scheduler so the
+    two can never disagree on how counters map onto outcome fields.
+    """
+    deduction = result.stats.deduction
+    execution = result.stats.execution
+    completion = result.stats.completion
+    return BenchmarkOutcome(
+        benchmark=benchmark.name,
+        category=benchmark.category,
+        configuration=label or config.describe(),
+        solved=result.solved,
+        elapsed=result.elapsed,
+        program_size=result.size,
+        prune_rate=result.stats.prune_rate,
+        program=result.render() if result.solved else None,
+        smt_calls=deduction.smt_calls,
+        lemma_prunes=deduction.lemma_prunes,
+        lemmas_learned=deduction.lemmas_learned,
+        lemma_mining_solves=deduction.lemma_mining_solves,
+        prescreen_decided=deduction.prescreen_decided,
+        prescreen_fallback=deduction.prescreen_fallback,
+        partial_programs=completion.partial_programs,
+        oe_candidates=completion.oe_candidates,
+        oe_merged=completion.oe_merged,
+        frontier_peak=result.stats.frontier_peak,
+        tables_built=execution.tables_built,
+        cells_interned=execution.cells_interned,
+        fingerprint_hits=execution.fingerprint_hits,
+        exec_cache_hits=execution.exec_cache.hits,
+        compare_fastpath_hits=execution.compare_fastpath_hits,
+        smt_time=deduction.smt_time,
+        exec_time=execution.exec_time + execution.compare_time,
+    )
+
+
 def run_benchmark(
     benchmark: Benchmark,
     config: SynthesisConfig,
@@ -131,31 +183,7 @@ def run_benchmark(
     reset_execution_state()
     synthesizer = Morpheus(library=library, config=config)
     result = synthesizer.synthesize(Example.make(benchmark.inputs, benchmark.output))
-    deduction = result.stats.deduction
-    execution = result.stats.execution
-    return BenchmarkOutcome(
-        benchmark=benchmark.name,
-        category=benchmark.category,
-        configuration=label or config.describe(),
-        solved=result.solved,
-        elapsed=result.elapsed,
-        program_size=result.size,
-        prune_rate=result.stats.prune_rate,
-        program=result.render() if result.solved else None,
-        smt_calls=deduction.smt_calls,
-        lemma_prunes=deduction.lemma_prunes,
-        lemmas_learned=deduction.lemmas_learned,
-        lemma_mining_solves=deduction.lemma_mining_solves,
-        prescreen_decided=deduction.prescreen_decided,
-        prescreen_fallback=deduction.prescreen_fallback,
-        tables_built=execution.tables_built,
-        cells_interned=execution.cells_interned,
-        fingerprint_hits=execution.fingerprint_hits,
-        exec_cache_hits=execution.exec_cache.hits,
-        compare_fastpath_hits=execution.compare_fastpath_hits,
-        smt_time=deduction.smt_time,
-        exec_time=execution.exec_time + execution.compare_time,
-    )
+    return outcome_from_result(benchmark, config, result, label=label)
 
 
 def run_suite(
@@ -332,15 +360,20 @@ def run_pruning_statistics(
     jobs: Optional[int] = None,
     cdcl: bool = True,
     prescreen: bool = True,
+    oe: bool = True,
 ) -> Dict[str, float]:
     """Measure how many partial programs deduction prunes before completion."""
     suite = suite if suite is not None else r_benchmark_suite()
     factory, label = _morpheus_config, "spec2"
-    if not cdcl or not prescreen:
+    if not cdcl or not prescreen or not oe:
         from ..baselines.configurations import override_config
 
-        factory = override_config(factory, cdcl=cdcl, prescreen=prescreen)
-        label += ("" if cdcl else "-no-cdcl") + ("" if prescreen else "-no-prescreen")
+        factory = override_config(factory, cdcl=cdcl, prescreen=prescreen, oe=oe)
+        label += (
+            ("" if cdcl else "-no-cdcl")
+            + ("" if prescreen else "-no-prescreen")
+            + ("" if oe else "-no-oe")
+        )
     run = run_suite(suite, factory, timeout=timeout, label=label, jobs=jobs)
     rates = [outcome.prune_rate for outcome in run.outcomes if outcome.prune_rate > 0]
     return {
@@ -361,4 +394,11 @@ def run_pruning_statistics(
         "prescreen_fallback": float(
             sum(outcome.prescreen_fallback for outcome in run.outcomes)
         ),
+        "partial_programs": float(
+            sum(outcome.partial_programs for outcome in run.outcomes)
+        ),
+        "oe_candidates": float(
+            sum(outcome.oe_candidates for outcome in run.outcomes)
+        ),
+        "oe_merged": float(sum(outcome.oe_merged for outcome in run.outcomes)),
     }

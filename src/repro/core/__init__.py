@@ -22,6 +22,7 @@ from .arguments import (
 from .component import Component, ComponentLibrary, ValueParam
 from .cost import CostModel, NGramModel, UniformCostModel, default_ngram_model
 from .deduction import DeductionEngine, DeductionStats
+from .frontier import Frontier, SearchKernel
 from .hypothesis import (
     Apply,
     Hole,
@@ -39,6 +40,7 @@ from .hypothesis import (
 )
 from .inhabitation import enumerate_arguments
 from .library import sql_library, standard_library
+from .oe import OEStore
 from .propagation import ground_check, prescreen_infeasible
 from .specs import SPECIFICATIONS, TRANSFERS
 from .synthesizer import (
@@ -64,12 +66,15 @@ __all__ = [
     "DeductionStats",
     "Example",
     "ExampleBaseline",
+    "Frontier",
     "Hole",
     "Hypothesis",
     "Morpheus",
     "MutationExpr",
     "NGramModel",
+    "OEStore",
     "Predicate",
+    "SearchKernel",
     "SPECIFICATIONS",
     "SpecLevel",
     "TRANSFERS",

@@ -1,13 +1,29 @@
 """Sketch completion (Section 7, Figure 14 of the paper).
 
-``fill_sketch`` takes a sketch (a hypothesis whose table holes are all bound
-to input variables) and enumerates complete programs.  The completion is
+Completion takes a sketch (a hypothesis whose table holes are all bound to
+input variables) and enumerates complete programs.  The completion is
 *bottom-up*: the table arguments of a component are completed (and therefore
 concretely evaluated) before its first-order arguments are enumerated, so the
 universe of column names and constants for each hole is the concrete table
 produced by partial evaluation.  After every single hole is filled the
 deduction engine re-checks the partially filled sketch, which is where most
 of the pruning reported in the paper happens.
+
+The original FILLSKETCH was a recursive generator; its enumeration state
+lived in the Python call stack, which made it impossible to pause, resume,
+or interleave fairly with other work.  It is now an explicit worklist
+(:class:`CompletionRun`): each frame is one partial program plus its
+position in the bottom-up completion order, :meth:`CompletionRun.step`
+advances the search by exactly one frame (one candidate hole filling, one
+deduction query), and the frame stack is popped LIFO so programs are still
+produced in *exactly* the order the recursion produced them.
+
+Frames that reach a node boundary are offered to an optional
+observational-equivalence store (:mod:`repro.core.oe`): two partial programs
+whose completed subtrees evaluate to fingerprint-identical tables collapse
+to the first-explored representative, skipping the duplicated completion
+work behind the copy.  Merging never changes which program is found first
+(see the OE module docstring for the argument).
 """
 
 from __future__ import annotations
@@ -29,6 +45,7 @@ from .hypothesis import (
     unfilled_value_holes,
 )
 from .inhabitation import enumerate_arguments
+from .oe import OEStore
 
 
 class CompletionTimeout(Exception):
@@ -56,6 +73,11 @@ class CompletionStats:
     #: decided (the completer's per-hole fills are the bulk deduction
     #: traffic, so this is where most of the prescreen's saving lands).
     pruned_by_prescreen: int = 0
+    #: Node-boundary states offered to the observational-equivalence store.
+    oe_candidates: int = 0
+    #: Of those, states merged into an earlier representative (the duplicate
+    #: completion work behind them was skipped).
+    oe_merged: int = 0
 
     def merge(self, other: "CompletionStats") -> None:
         """Accumulate another stats object into this one."""
@@ -63,6 +85,39 @@ class CompletionStats:
         self.pruned_partial += other.pruned_partial
         self.complete_programs += other.complete_programs
         self.pruned_by_prescreen += other.pruned_by_prescreen
+        self.oe_candidates += other.oe_candidates
+        self.oe_merged += other.oe_merged
+
+
+@dataclass
+class _Frame:
+    """One worklist entry: a partial program at a point in the completion.
+
+    ``holes`` / ``arguments`` are set on argument-enumeration frames (the
+    frame is iterating candidate fillings for ``holes[0]``); node-boundary
+    frames (``holes is None``) advance to the next application node in the
+    bottom-up order.
+    """
+
+    sketch: Hypothesis
+    #: Index into the run's post-order node list (the next node to complete).
+    position: int
+    #: Remaining unbound first-order holes of the current node (argument
+    #: frames only).
+    holes: Optional[Sequence[Hole]] = None
+    #: Lazy iterator over candidate arguments for ``holes[0]``.  ``None`` on
+    #: an argument frame marks a stale iterator (a deadline fired inside the
+    #: generator, which kills it); the frame rebuilds it on resume from
+    #: :attr:`consumed` -- the enumeration is deterministic, so skipping the
+    #: already-consumed prefix lands exactly on the in-flight candidate.
+    arguments: Optional[Iterator] = None
+    #: The concrete table the holes are enumerated against.
+    context_table: Optional[Table] = None
+    #: True when filling ``holes[0]`` completes the whole program (the
+    #: subsequent CHECK subsumes the deduction query).
+    completes: bool = False
+    #: Arguments already pulled from the enumeration (for rebuilds).
+    consumed: int = 0
 
 
 @dataclass
@@ -73,8 +128,18 @@ class SketchCompleter:
     deadline: Optional[float] = None
     budget: Optional[int] = None
     stats: CompletionStats = field(default_factory=CompletionStats)
+    #: Optional observational-equivalence store shared across every sketch
+    #: of one synthesis run (``None`` disables merging -- the ``--no-oe``
+    #: ablation).
+    oe_store: Optional[OEStore] = None
 
-    def _check_deadline(self) -> None:
+    def check_deadline(self) -> None:
+        """Raise :class:`CompletionTimeout` once the deadline has passed.
+
+        Called on every worklist step *and* threaded into the argument
+        enumerators, so a single huge ``enumerate_arguments`` space cannot
+        blow past the per-task budget between checks.
+        """
         if self.deadline is not None and time.monotonic() > self.deadline:
             raise CompletionTimeout()
 
@@ -86,61 +151,78 @@ class SketchCompleter:
             raise CompletionBudgetExceeded()
 
     # ------------------------------------------------------------------
-    def fill_sketch(self, sketch: Hypothesis) -> Iterator[Hypothesis]:
-        """Enumerate complete programs refining *sketch* (rule 4 of Figure 14)."""
+    def start(self, sketch: Hypothesis) -> "CompletionRun":
+        """Begin the iterative completion of one sketch.
+
+        Resets the per-sketch budget; the returned :class:`CompletionRun`
+        is stepped by the search kernel (or drained by :meth:`fill_sketch`).
+        """
         self._spent = 0
-        yield from self._complete_subtree(sketch, self._node_order(sketch))
+        return CompletionRun(self, sketch)
 
-    def _node_order(self, sketch: Hypothesis) -> List[int]:
-        """Post-order list of application node ids (bottom-up completion order)."""
-        order: List[int] = []
+    def fill_sketch(self, sketch: Hypothesis) -> Iterator[Hypothesis]:
+        """Enumerate complete programs refining *sketch* (rule 4 of Figure 14).
 
-        def walk(node: Hypothesis) -> None:
-            if isinstance(node, Apply):
-                for child in node.table_children:
-                    walk(child)
-                order.append(node.node_id)
-
-        walk(sketch)
-        return order
-
-    def _complete_subtree(self, sketch: Hypothesis, order: Sequence[int]) -> Iterator[Hypothesis]:
-        if not order:
-            if is_complete(sketch):
-                self.stats.complete_programs += 1
-                yield sketch
-            return
-        node_id, rest = order[0], order[1:]
-        for filled in self._fill_node(sketch, node_id):
-            yield from self._complete_subtree(filled, rest)
+        A generator facade over :class:`CompletionRun` for callers that want
+        the classic pull interface; the kernel steps the run directly.  When
+        the per-sketch budget aborts the run, its OE admissions are released
+        before the exception propagates (see :meth:`CompletionRun.release`).
+        """
+        run = self.start(sketch)
+        try:
+            while not run.exhausted:
+                program = run.step()
+                if program is not None:
+                    yield program
+        finally:
+            # Any early exit -- budget, deadline, or the caller abandoning
+            # the generator -- leaves admitted states under-explored;
+            # normal exhaustion keeps them (cross-sketch dedup is the point).
+            if not run.exhausted:
+                run.release()
 
     # ------------------------------------------------------------------
-    def _find_node(self, sketch: Hypothesis, node_id: int) -> Apply:
-        for node in _iter_applications(sketch):
-            if node.node_id == node_id:
-                return node
-        raise KeyError(f"node {node_id} not found in sketch")
+    def _admit(self, sketch: Hypothesis, remaining: int, admitted=None) -> bool:
+        """Offer a node-boundary state to the OE store.
 
-    def _fill_node(self, sketch: Hypothesis, node_id: int) -> Iterator[Hypothesis]:
-        """Fill the first-order holes of one application node (rules 1 and 3)."""
-        node = self._find_node(sketch, node_id)
-        holes = [hole for hole in node.value_children if not hole.is_bound]
-        if not holes:
-            # Components without first-order parameters (e.g. inner_join)
-            # still become evaluable once their table children are complete,
-            # so rule 3's deduction check applies here too: the node's
-            # concrete abstraction may already contradict the example.
-            self._charge_budget()
-            self.stats.partial_programs += 1
-            if not self._deduce_partial(sketch):
-                return
-            yield sketch
-            return
-        context_table = self._context_table(sketch, node)
-        if context_table is None:
-            # The table children failed to evaluate; no completion can succeed.
-            return
-        yield from self._fill_holes(sketch, node, holes, context_table)
+        Returns ``False`` when an observationally equal state was explored
+        earlier (the frame is dropped).  States whose partial evaluation
+        fails are never merged -- merging requires an exact observation.
+        Newly admitted keys are appended to *admitted* so the owning run can
+        withdraw them if its exploration is cut short.
+        """
+        if self.oe_store is None:
+            return True
+        evaluated = self.engine.evaluate_if_possible(sketch)
+        if evaluated is None:
+            return True
+        key = OEStore.state_key(sketch, evaluated, remaining)
+        if key is None:
+            return True
+        self.stats.oe_candidates += 1
+        if not self.oe_store.admit(key):
+            self.stats.oe_merged += 1
+            return False
+        if admitted is not None:
+            admitted.append(key)
+        return True
+
+    def _deduce_partial(self, candidate: Hypothesis) -> bool:
+        """Rule 3's deduction check for one partially filled sketch.
+
+        ``learn=False``: per-hole fills come in bulk and mostly differ only
+        in evaluated-table abstractions; they consult the lemma store (and
+        the tier-1 prescreen) but are not worth a mining replay each.  The
+        prescreen counter delta attributes each prune to the tier that
+        decided it.
+        """
+        decided_before = self.engine.stats.prescreen_decided
+        if self.engine.deduce(candidate, learn=False):
+            return True
+        self.stats.pruned_partial += 1
+        if self.engine.stats.prescreen_decided > decided_before:
+            self.stats.pruned_by_prescreen += 1
+        return False
 
     def _context_table(self, sketch: Hypothesis, node: Apply) -> Optional[Table]:
         """The concrete table the node's first-order holes are enumerated against.
@@ -168,55 +250,217 @@ class SketchCompleter:
             return tables[0]
         return _concatenate_schemas(tables)
 
-    def _fill_holes(
-        self,
-        sketch: Hypothesis,
-        node: Apply,
-        holes: Sequence[Hole],
-        context_table: Table,
-    ) -> Iterator[Hypothesis]:
-        self._check_deadline()
-        if not holes:
-            yield sketch
-            return
-        hole, rest = holes[0], holes[1:]
-        param = self._param_of(node, hole)
-        # When this fill produces a fully complete program, the synthesizer is
-        # about to evaluate and CHECK it anyway, which subsumes (and is cheaper
-        # than) another deduction query; only partially-filled sketches are
-        # worth a deduction call.
-        completes_program = not rest and len(unfilled_value_holes(sketch)) == 1
-        for argument in enumerate_arguments(node.component, param, context_table):
-            self._check_deadline()
-            self._charge_budget()
-            candidate = fill_value_hole(sketch, hole, argument)
-            self.stats.partial_programs += 1
-            if not completes_program and not self._deduce_partial(candidate):
-                continue
-            yield from self._fill_holes(candidate, node, rest, context_table)
-
-    def _deduce_partial(self, candidate: Hypothesis) -> bool:
-        """Rule 3's deduction check for one partially filled sketch.
-
-        ``learn=False``: per-hole fills come in bulk and mostly differ only
-        in evaluated-table abstractions; they consult the lemma store (and
-        the tier-1 prescreen) but are not worth a mining replay each.  The
-        prescreen counter delta attributes each prune to the tier that
-        decided it.
-        """
-        decided_before = self.engine.stats.prescreen_decided
-        if self.engine.deduce(candidate, learn=False):
-            return True
-        self.stats.pruned_partial += 1
-        if self.engine.stats.prescreen_decided > decided_before:
-            self.stats.pruned_by_prescreen += 1
-        return False
-
     def _param_of(self, node: Apply, hole: Hole):
         for index, child in enumerate(node.value_children):
             if child.node_id == hole.node_id:
                 return node.component.value_params[index]
         raise KeyError(f"hole {hole.node_id} is not a parameter of node {node.node_id}")
+
+
+class CompletionRun:
+    """The iterative FILLSKETCH worklist for one sketch.
+
+    Frames are popped LIFO, so the exploration is depth-first in exactly the
+    order of the recursion this replaced: candidate programs surface in the
+    same sequence, and the first program that passes CHECK is byte-identical
+    to the recursive implementation's.  Each :meth:`step` processes one
+    frame -- at most one candidate hole filling and one deduction query --
+    which is the bounded work unit the search kernel's anytime API is built
+    on.
+    """
+
+    __slots__ = ("completer", "sketch", "_order", "_stack", "_admitted")
+
+    def __init__(self, completer: SketchCompleter, sketch: Hypothesis) -> None:
+        self.completer = completer
+        self.sketch = sketch
+        self._order = _node_order(sketch)
+        self._stack: List[_Frame] = []
+        #: OE keys this run admitted, withdrawn if the run is cut short.
+        self._admitted: List = []
+        if completer._admit(sketch, remaining=len(self._order), admitted=self._admitted):
+            self._stack.append(_Frame(sketch, 0))
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every frame has been processed."""
+        return not self._stack
+
+    def __len__(self) -> int:
+        """Number of pending frames (partial programs in flight)."""
+        return len(self._stack)
+
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[Hypothesis]:
+        """Process one worklist frame; return a complete program if one surfaced.
+
+        Raises :class:`CompletionTimeout` when the deadline has expired and
+        :class:`CompletionBudgetExceeded` when this sketch has used up its
+        completion budget.
+        """
+        completer = self.completer
+        completer.check_deadline()
+        if not self._stack:
+            return None
+        frame = self._stack.pop()
+        try:
+            if frame.holes is not None:
+                return self._advance_arguments(frame)
+            return self._advance_node(frame)
+        except CompletionTimeout:
+            # The deadline fired mid-frame (inside the argument enumerator,
+            # before the frame was re-pushed): restore it so a resumed run
+            # continues exactly here.
+            if not (self._stack and self._stack[-1] is frame):
+                self._stack.append(frame)
+            raise
+
+    # ------------------------------------------------------------------
+    def _advance_node(self, frame: _Frame) -> Optional[Hypothesis]:
+        completer = self.completer
+        if frame.position == len(self._order):
+            if is_complete(frame.sketch):
+                completer.stats.complete_programs += 1
+                return frame.sketch
+            return None
+        node = _find_node(frame.sketch, self._order[frame.position])
+        holes = [hole for hole in node.value_children if not hole.is_bound]
+        if not holes:
+            # Components without first-order parameters (e.g. inner_join)
+            # still become evaluable once their table children are complete,
+            # so rule 3's deduction check applies here too: the node's
+            # concrete abstraction may already contradict the example.
+            completer._charge_budget()
+            completer.stats.partial_programs += 1
+            if completer._deduce_partial(frame.sketch):
+                self._push_boundary(frame.sketch, frame.position + 1)
+            return None
+        context_table = completer._context_table(frame.sketch, node)
+        if context_table is None:
+            # The table children failed to evaluate; no completion can succeed.
+            return None
+        self._push_arguments(frame.sketch, frame.position, holes, context_table)
+        return None
+
+    def _advance_arguments(self, frame: _Frame) -> Optional[Hypothesis]:
+        completer = self.completer
+        if frame.arguments is None:
+            frame.arguments = self._rebuild_arguments(frame)
+        try:
+            argument = next(frame.arguments, None)
+        except CompletionTimeout:
+            # The deadline fired inside the enumeration generator, which is
+            # dead now; mark it for a rebuild so a resumed run re-enters the
+            # enumeration at the in-flight candidate (step() re-pushes the
+            # frame).
+            frame.arguments = None
+            raise
+        if argument is None:
+            return None
+        frame.consumed += 1
+        # Re-push the frame first so the candidate's subtree (pushed below,
+        # popped first) is fully explored before the next argument -- the
+        # LIFO discipline that reproduces the recursion's DFS order.
+        self._stack.append(frame)
+        completer._charge_budget()
+        hole, rest = frame.holes[0], frame.holes[1:]
+        candidate = fill_value_hole(frame.sketch, hole, argument)
+        completer.stats.partial_programs += 1
+        # When this fill produces a fully complete program, the synthesizer
+        # is about to evaluate and CHECK it anyway, which subsumes (and is
+        # cheaper than) another deduction query; only partially-filled
+        # sketches are worth a deduction call.
+        if not frame.completes and not completer._deduce_partial(candidate):
+            return None
+        if rest:
+            self._push_arguments(candidate, frame.position, rest, frame.context_table)
+        else:
+            self._push_boundary(candidate, frame.position + 1)
+        return None
+
+    # ------------------------------------------------------------------
+    def release(self) -> None:
+        """Withdraw this run's OE admissions (exploration was cut short).
+
+        Called when the per-sketch budget aborts the run: states this run
+        admitted may have unexplored completion work behind them, so leaving
+        them in the store would wrongly suppress a later observationally
+        equal state whose budget could finish the job (the merge soundness
+        argument assumes the representative was fully explored).
+        """
+        if self.completer.oe_store is not None and self._admitted:
+            self.completer.oe_store.release(self._admitted)
+        self._admitted = []
+
+    # ------------------------------------------------------------------
+    def _push_boundary(self, sketch: Hypothesis, position: int) -> None:
+        """Advance to the next node, deduplicating through the OE store.
+
+        Complete programs (no nodes remaining) are *not* offered to the
+        store: merging them would only dedup CHECK calls, and CHECK's shape
+        precheck is cheaper than fingerprinting a candidate output table.
+        The merge win lives in the partial states, where a duplicate still
+        has whole argument spaces ahead of it.
+        """
+        remaining = len(self._order) - position
+        if remaining == 0 or self.completer._admit(
+            sketch, remaining=remaining, admitted=self._admitted
+        ):
+            self._stack.append(_Frame(sketch, position))
+
+    def _enumerate(self, frame: _Frame) -> Iterator:
+        """The (deterministic) argument enumeration for ``frame.holes[0]``."""
+        completer = self.completer
+        node = _find_node(frame.sketch, self._order[frame.position])
+        param = completer._param_of(node, frame.holes[0])
+        return iter(
+            enumerate_arguments(
+                node.component, param, frame.context_table,
+                deadline_check=completer.check_deadline,
+            )
+        )
+
+    def _rebuild_arguments(self, frame: _Frame) -> Iterator:
+        """Recreate a stale enumeration, skipping the consumed prefix."""
+        iterator = self._enumerate(frame)
+        for _ in range(frame.consumed):
+            next(iterator)
+        return iterator
+
+    def _push_arguments(
+        self,
+        sketch: Hypothesis,
+        position: int,
+        holes: Sequence[Hole],
+        context_table: Table,
+    ) -> None:
+        completes = (
+            len(holes) == 1 and len(unfilled_value_holes(sketch)) == 1
+        )
+        frame = _Frame(sketch, position, holes, None, context_table, completes)
+        frame.arguments = self._enumerate(frame)
+        self._stack.append(frame)
+
+
+def _node_order(sketch: Hypothesis) -> List[int]:
+    """Post-order list of application node ids (bottom-up completion order)."""
+    order: List[int] = []
+
+    def walk(node: Hypothesis) -> None:
+        if isinstance(node, Apply):
+            for child in node.table_children:
+                walk(child)
+            order.append(node.node_id)
+
+    walk(sketch)
+    return order
+
+
+def _find_node(sketch: Hypothesis, node_id: int) -> Apply:
+    for node in _iter_applications(sketch):
+        if node.node_id == node_id:
+            return node
+    raise KeyError(f"node {node_id} not found in sketch")
 
 
 def _iter_applications(node: Hypothesis) -> Iterator[Apply]:

@@ -1,0 +1,595 @@
+"""The explicit search frontier and the anytime search kernel.
+
+Algorithm 1 of the paper interleaves hypothesis ranking, sketch completion
+and checking in one recursive loop; the original ``Morpheus.synthesize``
+reproduced that shape, so the enumeration state was implicit in the Python
+call stack -- it could not be paused, resumed, interleaved fairly across
+tasks, or deduplicated across sketches.  This module makes that state
+explicit:
+
+* :class:`Frontier` -- the priority frontier of pending search states.  It
+  has two lanes: a cost-ordered heap of **hypothesis** states (the worklist
+  of Algorithm 1) and a LIFO lane of **continuation** states (the sketches,
+  completion runs and refinement fan-out of the hypothesis currently being
+  expanded).  Continuations always pop before the next hypothesis, and the
+  LIFO discipline walks them depth-first, so the frontier pops in *exactly*
+  the order the recursion explored -- which is what keeps the first
+  synthesized program byte-identical to the recursive implementation.
+* :class:`SearchKernel` -- the anytime search engine: ``step()`` processes
+  one frontier state (at most one deduction query or one candidate hole
+  filling), ``run(deadline)`` steps until a deadline, a solution quota, or
+  exhaustion.  Kernels are cheap to hold suspended: a service can run many
+  of them round-robin (see :class:`repro.engine.parallel.KernelInterleaver`)
+  and a suspended kernel serialises its resume state with
+  :meth:`SearchKernel.snapshot`.
+
+Resume-state contract
+---------------------
+
+``snapshot()`` captures the search *position* at hypothesis granularity: the
+pending hypothesis lane (as component-name trees), the duplicate-detection
+signatures, the tie-break and node-id counters, and the hypothesis whose
+expansion was in flight.  Continuation states (in-progress sketch
+completions) are deliberately **not** captured -- they hold live argument
+iterators -- so ``restore()`` re-expands the in-flight hypothesis from
+scratch.  Resuming therefore repeats at most one hypothesis expansion;
+everything before and after is identical, and the restored kernel finds the
+same first program the uninterrupted kernel would have found (memo caches
+start cold, so only timing and cache counters differ).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from time import perf_counter
+from typing import List, Optional, Tuple
+
+from ..components.errors import PRUNABLE_ERRORS
+from ..dataframe.compare import tables_match_for_synthesis
+from ..dataframe.profiling import execution_stats
+from ..smt.solver import formula_cache_stats
+from .completion import (
+    CompletionBudgetExceeded,
+    CompletionRun,
+    CompletionTimeout,
+    SketchCompleter,
+)
+from .cost import CostModel
+from .deduction import DeductionEngine
+from .hypothesis import (
+    Apply,
+    EvaluationFailure,
+    Hole,
+    Hypothesis,
+    component_sequence,
+    evaluate,
+    hypothesis_size,
+    initial_hypothesis,
+    is_complete,
+    render_program,
+    sketches,
+    table_holes,
+    refine,
+)
+from .oe import OEStore
+from .types import Type
+
+#: Snapshot format version (bump on incompatible changes).
+SNAPSHOT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Search states
+# ----------------------------------------------------------------------
+@dataclass
+class HypothesisState:
+    """A pending hypothesis in the cost-ordered lane."""
+
+    hypothesis: Hypothesis
+    tiebreak: int
+
+
+@dataclass
+class SketchState:
+    """A sketch awaiting its deduction check and completion."""
+
+    sketch: Hypothesis
+
+
+@dataclass
+class CompletionState:
+    """An in-progress iterative completion of one sketch."""
+
+    run: CompletionRun
+
+
+@dataclass
+class RefineState:
+    """The refinement fan-out of one expanded hypothesis (runs last)."""
+
+    hypothesis: Hypothesis
+
+
+class Frontier:
+    """The explicit frontier of pending search states.
+
+    Two lanes: a cost-ordered heap of :class:`HypothesisState` (ordered by
+    the cost model's priority, ties broken by insertion order, exactly like
+    the worklist of Algorithm 1) and a LIFO continuation lane holding the
+    sketch / completion / refinement states of the hypothesis currently
+    being expanded.  ``pop()`` drains the continuation lane first, so one
+    hypothesis is fully expanded before the next is ranked -- the recursion
+    order, made explicit.
+    """
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self._cost_model = cost_model
+        self._heap: List[Tuple[Tuple[float, int], int, Hypothesis]] = []
+        self._continuations: list = []
+        #: Peak number of simultaneously pending states (both lanes).
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return len(self._heap) + len(self._continuations)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap) or bool(self._continuations)
+
+    @property
+    def pending_hypotheses(self) -> int:
+        """Number of hypotheses waiting in the cost-ordered lane."""
+        return len(self._heap)
+
+    @property
+    def has_continuations(self) -> bool:
+        """True while an expansion's sketch/completion/refine states are pending."""
+        return bool(self._continuations)
+
+    def _note_size(self) -> None:
+        size = len(self)
+        if size > self.peak:
+            self.peak = size
+
+    # ------------------------------------------------------------------
+    def push_hypothesis(self, hypothesis: Hypothesis, tiebreak: int) -> None:
+        """Enqueue a hypothesis under the cost model's priority."""
+        priority = self._cost_model.priority(
+            hypothesis_size(hypothesis), component_sequence(hypothesis)
+        )
+        heapq.heappush(self._heap, (priority, tiebreak, hypothesis))
+        self._note_size()
+
+    def push_continuation(self, state) -> None:
+        """Push a sketch/completion/refinement state onto the LIFO lane."""
+        self._continuations.append(state)
+        self._note_size()
+
+    def pop(self):
+        """Pop the next state: continuations first (LIFO), then best hypothesis."""
+        if self._continuations:
+            return self._continuations.pop()
+        _, tiebreak, hypothesis = heapq.heappop(self._heap)
+        return HypothesisState(hypothesis, tiebreak)
+
+    # ------------------------------------------------------------------
+    def heap_entries(self) -> List[Tuple[int, Hypothesis]]:
+        """The pending hypothesis lane as ``(tiebreak, hypothesis)`` pairs."""
+        return [(tiebreak, hypothesis) for _, tiebreak, hypothesis in self._heap]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis (de)serialisation for the resume state
+# ----------------------------------------------------------------------
+def encode_hypothesis(hypothesis: Hypothesis) -> dict:
+    """A JSON-able description of a worklist hypothesis.
+
+    Worklist hypotheses are pure refinement trees -- their first-order holes
+    are unfilled and their table holes unbound -- which is what keeps the
+    resume state plain data (component *names*, not component objects).
+    """
+    if isinstance(hypothesis, Hole):
+        return {
+            "kind": "hole",
+            "id": hypothesis.node_id,
+            "type": hypothesis.hole_type.value,
+            "binding": hypothesis.binding,
+        }
+    values = []
+    for hole in hypothesis.value_children:
+        if hole.value is not None:
+            raise ValueError(
+                "only worklist hypotheses (unfilled first-order holes) are serialisable"
+            )
+        values.append(
+            {"kind": "hole", "id": hole.node_id, "type": hole.hole_type.value}
+        )
+    return {
+        "kind": "apply",
+        "id": hypothesis.node_id,
+        "component": hypothesis.component.name,
+        "children": [encode_hypothesis(child) for child in hypothesis.table_children],
+        "values": values,
+    }
+
+
+def decode_hypothesis(payload: dict, library) -> Hypothesis:
+    """Rebuild a hypothesis from :func:`encode_hypothesis` output."""
+    if payload["kind"] == "hole":
+        return Hole(
+            payload["id"], Type(payload["type"]), binding=payload.get("binding")
+        )
+    component = library.by_name(payload["component"])
+    children = tuple(
+        decode_hypothesis(child, library) for child in payload["children"]
+    )
+    values = tuple(
+        Hole(value["id"], Type(value["type"])) for value in payload["values"]
+    )
+    return Apply(payload["id"], component, children, values)
+
+
+# ----------------------------------------------------------------------
+# The search kernel
+# ----------------------------------------------------------------------
+class SearchKernel:
+    """Anytime, resumable search engine for one synthesis problem.
+
+    The kernel owns the deduction engine, the sketch completer, the
+    observational-equivalence store and the frontier; ``step()`` advances
+    the search by one state, ``run()`` drives it to a deadline, a solution
+    quota (``k``) or exhaustion.  Found programs accumulate in
+    :attr:`solutions` in discovery order (the first entry is byte-identical
+    to what the recursive Algorithm 1 returned).
+    """
+
+    def __init__(
+        self,
+        example,
+        config,
+        library,
+        cost_model: CostModel,
+        stats,
+        k: int = 1,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.example = example
+        self.config = config
+        self.library = library
+        self.stats = stats
+        self.k = k
+        self.engine = DeductionEngine(
+            inputs=example.inputs,
+            output=example.output,
+            level=config.spec_level,
+            use_partial_evaluation=config.partial_evaluation,
+            enabled=config.deduction,
+            cdcl=config.cdcl and config.deduction,
+            prescreen=config.prescreen and config.deduction,
+            stats=stats.deduction,
+        )
+        self.oe_store = OEStore() if config.oe else None
+        self.completer = SketchCompleter(
+            self.engine,
+            deadline=None,
+            budget=config.completion_budget,
+            stats=stats.completion,
+            oe_store=self.oe_store,
+        )
+        self.frontier = Frontier(cost_model)
+        self.solutions: List[Hypothesis] = []
+        #: Rendered programs a pre-restore kernel already found: re-finding
+        #: one (the re-expanded in-flight hypothesis repeats its completion
+        #: work) must not consume the remaining solution quota again.
+        self._already_found: set = set()
+        self._deadline: Optional[float] = None
+        self._visited: set = set()
+        #: Plain int counters (not itertools.count) so ``snapshot()`` can
+        #: read them without consuming values from the live kernel.
+        self._tiebreak = 0
+        self._node_counter = 1
+        self._in_flight: Optional[Tuple[Hypothesis, int]] = None
+        #: Active time spent inside ``run()``/``step()`` (the per-task clock
+        #: when many kernels share one process).
+        self.active_seconds = 0.0
+        self._push(initial_hypothesis())
+        # Baselines for slicing the process-wide counters: taken *after* the
+        # engine construction above, so the example-table fingerprinting the
+        # constructor performs -- whose hit/miss split depends on whether the
+        # (process-cached) example tables were fingerprinted by an earlier
+        # run -- stays outside this run's counting window.  That exclusion
+        # is what keeps the per-run execution counters byte-identical across
+        # schedulers and repeat runs.
+        self.solver_cache_baseline = formula_cache_stats().snapshot()
+        self.execution_baseline = execution_stats().snapshot()
+
+    # ------------------------------------------------------------------
+    @property
+    def solved(self) -> bool:
+        """True once at least one program passed CHECK."""
+        return bool(self.solutions)
+
+    @property
+    def done(self) -> bool:
+        """True when the solution quota is met or the frontier is exhausted."""
+        return len(self.solutions) >= self.k or not self.frontier
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no pending search state remains."""
+        return not self.frontier
+
+    def set_deadline(self, deadline: Optional[float]) -> None:
+        """Set the wall-clock deadline consulted by ``run``/``step``."""
+        self._deadline = deadline
+        self.completer.deadline = deadline
+
+    def _expired(self) -> bool:
+        return self._deadline is not None and time.monotonic() > self._deadline
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        deadline: Optional[float] = None,
+        max_steps: Optional[int] = None,
+    ) -> bool:
+        """Step until the deadline, the step budget, the quota, or exhaustion.
+
+        Returns ``True`` while pending work remains (call again to continue
+        -- the anytime contract), ``False`` when the search is finished.
+        The *deadline* parameter always (re)sets the kernel's deadline;
+        passing ``None`` clears any deadline a previous call installed, so a
+        bare ``run()`` after a deadline-bounded one drains the search rather
+        than spinning on the stale deadline.
+        """
+        self.set_deadline(deadline)
+        started = perf_counter()
+        steps = 0
+        try:
+            while self.frontier and len(self.solutions) < self.k:
+                if self._expired():
+                    break
+                if max_steps is not None and steps >= max_steps:
+                    break
+                try:
+                    self.step()
+                except CompletionTimeout:
+                    break
+                steps += 1
+        finally:
+            self.active_seconds += perf_counter() - started
+        return bool(self.frontier) and len(self.solutions) < self.k
+
+    def step(self) -> None:
+        """Process one frontier state (the bounded anytime work unit)."""
+        if not self.frontier:
+            return
+        state = self.frontier.pop()
+        if isinstance(state, HypothesisState):
+            self._expand_hypothesis(state)
+        elif isinstance(state, SketchState):
+            self._expand_sketch(state)
+        elif isinstance(state, CompletionState):
+            self._advance_completion(state)
+        else:
+            try:
+                self._refine(state.hypothesis)
+            except CompletionTimeout:
+                # Deadline mid-fan-out: re-push so a resumed run finishes
+                # the remaining refinements (already-pushed ones dedup via
+                # the visited set, so re-running the state is idempotent).
+                self.frontier.push_continuation(state)
+                raise
+            self._in_flight = None
+
+    # ------------------------------------------------------------------
+    def _push(self, hypothesis: Hypothesis, tiebreak: Optional[int] = None) -> None:
+        signature = hypothesis_signature(hypothesis)
+        if signature in self._visited:
+            return
+        self._visited.add(signature)
+        if tiebreak is None:
+            tiebreak = self._tiebreak
+            self._tiebreak += 1
+        self.frontier.push_hypothesis(hypothesis, tiebreak)
+        self.stats.hypotheses_enqueued += 1
+
+    def _next_node_id(self) -> int:
+        node_id = self._node_counter
+        self._node_counter += 1
+        return node_id
+
+    def _expand_hypothesis(self, state: HypothesisState) -> None:
+        """Lines 9-18 of Algorithm 1, decomposed into continuation states."""
+        hypothesis = state.hypothesis
+        self._in_flight = (hypothesis, state.tiebreak)
+        self.stats.hypotheses_expanded += 1
+        feasible = self.engine.deduce(hypothesis)
+        # The refinement fan-out runs after completion (it is pushed first,
+        # popped last), exactly as in the recursive loop.
+        self.frontier.push_continuation(RefineState(hypothesis))
+        if not feasible or isinstance(hypothesis, Hole):
+            # The bare hypothesis ?0 can only be "the identity program",
+            # which is never the answer to a non-trivial task; skip it.
+            return
+        for sketch in reversed(list(sketches(hypothesis, len(self.example.inputs)))):
+            self.frontier.push_continuation(SketchState(sketch))
+
+    def _expand_sketch(self, state: SketchState) -> None:
+        """Line 11-12: the sketch-level deduction check."""
+        self.stats.sketches_generated += 1
+        if not self.engine.deduce(state.sketch):
+            self.stats.sketches_rejected += 1
+            return
+        self.frontier.push_continuation(
+            CompletionState(self.completer.start(state.sketch))
+        )
+
+    def _advance_completion(self, state: CompletionState) -> None:
+        """Advance one completion run by one frame; CHECK surfaced programs."""
+        try:
+            candidate = state.run.step()
+        except CompletionBudgetExceeded:
+            # This sketch used up its budget; withdraw its OE admissions
+            # (their subtrees may be unexplored, so a later equal state must
+            # be allowed to run) and move on to the next state.
+            state.run.release()
+            return
+        except CompletionTimeout:
+            # The deadline fired before the step did any work (the run
+            # restored its in-flight frame); re-push so a later run() with
+            # a fresh deadline resumes this completion exactly here.
+            self.frontier.push_continuation(state)
+            raise
+        if candidate is not None:
+            self.stats.programs_checked += 1
+            if self._check(candidate):
+                if self._already_found:
+                    text = render_program(candidate)
+                    if text in self._already_found:
+                        # A re-find of a pre-restore solution; the caller
+                        # already holds it.  Discard (each program surfaces
+                        # once per search) and keep looking.
+                        self._already_found.discard(text)
+                        if not state.run.exhausted:
+                            self.frontier.push_continuation(state)
+                        return
+                self.solutions.append(candidate)
+                if len(self.solutions) >= self.k:
+                    return
+        if not state.run.exhausted:
+            self.frontier.push_continuation(state)
+
+    def _refine(self, hypothesis: Hypothesis) -> None:
+        """Lines 15-18 of Algorithm 1: replace one table hole per component.
+
+        The deadline is re-checked inside the fan-out so a refinement step
+        over a large library cannot overshoot the budget; expiry raises
+        (rather than silently truncating the fan-out) so a resumed kernel
+        re-runs this state and enqueues the refinements it missed.
+        """
+        if hypothesis_size(hypothesis) >= self.config.max_size:
+            return
+        for hole in table_holes(hypothesis, unbound_only=True):
+            for component in self.library:
+                if self._expired():
+                    raise CompletionTimeout()
+                refined = refine(hypothesis, hole, component, self._next_node_id)
+                self._push(refined)
+
+    def _check(self, candidate: Hypothesis) -> bool:
+        """CHECK(p, E): run the program and compare against the expected output.
+
+        Evaluation goes through the engine's evaluation memo and
+        fingerprint-keyed execution cache, so the sub-programs the completer
+        already executed are never re-run here.
+        """
+        if not is_complete(candidate):
+            return False
+        try:
+            actual = evaluate(
+                candidate, self.example.inputs,
+                memo=self.engine.evaluation_memo,
+                exec_cache=self.engine.execution_cache,
+            )
+        except (EvaluationFailure, *PRUNABLE_ERRORS):
+            return False
+        started = perf_counter()
+        matched = tables_match_for_synthesis(actual, self.example.output)
+        execution_stats().compare_time += perf_counter() - started
+        return matched
+
+    # ------------------------------------------------------------------
+    # Resume state
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The kernel's serialisable resume state (see the module docstring).
+
+        Read-only: the live kernel can keep running afterwards.  Found
+        solutions are *not* captured as programs (complete programs carry
+        concrete argument objects) -- the caller keeps them.  The snapshot
+        stores the *remaining* solution quota plus the found programs'
+        rendered text, so a restored kernel searches for exactly the missing
+        count and does not let a re-found pre-snapshot program consume it.
+        """
+        return {
+            "version": SNAPSHOT_VERSION,
+            "k": max(0, self.k - len(self.solutions)),
+            "found": [render_program(program) for program in self.solutions],
+            "tiebreak": self._tiebreak,
+            "node_counter": self._node_counter,
+            "visited": sorted(self._visited),
+            "pending": [
+                {"tiebreak": tiebreak, "hypothesis": encode_hypothesis(hypothesis)}
+                for tiebreak, hypothesis in self.frontier.heap_entries()
+            ],
+            "in_flight": (
+                {
+                    "tiebreak": self._in_flight[1],
+                    "hypothesis": encode_hypothesis(self._in_flight[0]),
+                }
+                if self._in_flight is not None and self.frontier.has_continuations
+                else None
+            ),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        payload: dict,
+        example,
+        config,
+        library,
+        cost_model: CostModel,
+        stats,
+    ) -> "SearchKernel":
+        """Rebuild a kernel from :meth:`snapshot` output.
+
+        The restored kernel continues from the captured position: the
+        in-flight hypothesis (if any) is re-expanded from scratch, then the
+        pending lane drains in its original order.
+        """
+        if payload.get("version") != SNAPSHOT_VERSION:
+            raise ValueError(f"unsupported snapshot version {payload.get('version')!r}")
+        remaining = payload.get("k", 1)
+        kernel = cls(example, config, library, cost_model, stats, k=max(1, remaining))
+        # A snapshot taken after the quota was met stores a remaining quota
+        # of 0: the restored kernel is immediately done rather than hunting
+        # for an extra, unrequested program.
+        kernel.k = remaining
+        # Drop the fresh initial state; the snapshot holds the real frontier.
+        kernel.frontier = Frontier(cost_model)
+        kernel._visited = set(payload["visited"])
+        kernel._tiebreak = payload["tiebreak"]
+        kernel._node_counter = payload["node_counter"]
+        kernel._already_found = set(payload.get("found", ()))
+        kernel._in_flight = None
+        for entry in payload["pending"]:
+            kernel.frontier.push_hypothesis(
+                decode_hypothesis(entry["hypothesis"], library), entry["tiebreak"]
+            )
+        in_flight = payload.get("in_flight")
+        if in_flight is not None:
+            # Re-expansion pops it first: it carried the smallest priority
+            # when it was popped, and its refinements are not yet enqueued.
+            kernel.frontier.push_hypothesis(
+                decode_hypothesis(in_flight["hypothesis"], library),
+                in_flight["tiebreak"],
+            )
+        return kernel
+
+
+def hypothesis_signature(hypothesis: Hypothesis) -> str:
+    """A canonical string describing the tree shape (for duplicate detection)."""
+
+    def walk(node: Hypothesis) -> str:
+        if isinstance(node, Hole):
+            if node.hole_type is Type.TABLE:
+                return f"x{node.binding}" if node.binding is not None else "?"
+            return "v"
+        children = ",".join(walk(child) for child in node.table_children)
+        return f"{node.component.name}({children})"
+
+    return walk(hypothesis)

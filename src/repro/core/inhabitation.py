@@ -76,7 +76,7 @@ def string_columns(table: Table) -> List[str]:
 
 def column_constants(table: Table, name: str) -> List[Constant]:
     """Distinct constants occurring in a column (the Const rule)."""
-    seen = []
+    seen = set()
     constants = []
     for value in table.column_values(name):
         if value is None:
@@ -84,7 +84,7 @@ def column_constants(table: Table, name: str) -> List[Constant]:
         key = repr(value)
         if key in seen:
             continue
-        seen.append(key)
+        seen.add(key)
         constants.append(Constant(value))
     return constants
 
@@ -135,14 +135,30 @@ def mutations(table: Table) -> Iterator[MutationExpr]:
 # ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
+def _checked(iterator: Iterable, deadline_check) -> Iterator:
+    """Invoke *deadline_check* before producing each item of *iterator*.
+
+    The check runs inside the enumeration itself (not just at each consumer
+    pull), so a hole with a huge argument space -- ``mutations`` over many
+    numeric columns, predicates over a high-cardinality column -- cannot run
+    past the per-task deadline between two candidate fillings.
+    """
+    for item in iterator:
+        deadline_check()
+        yield item
+
+
 def enumerate_arguments(
-    component: Component, param: ValueParam, table: Table
+    component: Component, param: ValueParam, table: Table,
+    deadline_check=None,
 ) -> Iterable[ValueArgument]:
     """Inhabitants of *param* with respect to the concrete *table*.
 
     The component name determines which fragment of the type's inhabitants is
     meaningful (e.g. ``gather`` needs at least two columns and must leave one
-    identifier column behind).
+    identifier column behind).  *deadline_check* is an optional callable
+    raising when the caller's time budget has expired; it is consulted for
+    every enumerated argument.
     """
     names = list(table.columns)
     count = len(names)
@@ -174,4 +190,6 @@ def enumerate_arguments(
     else:  # pragma: no cover - defensive
         raise ValueError(f"cannot enumerate arguments of type {param.param_type}")
 
+    if deadline_check is not None:
+        iterator = _checked(iterator, deadline_check)
     return itertools.islice(iterator, MAX_INHABITANTS)

@@ -1,58 +1,42 @@
 """The top-level synthesis algorithm (Section 5, Algorithm 1 of the paper).
 
-:class:`Morpheus` maintains a worklist of hypotheses ordered by the cost
-model.  Each iteration pops the most promising hypothesis, asks the deduction
-engine whether it could possibly be turned into a sketch consistent with the
-example, completes the surviving sketches bottom-up (with further deduction
-inside the completion), checks every complete program against the example,
-and finally refines the hypothesis by replacing one of its table holes with a
-component application.
+:class:`Morpheus` is now a thin configuration shell around the
+:class:`~repro.core.frontier.SearchKernel`: the kernel holds an explicit
+priority frontier of hypothesis / sketch / partial-program states, exposes an
+anytime ``step()`` / ``run(deadline)`` API with serialisable resume state,
+and deduplicates partial programs through the observational-equivalence
+store (:mod:`repro.core.oe`).  The frontier pops in exactly the cost order
+the original recursive loop explored, so the first synthesized program is
+unchanged -- but the search can now be paused, resumed, interleaved fairly
+across tasks (see :class:`repro.engine.parallel.KernelInterleaver`), and
+continued past the first solution: ``synthesize(k=...)`` enumerates the top
+``k`` distinct programs -- alternative generalisations of the same example,
+in discovery (cost) order.
 
 Ablations used by the evaluation harness are exposed through
 :class:`SynthesisConfig`: deduction on/off, Spec 1 vs Spec 2, partial
-evaluation on/off, and n-gram vs uniform hypothesis ranking.
+evaluation on/off, n-gram vs uniform hypothesis ranking, and
+observational-equivalence merging on/off (``--no-oe``).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from ..components.errors import PRUNABLE_ERRORS
-from ..dataframe.compare import tables_match_for_synthesis
 from ..dataframe.profiling import ExecutionStats, execution_stats
 from ..dataframe.table import Table
 from ..engine.cache import CacheStats
 from ..smt.solver import formula_cache_stats
 from .abstraction import SpecLevel
-from .completion import (
-    CompletionBudgetExceeded,
-    CompletionStats,
-    CompletionTimeout,
-    SketchCompleter,
-)
+from .completion import CompletionStats
 from .component import ComponentLibrary
 from .cost import CostModel, UniformCostModel
-from .deduction import DeductionEngine, DeductionStats
-from .hypothesis import (
-    EvaluationFailure,
-    Hole,
-    Hypothesis,
-    component_sequence,
-    evaluate,
-    hypothesis_size,
-    initial_hypothesis,
-    is_complete,
-    refine,
-    render_program,
-    sketches,
-    table_holes,
-)
+from .deduction import DeductionStats
+from .frontier import SearchKernel
+from .hypothesis import Hypothesis, hypothesis_size, render_program
 from .library import standard_library
-from .types import Type
 
 
 @dataclass(frozen=True)
@@ -89,6 +73,15 @@ class SynthesisConfig:
     #: SMT stack; verdicts (and synthesized programs) are identical either
     #: way, only the work split changes.
     prescreen: bool = True
+    #: Observational-equivalence merging: collapse partial programs whose
+    #: completed subtrees evaluate to fingerprint-identical tables onto the
+    #: first-explored representative.  Disable (the ``--no-oe`` ablation) to
+    #: explore every duplicate.  The synthesized program (the *first*
+    #: solution) is identical either way, only the amount of duplicated
+    #: completion work changes; with ``top_k > 1`` the merged duplicates are
+    #: exactly the observationally-coincident alternatives, so later
+    #: solutions may be fewer than an exhaustive ``--no-oe`` enumeration.
+    oe: bool = True
     #: Use the statistical (bigram) cost model; otherwise order by size only.
     ngram_ranking: bool = True
     #: Largest number of component applications to consider.
@@ -102,6 +95,14 @@ class SynthesisConfig:
     #: unlimited).  Bounds the damage of a single sketch with a huge
     #: first-order argument space.
     completion_budget: Optional[int] = 6000
+    #: How many distinct solutions ``synthesize`` collects before stopping
+    #: (the frontier no longer unwinds after the first, so enumeration simply
+    #: continues).  Solutions are distinct *programs* -- alternative
+    #: generalisations that may coincide on the example's own output; the
+    #: first solution is identical for every ``top_k``.  With ``oe`` enabled
+    #: some coincident alternatives are merged away -- combine ``top_k > 1``
+    #: with ``oe=False`` for exhaustive enumeration.
+    top_k: int = 1
 
     def describe(self) -> str:
         """Short human-readable description used by the benchmark reports."""
@@ -114,6 +115,8 @@ class SynthesisConfig:
             name += "-no-cdcl"
         if not self.prescreen:
             name += "-no-prescreen"
+        if not self.oe:
+            name += "-no-oe"
         return name
 
 
@@ -126,6 +129,8 @@ class SynthesisStats:
     sketches_generated: int = 0
     sketches_rejected: int = 0
     programs_checked: int = 0
+    #: Peak number of simultaneously pending frontier states.
+    frontier_peak: int = 0
     deduction: DeductionStats = field(default_factory=DeductionStats)
     completion: CompletionStats = field(default_factory=CompletionStats)
     #: This run's slice of the process-wide SMT formula-cache activity.
@@ -182,6 +187,16 @@ class SynthesisStats:
         return self.deduction.prescreen_hit_rate
 
     @property
+    def oe_candidates(self) -> int:
+        """Completion states offered to the observational-equivalence store."""
+        return self.completion.oe_candidates
+
+    @property
+    def oe_merged(self) -> int:
+        """Completion states merged into an earlier OE representative."""
+        return self.completion.oe_merged
+
+    @property
     def tables_built(self) -> int:
         """Tables constructed while executing candidate programs this run."""
         return self.execution.tables_built
@@ -211,12 +226,19 @@ class SynthesisResult:
     elapsed: float
     stats: SynthesisStats
     config: SynthesisConfig
+    #: Every solution found, in discovery order (``program`` is the first).
+    #: Holds more than one entry only when ``top_k > 1`` was requested.
+    programs: List[Hypothesis] = field(default_factory=list)
 
     def render(self, input_names: Optional[Sequence[str]] = None) -> str:
         """The synthesized program as R-style source text."""
         if self.program is None:
             return "<no program found>"
         return render_program(self.program, input_names)
+
+    def render_all(self, input_names: Optional[Sequence[str]] = None) -> List[str]:
+        """Every found program as R-style source text, in discovery order."""
+        return [render_program(program, input_names) for program in self.programs]
 
     @property
     def size(self) -> Optional[int]:
@@ -240,188 +262,59 @@ class Morpheus:
             self.cost_model = UniformCostModel(size_weight=self.config.size_weight)
 
     # ------------------------------------------------------------------
-    def synthesize(self, example: Example) -> SynthesisResult:
-        """Algorithm 1: search for a program consistent with *example*."""
+    def kernel(self, example: Example, k: Optional[int] = None) -> SearchKernel:
+        """Build the anytime search kernel for *example*.
+
+        Direct kernel access is the service-grade API: callers may ``step()``
+        it, ``run()`` it against successive deadlines, interleave many
+        kernels in one process, or snapshot/restore the search position.
+        ``Morpheus.synthesize`` is a convenience wrapper that drives the
+        kernel to completion under the configured timeout.
+        """
+        return SearchKernel(
+            example,
+            self.config,
+            self.library,
+            self.cost_model,
+            SynthesisStats(),
+            k=k if k is not None else self.config.top_k,
+        )
+
+    def synthesize(self, example: Example, k: Optional[int] = None) -> SynthesisResult:
+        """Algorithm 1: search for (up to *k*) programs consistent with *example*."""
         started = time.monotonic()
         deadline = (
             started + self.config.timeout if self.config.timeout is not None else None
         )
-        stats = SynthesisStats()
-        # The lemma store is created fresh per run: mined lemmas rest on this
-        # example's formula, and per-run state keeps parallel suite runs
-        # bit-identical to serial ones (workers share nothing).
-        engine = DeductionEngine(
-            inputs=example.inputs,
-            output=example.output,
-            level=self.config.spec_level,
-            use_partial_evaluation=self.config.partial_evaluation,
-            enabled=self.config.deduction,
-            cdcl=self.config.cdcl and self.config.deduction,
-            prescreen=self.config.prescreen and self.config.deduction,
-            stats=stats.deduction,
+        kernel = self.kernel(example, k=k)
+        kernel.run(deadline=deadline)
+        return self.finalize(kernel, elapsed=time.monotonic() - started)
+
+    def finalize(self, kernel: SearchKernel, elapsed: Optional[float] = None) -> SynthesisResult:
+        """Package a (driven) kernel's state into a :class:`SynthesisResult`.
+
+        The kernel's construction-time baselines attribute a slice of the
+        process-wide solver-cache and execution counters to this run, so the
+        counters are identical whether the kernel ran standalone or inside
+        an isolated :class:`~repro.engine.context.TaskContext`.
+        """
+        stats = kernel.stats
+        stats.frontier_peak = kernel.frontier.peak
+        stats.solver_cache = (
+            formula_cache_stats().snapshot().since(kernel.solver_cache_baseline)
         )
-        completer = SketchCompleter(
-            engine,
-            deadline=deadline,
-            budget=self.config.completion_budget,
-            stats=stats.completion,
+        stats.execution = (
+            execution_stats().snapshot().since(kernel.execution_baseline)
         )
-
-        counter = itertools.count()
-        node_counter = itertools.count(1)
-        worklist = _Worklist(self.cost_model)
-        visited = set()
-
-        def push(hypothesis: Hypothesis) -> None:
-            signature = _signature(hypothesis)
-            if signature in visited:
-                return
-            visited.add(signature)
-            worklist.push(hypothesis, next(counter))
-            stats.hypotheses_enqueued += 1
-
-        push(initial_hypothesis())
-
-        def expired() -> bool:
-            return deadline is not None and time.monotonic() > deadline
-
-        solver_cache_baseline = formula_cache_stats().snapshot()
-        execution_baseline = execution_stats().snapshot()
-        program: Optional[Hypothesis] = None
-        try:
-            while worklist:
-                if expired():
-                    break
-                hypothesis = worklist.pop()
-                stats.hypotheses_expanded += 1
-
-                feasible = engine.deduce(hypothesis)
-                if feasible:
-                    program = self._complete_hypothesis(
-                        hypothesis, example, completer, stats
-                    )
-                    if program is not None:
-                        break
-
-                # Hypothesis refinement (lines 15-18 of Algorithm 1).  The
-                # deadline is re-checked inside the fan-out so a refinement
-                # step over a large library cannot overshoot the budget.
-                if hypothesis_size(hypothesis) >= self.config.max_size:
-                    continue
-                for hole in table_holes(hypothesis, unbound_only=True):
-                    if expired():
-                        break
-                    for component in self.library:
-                        if expired():
-                            break
-                        refined = refine(
-                            hypothesis, hole, component, lambda: next(node_counter)
-                        )
-                        push(refined)
-        except CompletionTimeout:
-            program = None
-
-        stats.solver_cache = formula_cache_stats().snapshot().since(solver_cache_baseline)
-        stats.execution = execution_stats().snapshot().since(execution_baseline)
-        elapsed = time.monotonic() - started
+        program = kernel.solutions[0] if kernel.solutions else None
         return SynthesisResult(
             solved=program is not None,
             program=program,
-            elapsed=elapsed,
+            elapsed=elapsed if elapsed is not None else kernel.active_seconds,
             stats=stats,
             config=self.config,
+            programs=list(kernel.solutions),
         )
-
-    # ------------------------------------------------------------------
-    def _complete_hypothesis(
-        self,
-        hypothesis: Hypothesis,
-        example: Example,
-        completer: SketchCompleter,
-        stats: SynthesisStats,
-    ) -> Optional[Hypothesis]:
-        """Lines 11-14 of Algorithm 1: sketch generation, completion, checking."""
-        if isinstance(hypothesis, Hole):
-            # The bare hypothesis ?0 can only be "the identity program", which
-            # is never the answer to a non-trivial task; skip it.
-            return None
-        for sketch in sketches(hypothesis, len(example.inputs)):
-            stats.sketches_generated += 1
-            if not completer.engine.deduce(sketch):
-                stats.sketches_rejected += 1
-                continue
-            try:
-                for candidate in completer.fill_sketch(sketch):
-                    stats.programs_checked += 1
-                    if self._check(candidate, example, completer.engine):
-                        return candidate
-            except CompletionBudgetExceeded:
-                # This sketch used up its budget; move on to the next one.
-                continue
-        return None
-
-    def _check(self, candidate: Hypothesis, example: Example, engine) -> bool:
-        """CHECK(p, E): run the program and compare against the expected output.
-
-        Evaluation goes through the engine's evaluation memo and
-        fingerprint-keyed execution cache, so the sub-programs the completer
-        already executed are never re-run here.
-        """
-        if not is_complete(candidate):
-            return False
-        try:
-            actual = evaluate(
-                candidate, example.inputs,
-                memo=engine.evaluation_memo, exec_cache=engine.execution_cache,
-            )
-        except (EvaluationFailure, *PRUNABLE_ERRORS):
-            return False
-        started = time.perf_counter()
-        matched = tables_match_for_synthesis(actual, example.output)
-        execution_stats().compare_time += time.perf_counter() - started
-        return matched
-
-
-class _Worklist:
-    """The priority queue of Algorithm 1.
-
-    Hypotheses are ordered by the cost model's score, which blends program
-    size (Occam's razor) with the statistical likelihood of the component
-    sequence (Section 8 of the paper).
-    """
-
-    def __init__(self, cost_model: CostModel) -> None:
-        self._cost_model = cost_model
-        self._heap: List[Tuple[Tuple[float, int], int, Hypothesis]] = []
-
-    def __len__(self) -> int:
-        return len(self._heap)
-
-    def __bool__(self) -> bool:
-        return bool(self._heap)
-
-    def push(self, hypothesis: Hypothesis, tiebreak: int) -> None:
-        priority = self._cost_model.priority(
-            hypothesis_size(hypothesis), component_sequence(hypothesis)
-        )
-        heapq.heappush(self._heap, (priority, tiebreak, hypothesis))
-
-    def pop(self) -> Hypothesis:
-        _, _, hypothesis = heapq.heappop(self._heap)
-        return hypothesis
-
-
-def _signature(hypothesis: Hypothesis) -> str:
-    """A canonical string describing the tree shape (for duplicate detection)."""
-    def walk(node: Hypothesis) -> str:
-        if isinstance(node, Hole):
-            if node.hole_type is Type.TABLE:
-                return f"x{node.binding}" if node.binding is not None else "?"
-            return "v"
-        children = ",".join(walk(child) for child in node.table_children)
-        return f"{node.component.name}({children})"
-
-    return walk(hypothesis)
 
 
 def synthesize(
@@ -429,6 +322,7 @@ def synthesize(
     output: Table,
     library: Optional[ComponentLibrary] = None,
     config: Optional[SynthesisConfig] = None,
+    k: Optional[int] = None,
 ) -> SynthesisResult:
     """One-call convenience API: synthesize a program from input/output tables."""
-    return Morpheus(library, config).synthesize(Example.make(inputs, output))
+    return Morpheus(library, config).synthesize(Example.make(inputs, output), k=k)

@@ -67,3 +67,18 @@ def intern_pool_size() -> int:
 def clear_intern_pool() -> None:
     """Drop every pooled value (live tables keep their own references)."""
     _POOL.clear()
+
+
+def install_intern_pool(pool: Dict[CellValue, CellValue]) -> Dict[CellValue, CellValue]:
+    """Swap the process-wide pool, returning the previous one.
+
+    Used by :class:`repro.engine.context.TaskContext` to give each
+    interleaved search kernel its own pool: sharing is a pure optimisation,
+    but the ``cells_interned`` counter depends on pool warmth, so per-task
+    pools keep the counter byte-identical between whole-task and interleaved
+    scheduling.
+    """
+    global _POOL
+    previous = _POOL
+    _POOL = pool
+    return previous

@@ -117,6 +117,19 @@ def execution_stats() -> ExecutionStats:
     return _EXECUTION_STATS
 
 
+def install_execution_stats(stats: ExecutionStats) -> ExecutionStats:
+    """Swap the process-wide counter instance, returning the previous one.
+
+    Used by :class:`repro.engine.context.TaskContext` to give each
+    interleaved search kernel its own counter block, so per-task counters
+    are independent of which other kernels share the process.
+    """
+    global _EXECUTION_STATS
+    previous = _EXECUTION_STATS
+    _EXECUTION_STATS = stats
+    return previous
+
+
 def reset_execution_state() -> None:
     """Zero the counters and clear the value intern pool.
 

@@ -1,44 +1,70 @@
-"""Process-parallel synthesis drivers.
+"""Process-parallel and interleaved synthesis drivers.
 
-Three entry points fan expensive synthesis work over a ``multiprocessing``
-pool:
+Two scheduling layers live here:
 
-* :class:`ParallelRunner` distributes benchmark x configuration pairs and
-  collects picklable :class:`~repro.benchmarks.runner.BenchmarkOutcome`\\ s,
-  reproducing exactly what the serial runner would have produced (the work
-  items are independent, so only wall-clock time changes).
-* :func:`synthesize_batch` serves many input-output examples concurrently and
-  returns the results in input order.
-* :func:`synthesize_portfolio` races several configurations on one example
-  and returns as soon as any of them finds a program.
+* :class:`KernelInterleaver` -- cooperative, single-process scheduling: one
+  :class:`~repro.core.frontier.SearchKernel` per task, stepped round-robin
+  in bounded slices.  Each kernel runs inside its own
+  :class:`~repro.engine.context.TaskContext` (private intern pool, formula
+  cache and execution counters) and is charged *active* time only, so its
+  search -- programs **and** counters -- is byte-identical to a dedicated
+  process running the task alone, while a fast task no longer waits behind
+  a slow one.
+* :class:`ParallelRunner` -- process-level fan-out: benchmark x
+  configuration pairs are split into batches, each worker process
+  interleaves the kernels of its batch.  ``--jobs N`` therefore interleaves
+  kernel steps instead of whole tasks; ``interleave=False`` restores the
+  one-task-at-a-time workers.
+
+:func:`synthesize_batch` serves many input-output examples concurrently and
+returns the results in input order; :func:`synthesize_portfolio` races
+several configurations on one example and returns as soon as any of them
+finds a program.
 
 Workers are plain top-level functions so they pickle under every start
-method; each worker process keeps its own deduction memo and SMT formula
-cache (inherited warm under ``fork``, cold under ``spawn``).
-
-Conflict-driven lemma state never crosses task boundaries: lemmas rest on
-one example's formulas, and ``Morpheus.synthesize`` creates a fresh
-:class:`~repro.core.lemmas.LemmaStore` (and incremental solver session) per
-run, so every worker task mines its own lemmas from scratch and a
-``--jobs N`` suite run is bit-identical to the serial one -- including the
-lemma-prune and SMT-call counters on each outcome.
+method.  Conflict-driven lemma state never crosses task boundaries: lemmas
+rest on one example's formulas and live on the per-kernel deduction engine,
+so every task mines its own lemmas from scratch and a ``--jobs N`` suite run
+is bit-identical to the serial one -- including the lemma-prune, SMT-call,
+OE-merge and frontier counters on each outcome.  (The one timing-sensitive
+edge, unchanged from whole-task scheduling: a task whose solve time
+approaches the per-task budget may flip to a timeout when workers
+oversubscribe the CPUs, and a timed-out task's counters depend on where the
+budget cut the search.)
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from dataclasses import dataclass
+import time
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..benchmarks.runner import BenchmarkOutcome, SuiteRun, run_benchmark
+from ..benchmarks.runner import (
+    BenchmarkOutcome,
+    SuiteRun,
+    outcome_from_result,
+    run_benchmark,
+)
 from ..benchmarks.suite import Benchmark, BenchmarkSuite
 from ..core.synthesizer import Example, Morpheus, SynthesisConfig, SynthesisResult
 from ..dataframe.profiling import reset_execution_state
 from ..smt.solver import clear_formula_cache
+from .context import TaskContext
 
 #: A unit of benchmark work: (benchmark, configuration, label, library).
 BenchmarkPair = Tuple[Benchmark, SynthesisConfig, str, object]
+
+#: Kernel steps one interleaved task runs before yielding to the next.
+#: Small enough that no task monopolises its worker for long (one step is at
+#: most one deduction query), large enough that context switches stay noise.
+DEFAULT_SLICE_STEPS = 64
+
+#: Batches dealt to each pool worker over a run (smaller batches improve
+#: progress granularity, larger ones improve interleaving fairness).
+BATCHES_PER_WORKER = 4
 
 
 def default_job_count() -> int:
@@ -62,11 +88,147 @@ def _coerce_example(example) -> Example:
 
 
 # ----------------------------------------------------------------------
+# KernelInterleaver: cooperative stepping of many kernels in one process
+# ----------------------------------------------------------------------
+@dataclass
+class _InterleavedTask:
+    """One kernel's scheduling state inside the interleaver."""
+
+    index: int
+    example: Example
+    morpheus: Morpheus
+    context: TaskContext = field(default_factory=TaskContext)
+    kernel: object = None
+    result: Optional[SynthesisResult] = None
+
+
+class KernelInterleaver:
+    """Steps many search kernels round-robin inside one process.
+
+    Tasks are added with :meth:`add` and driven by :meth:`run`.  Each task's
+    kernel is constructed, stepped and finalised inside that task's
+    :class:`TaskContext`, and its per-task wall-clock budget
+    (``config.timeout``) is charged against *active* time -- the seconds its
+    own steps consumed -- not against the shared wall clock, so interleaved
+    tasks neither starve nor subsidise one another.
+    """
+
+    def __init__(self, slice_steps: int = DEFAULT_SLICE_STEPS) -> None:
+        if slice_steps < 1:
+            raise ValueError(f"slice_steps must be >= 1, got {slice_steps}")
+        self.slice_steps = slice_steps
+        self._tasks: List[_InterleavedTask] = []
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def add(
+        self,
+        example,
+        config: Optional[SynthesisConfig] = None,
+        library=None,
+    ) -> int:
+        """Register a task; returns its index (results come back in order)."""
+        task = _InterleavedTask(
+            index=len(self._tasks),
+            example=_coerce_example(example),
+            morpheus=Morpheus(library=library, config=config),
+        )
+        self._tasks.append(task)
+        return task.index
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        on_result: Optional[Callable[[int, SynthesisResult], None]] = None,
+    ) -> List[SynthesisResult]:
+        """Drive every task to completion; results in :meth:`add` order.
+
+        ``on_result(index, result)`` fires as each task finishes (fast tasks
+        finish first regardless of registration order).
+        """
+        pending = deque(self._tasks)
+        while pending:
+            task = pending.popleft()
+            if self._advance(task):
+                if on_result is not None:
+                    on_result(task.index, task.result)
+            else:
+                pending.append(task)
+        return [task.result for task in self._tasks]
+
+    def _advance(self, task: _InterleavedTask) -> bool:
+        """Run one slice of *task*'s kernel; True when the task finished."""
+        config = task.morpheus.config
+        with task.context.active():
+            if task.kernel is None:
+                started = time.perf_counter()
+                task.kernel = task.morpheus.kernel(task.example)
+                task.kernel.active_seconds += time.perf_counter() - started
+            kernel = task.kernel
+            budget = config.timeout
+            remaining = None if budget is None else budget - kernel.active_seconds
+            more = False
+            if remaining is None or remaining > 0:
+                deadline = (
+                    None if remaining is None else time.monotonic() + remaining
+                )
+                more = kernel.run(deadline=deadline, max_steps=self.slice_steps)
+            out_of_time = budget is not None and kernel.active_seconds >= budget
+            if more and not out_of_time:
+                return False
+            task.result = task.morpheus.finalize(
+                kernel, elapsed=kernel.active_seconds
+            )
+        # Free the search state and the per-task caches (the context holds
+        # the task's whole intern pool and formula cache); only the result
+        # is kept.
+        task.kernel = None
+        task.context = None
+        return True
+
+
+def interleave_benchmarks(
+    pairs: Sequence[BenchmarkPair],
+    slice_steps: int = DEFAULT_SLICE_STEPS,
+    on_result: Optional[Callable[[int, BenchmarkOutcome], None]] = None,
+) -> List[BenchmarkOutcome]:
+    """Run benchmark x configuration pairs through one interleaver.
+
+    The single-process backend of the ``--jobs`` harness: outcomes are
+    byte-identical to :func:`repro.benchmarks.runner.run_benchmark` on every
+    deterministic field, in input order.
+    """
+    interleaver = KernelInterleaver(slice_steps=slice_steps)
+    for benchmark, config, label, library in pairs:
+        interleaver.add(
+            Example.make(benchmark.inputs, benchmark.output), config, library
+        )
+    outcomes: Dict[int, BenchmarkOutcome] = {}
+
+    def finish(index: int, result: SynthesisResult) -> None:
+        benchmark, config, label, _library = pairs[index]
+        outcomes[index] = outcome_from_result(benchmark, config, result, label=label)
+        if on_result is not None:
+            on_result(index, outcomes[index])
+
+    interleaver.run(on_result=finish)
+    return [outcomes[index] for index in range(len(pairs))]
+
+
+# ----------------------------------------------------------------------
 # Worker functions (top-level so they pickle under the spawn start method)
 # ----------------------------------------------------------------------
 def _run_pair_task(task):
     index, benchmark, config, label, library = task
     return index, run_benchmark(benchmark, config, library=library, label=label)
+
+
+def _run_pair_batch(task):
+    """Interleave one batch of indexed benchmark pairs inside a worker."""
+    indices, pairs, slice_steps = task
+    outcomes = interleave_benchmarks(pairs, slice_steps=slice_steps)
+    return list(zip(indices, outcomes))
 
 
 def _synthesize_task(task):
@@ -79,6 +241,24 @@ def _synthesize_task(task):
     reset_execution_state()
     result = Morpheus(library=library, config=config).synthesize(example)
     return index, result
+
+
+def _synthesize_batch_task(task):
+    """Interleave one batch of indexed examples inside a worker."""
+    indices, examples, config, library, slice_steps = task
+    interleaver = KernelInterleaver(slice_steps=slice_steps)
+    for example in examples:
+        interleaver.add(example, config, library)
+    results = interleaver.run()
+    return list(zip(indices, results))
+
+
+def _round_robin_batches(count: int, batches: int) -> List[List[int]]:
+    """Deterministically deal ``count`` indices into ``batches`` groups."""
+    groups: List[List[int]] = [[] for _ in range(max(1, min(batches, count)))]
+    for index in range(count):
+        groups[index % len(groups)].append(index)
+    return [group for group in groups if group]
 
 
 def _map_indexed(
@@ -123,6 +303,37 @@ def _map_indexed(
     return collected
 
 
+def _map_batched(
+    worker,
+    batch_tasks: Sequence[tuple],
+    jobs: int,
+    start_method: Optional[str] = None,
+    on_result=None,
+) -> Dict[int, object]:
+    """Run batch workers (each returning ``[(index, value), ...]``) and flatten."""
+    collected: Dict[int, object] = {}
+
+    def record(results) -> None:
+        for index, value in results:
+            collected[index] = value
+            if on_result is not None:
+                on_result(index, value)
+
+    if jobs == 1 or len(batch_tasks) <= 1:
+        for task in batch_tasks:
+            record(worker(task))
+        return collected
+    context = (
+        multiprocessing.get_context(start_method)
+        if start_method is not None
+        else multiprocessing
+    )
+    with context.Pool(processes=min(jobs, len(batch_tasks))) as pool:
+        for results in pool.imap_unordered(worker, batch_tasks):
+            record(results)
+    return collected
+
+
 # ----------------------------------------------------------------------
 # ParallelRunner: benchmark x configuration fan-out
 # ----------------------------------------------------------------------
@@ -133,11 +344,25 @@ class ParallelRunner:
     ``jobs=None`` uses one worker per CPU; ``jobs=1`` degrades to a serial
     loop with identical semantics (and no pool overhead), so callers can
     thread a single ``--jobs`` value through unconditionally.
+
+    With ``interleave`` (the default) each worker process receives a *batch*
+    of pairs and steps their search kernels round-robin under per-task
+    :class:`TaskContext` isolation, so a fast task never queues behind a
+    slow one inside a worker; ``interleave=False`` restores the classic
+    one-whole-task-per-worker-at-a-time scheduling.  Deterministic outcome
+    fields are byte-identical between the two modes and the serial loop.
     """
 
     jobs: Optional[int] = None
     #: Optional multiprocessing start method ("fork", "spawn", ...).
     start_method: Optional[str] = None
+    #: Interleave kernel steps across each worker's batch of tasks.
+    interleave: bool = True
+    #: Kernel steps per scheduling slice (interleaved mode).
+    slice_steps: int = DEFAULT_SLICE_STEPS
+    #: Batches handed to each worker over the run (smaller batches improve
+    #: progress granularity, larger ones improve interleaving fairness).
+    batches_per_worker: int = BATCHES_PER_WORKER
 
     def __post_init__(self) -> None:
         self.jobs = _resolve_jobs(self.jobs)
@@ -150,18 +375,42 @@ class ParallelRunner:
     ) -> List[BenchmarkOutcome]:
         """Run every (benchmark, config, label, library) pair; results in input order.
 
-        ``progress`` is invoked in the parent process as outcomes arrive
-        (completion order under a pool, input order when serial).
+        ``progress`` is invoked in the parent process as outcomes arrive:
+        per task with ``jobs=1`` (one in-process interleaver drives every
+        kernel and reports each finish immediately), per completed batch
+        under a pool (a worker's outcomes only cross the process boundary
+        together).
         """
-        tasks = [
-            (index, benchmark, config, label, library)
-            for index, (benchmark, config, label, library) in enumerate(pairs)
-        ]
         on_result = None if progress is None else (lambda _index, outcome: progress(outcome))
-        collected = _map_indexed(
-            _run_pair_task, tasks, self.jobs, self.start_method, on_result=on_result
-        )
-        return [collected[index] for index in range(len(tasks))]
+        if self.interleave:
+            if self.jobs == 1:
+                # One interleaver over everything: maximal fairness and
+                # per-task progress (no batch granularity in-process).
+                outcomes = interleave_benchmarks(
+                    pairs, slice_steps=self.slice_steps, on_result=on_result
+                )
+                return outcomes
+            groups = _round_robin_batches(
+                len(pairs), self.jobs * max(1, self.batches_per_worker)
+            )
+            batch_tasks = [
+                (indices, [pairs[index] for index in indices], self.slice_steps)
+                for indices in groups
+            ]
+            collected = _map_batched(
+                _run_pair_batch, batch_tasks, self.jobs, self.start_method,
+                on_result=on_result,
+            )
+        else:
+            tasks = [
+                (index, benchmark, config, label, library)
+                for index, (benchmark, config, label, library) in enumerate(pairs)
+            ]
+            collected = _map_indexed(
+                _run_pair_task, tasks, self.jobs, self.start_method,
+                on_result=on_result,
+            )
+        return [collected[index] for index in range(len(pairs))]
 
     def run_suite(
         self,
@@ -214,6 +463,8 @@ def synthesize_batch(
     config: Optional[SynthesisConfig] = None,
     library=None,
     jobs: Optional[int] = None,
+    interleave: bool = False,
+    slice_steps: int = DEFAULT_SLICE_STEPS,
 ) -> List[SynthesisResult]:
     """Synthesize a program for every example, fanning over worker processes.
 
@@ -221,18 +472,39 @@ def synthesize_batch(
     Results come back in input order regardless of completion order, and each
     example's search is bit-for-bit the search ``Morpheus.synthesize`` would
     run serially (workers share nothing), so the outcomes are deterministic.
-    The one timing-sensitive edge: an example whose solve time approaches the
-    configured wall-clock timeout may time out when more workers run than
-    there are CPU cores.
+
+    ``interleave=True`` steps the kernels of each worker's batch round-robin
+    under per-task :class:`TaskContext` isolation (with ``jobs=1`` this is
+    pure cooperative scheduling in the calling process); per-task budgets
+    are then charged against active time.  The one timing-sensitive edge in
+    either mode: an example whose solve time approaches the configured
+    wall-clock timeout may time out when more workers run than there are
+    CPU cores.
     """
     jobs = _resolve_jobs(jobs)
     config = config if config is not None else SynthesisConfig()
-    tasks = [
-        (index, _coerce_example(example), config, library)
-        for index, example in enumerate(examples)
-    ]
-    collected = _map_indexed(_synthesize_task, tasks, jobs)
-    return [collected[index] for index in range(len(tasks))]
+    coerced = [_coerce_example(example) for example in examples]
+    if interleave:
+        if jobs == 1:
+            # One interleaver over every example: pure cooperative
+            # scheduling, no sequential batch boundaries.
+            interleaver = KernelInterleaver(slice_steps=slice_steps)
+            for example in coerced:
+                interleaver.add(example, config, library)
+            return interleaver.run()
+        groups = _round_robin_batches(len(coerced), jobs * BATCHES_PER_WORKER)
+        batch_tasks = [
+            (indices, [coerced[index] for index in indices], config, library, slice_steps)
+            for indices in groups
+        ]
+        collected = _map_batched(_synthesize_batch_task, batch_tasks, jobs)
+    else:
+        tasks = [
+            (index, example, config, library)
+            for index, example in enumerate(coerced)
+        ]
+        collected = _map_indexed(_synthesize_task, tasks, jobs)
+    return [collected[index] for index in range(len(coerced))]
 
 
 # ----------------------------------------------------------------------

@@ -75,6 +75,32 @@ def configure_formula_cache(maxsize: Optional[int]) -> None:
     _formula_cache = LRUCache(maxsize=maxsize)
 
 
+def new_formula_cache() -> "LRUCache":
+    """A fresh formula cache sized like the currently installed one.
+
+    Mirroring the installed cache's bound (rather than the default) keeps
+    eviction behaviour -- and therefore the per-run cache counters --
+    identical between per-task isolated caches and a process-wide cache a
+    caller resized via :func:`configure_formula_cache`.
+    """
+    return LRUCache(maxsize=_formula_cache.maxsize)
+
+
+def install_formula_cache(cache: "LRUCache") -> "LRUCache":
+    """Swap the process-wide formula cache, returning the previous one.
+
+    Used by :class:`repro.engine.context.TaskContext` to give each
+    interleaved search kernel its own cache: a kernel's steps then see
+    exactly the cache state a dedicated process would have seen, which keeps
+    the per-run cache counters byte-identical between whole-task and
+    interleaved scheduling.
+    """
+    global _formula_cache
+    previous = _formula_cache
+    _formula_cache = cache
+    return previous
+
+
 configure_formula_cache(FORMULA_CACHE_SIZE)
 
 

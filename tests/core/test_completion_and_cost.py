@@ -87,6 +87,61 @@ class TestSketchCompletion:
         with pytest.raises(CompletionTimeout):
             list(completer.fill_sketch(build_sketch("select", "filter")))
 
+    def test_deadline_is_checked_inside_argument_enumeration(self):
+        # A single node with a huge first-order argument space (predicates
+        # over a wide, high-cardinality table) must notice an expired
+        # deadline between candidate fillings -- not only between hole
+        # fills.  The check threaded into enumerate_arguments bounds the
+        # damage to a handful of candidates.
+        from repro.core.inhabitation import enumerate_arguments
+
+        wide = Table(
+            [f"c{i}" for i in range(8)],
+            [[row * 31 + i for i in range(8)] for row in range(40)],
+        )
+        component = COMPONENTS["filter"]
+        param = component.value_params[0]
+        calls = []
+        full = list(enumerate_arguments(component, param, wide, deadline_check=lambda: calls.append(1)))
+        # Every enumerated argument passed through the deadline check.
+        assert len(calls) >= len(full) > 100
+
+        def expiring():
+            if len(calls) >= len(full) + 5:
+                raise CompletionTimeout()
+            calls.append(1)
+
+        with pytest.raises(CompletionTimeout):
+            list(enumerate_arguments(component, param, wide, deadline_check=expiring))
+
+    def test_deadline_is_checked_for_parameterless_nodes(self):
+        # inner_join has no first-order holes; its node-boundary deduction
+        # check must still observe the deadline.
+        engine = DeductionEngine(
+            inputs=[STUDENTS, STUDENTS], output=NAMES_OF_ADULTS
+        )
+        completer = SketchCompleter(engine, deadline=0.0)
+        with pytest.raises(CompletionTimeout):
+            list(completer.fill_sketch(build_sketch("inner_join", inputs=2)))
+
+    def test_stepwise_run_yields_the_recursion_order(self):
+        # The iterative worklist must surface complete programs in exactly
+        # the order the recursive FILLSKETCH produced them (DFS over the
+        # argument enumeration).
+        engine = DeductionEngine(inputs=[STUDENTS], output=ADULTS)
+        completer = SketchCompleter(engine)
+        run = completer.start(build_sketch("filter"))
+        stepped = []
+        while not run.exhausted:
+            program = run.step()
+            if program is not None:
+                stepped.append(repr(program))
+        engine2 = DeductionEngine(inputs=[STUDENTS], output=ADULTS)
+        completer2 = SketchCompleter(engine2)
+        pulled = [repr(p) for p in completer2.fill_sketch(build_sketch("filter"))]
+        assert stepped == pulled
+        assert stepped
+
 
 class TestNGramModel:
     def test_trained_bigrams_are_more_likely(self):

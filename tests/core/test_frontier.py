@@ -1,0 +1,274 @@
+"""Tests for the explicit search frontier and the anytime search kernel."""
+
+import itertools
+
+from repro.core import Example, Morpheus, SynthesisConfig, standard_library
+from repro.core.cost import CostModel
+from repro.core.frontier import (
+    Frontier,
+    HypothesisState,
+    SketchState,
+    decode_hypothesis,
+    encode_hypothesis,
+)
+from repro.core.hypothesis import (
+    evaluate,
+    initial_hypothesis,
+    refine,
+    table_holes,
+)
+from repro.dataframe import Table, tables_match_for_synthesis
+
+LIBRARY = standard_library()
+COMPONENTS = {component.name: component for component in LIBRARY}
+
+STUDENTS = Table(["name", "age", "gpa"],
+                 [["Alice", 8, 4.0], ["Bob", 18, 3.2], ["Tom", 12, 3.0]])
+ADULTS = Table(["name", "age", "gpa"], [["Bob", 18, 3.2], ["Tom", 12, 3.0]])
+
+
+def build_hypothesis(*names):
+    next_id = itertools.count(1)
+    hypothesis = initial_hypothesis()
+    for name in names:
+        hole = table_holes(hypothesis)[0]
+        hypothesis = refine(hypothesis, hole, COMPONENTS[name], lambda: next(next_id))
+    return hypothesis
+
+
+class TestFrontier:
+    def test_continuations_pop_before_hypotheses(self):
+        frontier = Frontier(CostModel())
+        frontier.push_hypothesis(build_hypothesis("filter"), 0)
+        marker = SketchState(build_hypothesis("select"))
+        frontier.push_continuation(marker)
+        assert frontier.pop() is marker
+        popped = frontier.pop()
+        assert isinstance(popped, HypothesisState)
+
+    def test_continuations_are_lifo(self):
+        frontier = Frontier(CostModel())
+        first, second = SketchState(None), SketchState(None)
+        frontier.push_continuation(first)
+        frontier.push_continuation(second)
+        assert frontier.pop() is second
+        assert frontier.pop() is first
+
+    def test_hypotheses_pop_in_cost_order(self):
+        frontier = Frontier(CostModel())
+        small = build_hypothesis("filter")
+        large = build_hypothesis("gather", "spread")
+        frontier.push_hypothesis(large, 0)
+        frontier.push_hypothesis(small, 1)
+        assert frontier.pop().hypothesis == small
+        assert frontier.pop().hypothesis == large
+
+    def test_peak_tracks_maximum_size(self):
+        frontier = Frontier(CostModel())
+        for tiebreak in range(5):
+            frontier.push_hypothesis(build_hypothesis("filter"), tiebreak)
+        for _ in range(5):
+            frontier.pop()
+        assert frontier.peak == 5
+        assert len(frontier) == 0
+
+
+class TestHypothesisSerialisation:
+    def test_roundtrip_preserves_structure(self):
+        hypothesis = build_hypothesis("gather", "spread")
+        payload = encode_hypothesis(hypothesis)
+        restored = decode_hypothesis(payload, LIBRARY)
+        assert repr(restored) == repr(hypothesis)
+
+    def test_roundtrip_is_json_compatible(self):
+        import json
+
+        hypothesis = build_hypothesis("group_by", "summarise")
+        payload = json.loads(json.dumps(encode_hypothesis(hypothesis)))
+        restored = decode_hypothesis(payload, LIBRARY)
+        assert repr(restored) == repr(hypothesis)
+
+
+class TestSearchKernel:
+    def example(self):
+        return Example.make([STUDENTS], ADULTS)
+
+    def test_run_finds_the_same_program_as_synthesize(self):
+        morpheus = Morpheus(config=SynthesisConfig(timeout=20))
+        result = morpheus.synthesize(self.example())
+        kernel = morpheus.kernel(self.example())
+        kernel.run()
+        assert kernel.solved
+        assert kernel.solutions[0] == result.program
+
+    def test_anytime_stepping_reaches_the_same_program(self):
+        morpheus = Morpheus(config=SynthesisConfig(timeout=20))
+        reference = morpheus.synthesize(self.example())
+        kernel = morpheus.kernel(self.example())
+        # Drive the kernel in small slices, as an interleaving service would.
+        while kernel.run(max_steps=7):
+            pass
+        assert kernel.solutions[0] == reference.program
+
+    def test_step_advances_one_state_at_a_time(self):
+        morpheus = Morpheus(config=SynthesisConfig(timeout=20))
+        kernel = morpheus.kernel(self.example())
+        steps = 0
+        while not kernel.done and steps < 100_000:
+            kernel.step()
+            steps += 1
+        assert kernel.solved
+        assert steps > 1
+
+    def test_run_resumes_after_an_expired_deadline(self):
+        # A deadline firing mid-completion must not lose the in-flight
+        # state: a later run() with no deadline (which also clears the
+        # stale one) continues exactly where the bounded run stopped and
+        # finds the same program as an uninterrupted search.
+        import time
+
+        morpheus = Morpheus(config=SynthesisConfig(timeout=20))
+        reference = morpheus.synthesize(self.example())
+        kernel = morpheus.kernel(self.example())
+        # An already-expired deadline: the first completion step raises
+        # CompletionTimeout, which must re-push the interrupted state.
+        assert kernel.run(deadline=time.monotonic() - 1.0)
+        assert not kernel.solved
+        interrupted_pending = len(kernel.frontier)
+        assert interrupted_pending > 0
+        assert kernel.run() is False  # clears the stale deadline and drains
+        assert kernel.solutions[0] == reference.program
+
+    def test_intermittent_timeouts_do_not_lose_search_states(self):
+        # Expire the deadline between (and inside) steps repeatedly: every
+        # interrupted state -- in-flight completion frames, half-done
+        # refinement fan-outs -- must be restored, so the search still finds
+        # the same program an uninterrupted run finds.
+        import time
+
+        from repro.core.completion import CompletionTimeout
+        from repro.core.hypothesis import render_program
+
+        morpheus = Morpheus(config=SynthesisConfig(timeout=20))
+        reference = morpheus.synthesize(self.example())
+        kernel = morpheus.kernel(self.example())
+        steps = 0
+        while not kernel.done and steps < 100_000:
+            if steps % 5 == 4:
+                kernel.set_deadline(time.monotonic() - 1.0)
+                try:
+                    kernel.step()
+                except CompletionTimeout:
+                    pass
+                kernel.set_deadline(None)
+            kernel.step()
+            steps += 1
+        assert kernel.solved
+        assert render_program(kernel.solutions[0]) == reference.render()
+
+    def test_snapshot_restore_resumes_to_the_same_program(self):
+        morpheus = Morpheus(config=SynthesisConfig(timeout=20))
+        reference = morpheus.synthesize(self.example())
+
+        kernel = morpheus.kernel(self.example())
+        kernel.run(max_steps=5)
+        assert not kernel.solved  # interrupted mid-search
+        payload = kernel.snapshot()
+
+        from repro.core.frontier import SearchKernel
+        from repro.core.synthesizer import SynthesisStats
+
+        restored = SearchKernel.restore(
+            payload, self.example(), morpheus.config, morpheus.library,
+            morpheus.cost_model, SynthesisStats(),
+        )
+        restored.run()
+        assert restored.solved
+        assert restored.solutions[0] == reference.program
+
+    def test_snapshot_after_a_solution_does_not_double_count_on_restore(self):
+        # Snapshot taken after a solution was found but with the expansion
+        # still in flight: the restored kernel re-runs that expansion and
+        # re-finds the first program, which must not consume the remaining
+        # top-k quota -- the caller already holds it.
+        from repro.core.frontier import SearchKernel
+        from repro.core.hypothesis import render_program
+        from repro.core.synthesizer import SynthesisStats
+
+        output = Table(["name", "gpa"], [["Alice", 4.0], ["Bob", 3.2], ["Tom", 3.0]])
+        example = Example.make([STUDENTS], output)
+        morpheus = Morpheus(config=SynthesisConfig(timeout=20))
+        reference = morpheus.synthesize(example, k=2)
+        assert len(reference.programs) == 2
+
+        kernel = morpheus.kernel(example, k=2)
+        while not kernel.solutions:
+            kernel.step()
+        payload = kernel.snapshot()
+        restored = SearchKernel.restore(
+            payload, example, morpheus.config, morpheus.library,
+            morpheus.cost_model, SynthesisStats(),
+        )
+        restored.run()
+        combined = [render_program(kernel.solutions[0])] + [
+            render_program(program) for program in restored.solutions
+        ]
+        assert len(set(combined)) == len(combined)
+        assert combined == reference.render_all()
+
+    def test_snapshot_of_a_solved_kernel_restores_to_done(self):
+        from repro.core.frontier import SearchKernel
+        from repro.core.synthesizer import SynthesisStats
+
+        morpheus = Morpheus(config=SynthesisConfig(timeout=20))
+        kernel = morpheus.kernel(self.example())
+        kernel.run()
+        assert kernel.solved
+        restored = SearchKernel.restore(
+            kernel.snapshot(), self.example(), morpheus.config, morpheus.library,
+            morpheus.cost_model, SynthesisStats(),
+        )
+        assert restored.done  # quota already met; no extra program is hunted
+        assert restored.run() is False
+        assert restored.solutions == []
+
+    def test_snapshot_is_json_serialisable(self):
+        import json
+
+        morpheus = Morpheus(config=SynthesisConfig(timeout=20))
+        kernel = morpheus.kernel(self.example())
+        kernel.run(max_steps=5)
+        payload = json.loads(json.dumps(kernel.snapshot()))
+        assert payload["version"] == 1
+        assert payload["pending"]
+
+    def test_frontier_peak_is_reported(self):
+        result = Morpheus(config=SynthesisConfig(timeout=20)).synthesize(self.example())
+        assert result.stats.frontier_peak > 0
+
+
+class TestTopK:
+    def test_top_k_collects_distinct_programs(self):
+        # Selecting two of three columns has several observationally distinct
+        # solutions (select variants, negative selects, ...).
+        output = Table(["name", "gpa"], [["Alice", 4.0], ["Bob", 3.2], ["Tom", 3.0]])
+        example = Example.make([STUDENTS], output)
+        result = Morpheus(config=SynthesisConfig(timeout=20)).synthesize(example, k=3)
+        assert result.solved
+        assert 1 <= len(result.programs) <= 3
+        rendered = result.render_all()
+        assert len(set(rendered)) == len(rendered)
+        for program in result.programs:
+            assert tables_match_for_synthesis(evaluate(program, [STUDENTS]), output)
+
+    def test_first_solution_is_independent_of_k(self):
+        output = Table(["name", "gpa"], [["Alice", 4.0], ["Bob", 3.2], ["Tom", 3.0]])
+        example = Example.make([STUDENTS], output)
+        single = Morpheus(config=SynthesisConfig(timeout=20)).synthesize(example)
+        multi = Morpheus(config=SynthesisConfig(timeout=20, top_k=3)).synthesize(example)
+        assert multi.program == single.program
+        assert multi.programs[0] == multi.program
+
+    def test_config_describe_mentions_no_oe(self):
+        assert SynthesisConfig(oe=False).describe() == "spec2-no-oe"
+        assert SynthesisConfig().describe() == "spec2"

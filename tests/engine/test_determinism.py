@@ -42,6 +42,13 @@ def deterministic_fingerprint(run):
             # query sequence, so they too must match byte for byte.
             outcome.prescreen_decided,
             outcome.prescreen_fallback,
+            # Search-kernel counters: completion worklist size, OE-store
+            # activity and frontier peak are pure functions of the search
+            # order, which the kernel keeps identical across schedulers.
+            outcome.partial_programs,
+            outcome.oe_candidates,
+            outcome.oe_merged,
+            outcome.frontier_peak,
             # Concrete-execution counters: the runner resets the intern pool
             # and counters per task, so these must match byte for byte too.
             outcome.tables_built,
@@ -63,6 +70,37 @@ def test_jobs4_suite_is_byte_identical_to_serial_with_cdcl():
     assert deterministic_fingerprint(parallel) == deterministic_fingerprint(serial)
     # The tier-1 prescreen actually ran (this is not a vacuous comparison).
     assert sum(outcome.prescreen_decided for outcome in serial.outcomes) > 0
+
+
+def test_interleaved_and_whole_task_scheduling_agree():
+    # --jobs now interleaves kernel steps across each worker's batch; the
+    # classic one-task-at-a-time workers must report byte-identical
+    # deterministic fields, and so must in-process interleaving (jobs=1
+    # through the runner drives every kernel in the calling process).
+    suite = fast_suite()
+    serial = run_suite(suite, FIGURE16_CONFIGS["spec2"], timeout=TIMEOUT, label="spec2")
+    interleaved = ParallelRunner(jobs=1).run_suite(
+        suite, FIGURE16_CONFIGS["spec2"], timeout=TIMEOUT, label="spec2"
+    )
+    whole_tasks = ParallelRunner(jobs=4, interleave=False).run_suite(
+        suite, FIGURE16_CONFIGS["spec2"], timeout=TIMEOUT, label="spec2"
+    )
+    assert deterministic_fingerprint(interleaved) == deterministic_fingerprint(serial)
+    assert deterministic_fingerprint(whole_tasks) == deterministic_fingerprint(serial)
+
+
+def test_jobs4_is_byte_identical_to_serial_without_oe():
+    from repro.baselines import spec2_no_oe_config
+
+    suite = fast_suite()
+    serial = run_suite(
+        suite, spec2_no_oe_config, timeout=TIMEOUT, label="spec2-no-oe"
+    )
+    parallel = ParallelRunner(jobs=4).run_suite(
+        suite, spec2_no_oe_config, timeout=TIMEOUT, label="spec2-no-oe"
+    )
+    assert deterministic_fingerprint(parallel) == deterministic_fingerprint(serial)
+    assert all(outcome.oe_candidates == 0 for outcome in serial.outcomes)
 
 
 def test_jobs4_is_byte_identical_to_serial_without_prescreen():

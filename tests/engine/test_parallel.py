@@ -7,7 +7,9 @@ from repro.benchmarks import r_benchmark_suite, run_figure16, run_suite
 from repro.core import Example, Morpheus, SpecLevel, SynthesisConfig
 from repro.dataframe import Table
 from repro.engine import (
+    KernelInterleaver,
     ParallelRunner,
+    TaskContext,
     synthesize_batch,
     synthesize_portfolio,
 )
@@ -82,6 +84,102 @@ class TestParallelRunner:
         runner = ParallelRunner(jobs=1)
         run = runner.run_suite(suite, FIGURE16_CONFIGS["spec2"], timeout=TIMEOUT, label="spec2")
         assert [o.benchmark for o in run.outcomes] == suite.names()
+
+
+class TestTaskContext:
+    def test_active_isolates_intern_pool_and_counters(self):
+        from repro.dataframe.interning import intern_pool_size, intern_value
+        from repro.dataframe.profiling import execution_stats
+
+        outer_size = intern_pool_size()
+        context = TaskContext()
+        with context.active():
+            intern_value("only-in-context")
+            intern_value("only-in-context")
+            assert execution_stats() is context.execution
+            assert context.execution.cells_interned == 1
+        assert intern_pool_size() == outer_size
+        assert execution_stats() is not context.execution
+
+    def test_nested_install_is_rejected(self):
+        context = TaskContext()
+        with context.active():
+            with pytest.raises(RuntimeError):
+                context.install()
+        with pytest.raises(RuntimeError):
+            context.uninstall()
+
+    def test_formula_cache_is_swapped(self):
+        from repro.smt.solver import formula_cache_stats
+
+        context = TaskContext()
+        with context.active():
+            assert formula_cache_stats() is context.formula_cache.stats
+        assert formula_cache_stats() is not context.formula_cache.stats
+
+    def test_context_cache_mirrors_configured_size(self):
+        # Per-task caches must evict exactly like the process-wide cache a
+        # caller configured, or interleaved and whole-task runs diverge.
+        from repro.smt.solver import FORMULA_CACHE_SIZE, configure_formula_cache
+
+        try:
+            configure_formula_cache(77)
+            assert TaskContext().formula_cache.maxsize == 77
+        finally:
+            configure_formula_cache(FORMULA_CACHE_SIZE)
+        assert TaskContext().formula_cache.maxsize == FORMULA_CACHE_SIZE
+
+
+class TestKernelInterleaver:
+    def examples(self):
+        suite = fast_suite()
+        return [Example.make(b.inputs, b.output) for b in suite]
+
+    def test_interleaved_results_match_dedicated_runs(self):
+        config = SynthesisConfig(timeout=TIMEOUT)
+        dedicated = []
+        for example in self.examples():
+            context = TaskContext()
+            with context.active():
+                dedicated.append(Morpheus(config=config).synthesize(example))
+        interleaver = KernelInterleaver(slice_steps=5)
+        for example in self.examples():
+            interleaver.add(example, config)
+        results = interleaver.run()
+        assert len(results) == len(dedicated)
+        for expected, actual in zip(dedicated, results):
+            assert actual.solved == expected.solved
+            assert actual.render() == expected.render()
+            assert actual.stats.smt_calls == expected.stats.smt_calls
+            assert actual.stats.frontier_peak == expected.stats.frontier_peak
+            assert (
+                actual.stats.completion.partial_programs
+                == expected.stats.completion.partial_programs
+            )
+            assert actual.stats.tables_built == expected.stats.tables_built
+            assert actual.stats.cells_interned == expected.stats.cells_interned
+
+    def test_on_result_fires_once_per_task(self):
+        config = SynthesisConfig(timeout=TIMEOUT)
+        interleaver = KernelInterleaver()
+        for example in self.examples():
+            interleaver.add(example, config)
+        seen = []
+        interleaver.run(on_result=lambda index, result: seen.append(index))
+        assert sorted(seen) == list(range(len(self.examples())))
+
+    def test_rejects_invalid_slice_steps(self):
+        with pytest.raises(ValueError):
+            KernelInterleaver(slice_steps=0)
+
+    def test_synthesize_batch_interleaved_matches_plain(self):
+        config = SynthesisConfig(timeout=TIMEOUT)
+        plain = synthesize_batch(self.examples(), config=config, jobs=1)
+        interleaved = synthesize_batch(
+            self.examples(), config=config, jobs=1, interleave=True
+        )
+        assert [r.render() for r in interleaved] == [r.render() for r in plain]
+        assert [r.solved for r in interleaved] == [r.solved for r in plain]
 
 
 class TestSynthesizeBatch:
