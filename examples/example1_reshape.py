@@ -9,7 +9,8 @@ Run with::
     python examples/example1_reshape.py
 """
 
-from repro import SynthesisConfig, Table, synthesize
+from repro import Table
+from repro.api import SynthesisRequest, create_session
 
 INPUT = Table(
     ["id", "year", "A", "B"],
@@ -31,7 +32,8 @@ EXPECTED_OUTPUT = Table(
 
 
 def main() -> None:
-    result = synthesize([INPUT], EXPECTED_OUTPUT, config=SynthesisConfig(timeout=60))
+    request = SynthesisRequest.from_tables([INPUT], EXPECTED_OUTPUT, timeout=60)
+    result = create_session(request).solve()
     print("input:")
     print(INPUT.to_markdown())
     print()

@@ -9,7 +9,8 @@ Run with::
     python examples/example2_flights.py
 """
 
-from repro import SynthesisConfig, Table, synthesize
+from repro import Table
+from repro.api import SynthesisRequest, create_session
 
 FLIGHTS = Table(
     ["flight", "origin", "dest"],
@@ -33,7 +34,8 @@ EXPECTED_OUTPUT = Table(
 
 
 def main() -> None:
-    result = synthesize([FLIGHTS], EXPECTED_OUTPUT, config=SynthesisConfig(timeout=120))
+    request = SynthesisRequest.from_tables([FLIGHTS], EXPECTED_OUTPUT, timeout=120)
+    result = create_session(request).solve()
     print("flights:")
     print(FLIGHTS.to_markdown())
     print()

@@ -17,7 +17,8 @@ Run with::
 
 import sys
 
-from repro import SynthesisConfig, Table, synthesize
+from repro import Table
+from repro.api import SynthesisRequest, create_session
 
 
 def small_variant():
@@ -58,7 +59,8 @@ def full_variant():
 
 def main() -> None:
     inputs, expected, timeout = full_variant() if "--full" in sys.argv else small_variant()
-    result = synthesize(inputs, expected, config=SynthesisConfig(timeout=timeout))
+    request = SynthesisRequest.from_tables(inputs, expected, timeout=timeout)
+    result = create_session(request).solve()
     print("positions:")
     print(inputs[0].to_markdown())
     print()

@@ -7,9 +7,15 @@ Run with::
 The task: given a little table of employees, produce the head-count per
 department.  We only provide the input table and the desired output table;
 Morpheus figures out the ``group_by`` + ``summarise`` pipeline.
+
+Everything goes through :mod:`repro.api`, the sanctioned facade: a typed
+:class:`~repro.api.SynthesisRequest` in, a JSON-able result out.  (The same
+request payload, as JSON, is what the HTTP service accepts -- see
+``repro-bench serve``.)
 """
 
-from repro import SynthesisConfig, Table, synthesize
+from repro import Table
+from repro.api import SynthesisRequest, solve
 
 INPUT = Table(
     ["employee", "department"],
@@ -32,7 +38,8 @@ EXPECTED_OUTPUT = Table(
 
 
 def main() -> None:
-    result = synthesize([INPUT], EXPECTED_OUTPUT, config=SynthesisConfig(timeout=30))
+    request = SynthesisRequest.from_tables([INPUT], EXPECTED_OUTPUT, timeout=30)
+    result = solve(request)
     print("input table:")
     print(INPUT.to_markdown())
     print()
@@ -40,8 +47,9 @@ def main() -> None:
     print(EXPECTED_OUTPUT.to_markdown())
     print()
     if result.solved:
-        print(f"synthesized in {result.elapsed:.2f}s ({result.size} components):")
-        print(result.render(["employees"]))
+        best = result.candidates[0]
+        print(f"synthesized in {result.elapsed:.2f}s ({best.size} components):")
+        print(best.program)
     else:
         print("no program found within the time limit")
 

@@ -7,12 +7,16 @@ needs: the table substrate, the synthesizer, and the component library.
 
 Quickstart::
 
-    from repro import Table, synthesize
+    from repro import SynthesisRequest, Table, solve
 
     inputs = [Table(["a", "b"], [[1, 2], [3, 4], [5, 6]])]
     output = Table(["a", "b"], [[3, 4], [5, 6]])
-    result = synthesize(inputs, output)
-    print(result.render())
+    result = solve(SynthesisRequest.from_tables(inputs, output))
+    print(result.program)
+
+:mod:`repro.api` is the sanctioned entry point -- it adds interactive
+sessions (:func:`repro.api.create_session`) with resumable search, and its
+dataclasses are the wire format of the HTTP service (:mod:`repro.service`).
 """
 
 from .core import (
@@ -40,16 +44,35 @@ _ENGINE_EXPORTS = frozenset(
     }
 )
 
+#: Facade APIs re-exported lazily from :mod:`repro.api` (same circularity:
+#: the facade imports the synthesizer and the engine context).
+_API_EXPORTS = frozenset(
+    {
+        "CandidateProgram",
+        "SessionState",
+        "SynthesisRequest",
+        "SynthesisSession",
+        "create_session",
+        "solve",
+    }
+)
+
 __all__ = [
+    "CandidateProgram",
     "Example",
     "Morpheus",
     "ParallelRunner",
     "PortfolioResult",
+    "SessionState",
     "SpecLevel",
     "SynthesisConfig",
+    "SynthesisRequest",
     "SynthesisResult",
+    "SynthesisSession",
     "Table",
     "__version__",
+    "create_session",
+    "solve",
     "sql_library",
     "standard_library",
     "synthesize",
@@ -65,4 +88,8 @@ def __getattr__(name):
         from . import engine
 
         return getattr(engine, name)
+    if name in _API_EXPORTS:
+        from . import api
+
+        return getattr(api, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

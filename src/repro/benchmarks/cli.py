@@ -14,6 +14,7 @@ Examples::
     python -m repro.benchmarks.cli figure17 --timeout 10 --categories C1 C2
     python -m repro.benchmarks.cli figure18 --timeout 15
     python -m repro.benchmarks.cli pruning
+    python -m repro.benchmarks.cli serve --port 8642
 
 ``--jobs N`` fans the benchmark x configuration pairs over ``N`` worker
 processes, each of which *interleaves the search-kernel steps* of its batch
@@ -29,6 +30,14 @@ store in every Morpheus configuration (ablation baselines; verdicts and
 synthesized programs are unchanged, only the amount of work moves).
 ``--top-k K`` keeps each task's search running until ``K`` distinct
 programs are found (the reported tables still describe the first).
+
+``serve`` boots the synthesis HTTP service (``repro.service``) instead of
+running a benchmark: submit input-output examples over ``POST
+/v1/sessions``, stream candidate programs, and add distinguishing examples
+that resume the suspended search.  ``--port``/``--host`` pick the bind
+address, ``--ttl`` the idle-session expiry, ``--rate``/``--burst`` the
+token-bucket rate limit, and ``--persist-dir`` enables JSON-file
+persistence of frontier snapshots.
 
 ``--stats`` appends the per-configuration deduction counter table (SMT
 calls, prescreen decisions, lemma prunes, lemmas learned), the
@@ -99,7 +108,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "figure", nargs="?", default="figure16",
-        choices=["figure16", "figure17", "figure18", "pruning", "legend"],
+        choices=["figure16", "figure17", "figure18", "pruning", "legend", "serve"],
     )
     parser.add_argument("--timeout", type=float, default=20.0, help="per-benchmark timeout in seconds")
     parser.add_argument(
@@ -171,7 +180,41 @@ def main(argv=None) -> int:
     parser.add_argument("--categories", nargs="*", default=None, help="restrict to these categories")
     parser.add_argument("--names", nargs="*", default=None, help="restrict to these benchmark names")
     parser.add_argument("--quiet", action="store_true", help="suppress per-benchmark progress output")
+    service = parser.add_argument_group("serve", "synthesis service options (the 'serve' command)")
+    service.add_argument("--host", default="127.0.0.1", help="serve: bind address")
+    service.add_argument("--port", type=int, default=8642, help="serve: bind port (0 = ephemeral)")
+    service.add_argument(
+        "--ttl", type=float, default=600.0, metavar="SECONDS",
+        help="serve: expire sessions idle longer than this (0 disables expiry)",
+    )
+    service.add_argument(
+        "--rate", type=float, default=10.0, metavar="PER_SECOND",
+        help="serve: sustained mutating-request rate before 429s",
+    )
+    service.add_argument(
+        "--burst", type=int, default=20, metavar="N",
+        help="serve: request burst absorbed before rate limiting kicks in",
+    )
+    service.add_argument(
+        "--persist-dir", default=None, metavar="DIR",
+        help="serve: persist frontier snapshots as JSON files under DIR",
+    )
+    service.add_argument(
+        "--verbose", action="store_true", help="serve: log every HTTP request"
+    )
     args = parser.parse_args(argv)
+    if args.figure == "serve":
+        from ..service import serve
+
+        return serve(
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+            ttl=args.ttl if args.ttl > 0 else None,
+            rate=args.rate,
+            burst=args.burst,
+            persist_dir=args.persist_dir,
+        )
     progress = None if args.quiet else _progress
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")

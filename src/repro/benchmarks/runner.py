@@ -18,9 +18,7 @@ from ..baselines.configurations import ALL_FIGURE17_CONFIGS, FIGURE16_CONFIGS
 from ..baselines.lambda2 import Lambda2Synthesizer
 from ..baselines.sql_synthesizer import SqlSynthesizer
 from ..core.library import sql_library
-from ..core.synthesizer import Example, Morpheus, SynthesisConfig
-from ..dataframe.profiling import reset_execution_state
-from ..smt.solver import clear_formula_cache
+from ..core.synthesizer import SynthesisConfig
 from .r_suite import r_benchmark_suite
 from .sql_suite import sql_benchmark_suite
 from .suite import Benchmark, BenchmarkSuite
@@ -172,17 +170,22 @@ def run_benchmark(
 ) -> BenchmarkOutcome:
     """Run Morpheus on one benchmark under one configuration.
 
-    The process-wide SMT formula cache, execution counters and value intern
-    pool are cleared first so the outcome does not depend on which benchmarks
-    ran earlier in the same process -- that independence is what makes
-    parallel and serial harness runs equivalent even for tasks near the
-    timeout boundary (and keeps the execution counters byte-identical
-    between schedulers).
+    Goes through the sanctioned facade (:func:`repro.api.create_session`):
+    each benchmark runs in its own session, whose private
+    :class:`~repro.engine.context.TaskContext` provides a fresh SMT formula
+    cache, execution counters and value intern pool -- so the outcome does
+    not depend on which benchmarks ran earlier in the same process.  That
+    independence is what makes parallel and serial harness runs equivalent
+    even for tasks near the timeout boundary (and keeps the execution
+    counters byte-identical between schedulers).
     """
-    clear_formula_cache()
-    reset_execution_state()
-    synthesizer = Morpheus(library=library, config=config)
-    result = synthesizer.synthesize(Example.make(benchmark.inputs, benchmark.output))
+    from ..api import SynthesisRequest, create_session
+
+    request = SynthesisRequest.from_tables(
+        benchmark.inputs, benchmark.output, config=config
+    )
+    session = create_session(request, library=library)
+    result = session.solve()
     return outcome_from_result(benchmark, config, result, label=label)
 
 

@@ -22,7 +22,7 @@ from .arguments import (
 from .component import Component, ComponentLibrary, ValueParam
 from .cost import CostModel, NGramModel, UniformCostModel, default_ngram_model
 from .deduction import DeductionEngine, DeductionStats
-from .frontier import Frontier, SearchKernel
+from .frontier import Frontier, SearchKernel, SnapshotError, SnapshotVersionError
 from .hypothesis import (
     Apply,
     Hole,
@@ -75,6 +75,8 @@ __all__ = [
     "OEStore",
     "Predicate",
     "SearchKernel",
+    "SnapshotError",
+    "SnapshotVersionError",
     "SPECIFICATIONS",
     "SpecLevel",
     "TRANSFERS",

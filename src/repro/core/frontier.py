@@ -79,6 +79,23 @@ from .types import Type
 #: Snapshot format version (bump on incompatible changes).
 SNAPSHOT_VERSION = 1
 
+#: Keys every version-1 snapshot must carry (``restore`` validates the set
+#: up front so stale or hand-edited payloads fail with a typed error).
+SNAPSHOT_REQUIRED_KEYS = ("version", "k", "tiebreak", "node_counter", "visited", "pending")
+
+
+class SnapshotError(ValueError):
+    """A resume-state payload could not be interpreted."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """The snapshot's schema version (or shape) does not match this kernel.
+
+    Raised by :meth:`SearchKernel.restore` on a missing/mismatched ``version``
+    field or a payload missing required keys -- the typed alternative to the
+    raw ``KeyError`` a stale or corrupt snapshot used to produce.
+    """
+
 
 # ----------------------------------------------------------------------
 # Search states
@@ -177,6 +194,10 @@ class Frontier:
     def heap_entries(self) -> List[Tuple[int, Hypothesis]]:
         """The pending hypothesis lane as ``(tiebreak, hypothesis)`` pairs."""
         return [(tiebreak, hypothesis) for _, tiebreak, hypothesis in self._heap]
+
+    def continuation_states(self) -> list:
+        """The pending continuation-lane states (in push order, read-only)."""
+        return list(self._continuations)
 
 
 # ----------------------------------------------------------------------
@@ -294,6 +315,11 @@ class SearchKernel:
         #: Active time spent inside ``run()``/``step()`` (the per-task clock
         #: when many kernels share one process).
         self.active_seconds = 0.0
+        #: Frontier states processed so far (one per ``step()`` call).  Not
+        #: part of the resume state -- like timing, it describes work done by
+        #: *this* kernel object, so a restored kernel counts from zero and
+        #: long-lived callers accumulate across kernels themselves.
+        self.steps_taken = 0
         self._push(initial_hypothesis())
         # Baselines for slicing the process-wide counters: taken *after* the
         # engine construction above, so the example-table fingerprinting the
@@ -366,6 +392,7 @@ class SearchKernel:
         """Process one frontier state (the bounded anytime work unit)."""
         if not self.frontier:
             return
+        self.steps_taken += 1
         state = self.frontier.pop()
         if isinstance(state, HypothesisState):
             self._expand_hypothesis(state)
@@ -535,6 +562,28 @@ class SearchKernel:
             ),
         }
 
+    def suspend(self) -> dict:
+        """Snapshot the kernel and withdraw its in-flight OE admissions.
+
+        The variant of :meth:`snapshot` for a caller that is about to stop
+        stepping *this* kernel object and hand its live
+        :class:`~repro.core.oe.OEStore` to a successor (see the ``oe_store``
+        parameter of :meth:`restore`).  Continuation states are not captured
+        by the snapshot, so the completion runs still pending on the
+        continuation lane may have admitted OE representatives whose subtrees
+        are not fully explored; carrying those keys over would wrongly
+        suppress the successor's re-exploration of the re-expanded in-flight
+        hypothesis.  ``suspend()`` releases exactly those admissions (fully
+        explored representatives stay, which is what spares the successor
+        from re-enumerating already-merged states).  The kernel must not be
+        stepped afterwards.
+        """
+        payload = self.snapshot()
+        for state in self.frontier.continuation_states():
+            if isinstance(state, CompletionState):
+                state.run.release()
+        return payload
+
     @classmethod
     def restore(
         cls,
@@ -544,15 +593,41 @@ class SearchKernel:
         library,
         cost_model: CostModel,
         stats,
+        oe_store: Optional[OEStore] = None,
     ) -> "SearchKernel":
         """Rebuild a kernel from :meth:`snapshot` output.
 
         The restored kernel continues from the captured position: the
         in-flight hypothesis (if any) is re-expanded from scratch, then the
         pending lane drains in its original order.
+
+        *oe_store* carries a live observational-equivalence store across an
+        in-process resume (the store's keys are not JSON-able, so it rides
+        outside the payload).  Pass the store of a kernel suspended with
+        :meth:`suspend` -- never one still being stepped -- so the restored
+        kernel skips the duplicate completion states its predecessor already
+        explored instead of starting the dedup from scratch.
+
+        Raises :class:`SnapshotVersionError` when the payload's schema
+        version is missing or unsupported, or when required keys are absent
+        (a stale or corrupt snapshot); malformed hypothesis encodings raise
+        :class:`SnapshotError`.
         """
-        if payload.get("version") != SNAPSHOT_VERSION:
-            raise ValueError(f"unsupported snapshot version {payload.get('version')!r}")
+        if not isinstance(payload, dict):
+            raise SnapshotError(
+                f"snapshot payload must be a dict, got {type(payload).__name__}"
+            )
+        version = payload.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise SnapshotVersionError(
+                f"unsupported snapshot version {version!r} "
+                f"(this kernel reads version {SNAPSHOT_VERSION})"
+            )
+        missing = [key for key in SNAPSHOT_REQUIRED_KEYS if key not in payload]
+        if missing:
+            raise SnapshotVersionError(
+                f"snapshot is missing required keys {missing} (stale or corrupt payload)"
+            )
         remaining = payload.get("k", 1)
         kernel = cls(example, config, library, cost_model, stats, k=max(1, remaining))
         # A snapshot taken after the quota was met stores a remaining quota
@@ -566,18 +641,26 @@ class SearchKernel:
         kernel._node_counter = payload["node_counter"]
         kernel._already_found = set(payload.get("found", ()))
         kernel._in_flight = None
-        for entry in payload["pending"]:
-            kernel.frontier.push_hypothesis(
-                decode_hypothesis(entry["hypothesis"], library), entry["tiebreak"]
-            )
-        in_flight = payload.get("in_flight")
-        if in_flight is not None:
-            # Re-expansion pops it first: it carried the smallest priority
-            # when it was popped, and its refinements are not yet enqueued.
-            kernel.frontier.push_hypothesis(
-                decode_hypothesis(in_flight["hypothesis"], library),
-                in_flight["tiebreak"],
-            )
+        if oe_store is not None and kernel.oe_store is not None:
+            kernel.oe_store = oe_store
+            kernel.completer.oe_store = oe_store
+        try:
+            for entry in payload["pending"]:
+                kernel.frontier.push_hypothesis(
+                    decode_hypothesis(entry["hypothesis"], library), entry["tiebreak"]
+                )
+            in_flight = payload.get("in_flight")
+            if in_flight is not None:
+                # Re-expansion pops it first: it carried the smallest priority
+                # when it was popped, and its refinements are not yet enqueued.
+                kernel.frontier.push_hypothesis(
+                    decode_hypothesis(in_flight["hypothesis"], library),
+                    in_flight["tiebreak"],
+                )
+        except (KeyError, TypeError) as error:
+            raise SnapshotError(
+                f"snapshot pending lane is malformed: {error!r}"
+            ) from error
         return kernel
 
 

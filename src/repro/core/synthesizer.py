@@ -22,6 +22,7 @@ observational-equivalence merging on/off (``--no-oe``).
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -247,13 +248,31 @@ class SynthesisResult:
 
 
 class Morpheus:
-    """Example-driven synthesizer for table transformation programs."""
+    """Example-driven synthesizer for table transformation programs.
+
+    .. deprecated::
+        Direct ``Morpheus(...)`` construction is deprecated in favour of the
+        typed facade: :func:`repro.api.create_session` (interactive sessions)
+        or :func:`repro.api.solve` (one-shot).  The class itself remains the
+        internal engine behind the facade; ``_sanctioned=True`` marks those
+        internal construction sites and suppresses the warning.
+    """
 
     def __init__(
         self,
         library: Optional[ComponentLibrary] = None,
         config: Optional[SynthesisConfig] = None,
+        *,
+        _sanctioned: bool = False,
     ) -> None:
+        if not _sanctioned:
+            warnings.warn(
+                "Direct Morpheus(...) construction is deprecated; use "
+                "repro.api.create_session() (interactive) or repro.api.solve() "
+                "(one-shot) instead -- see README 'Migrating to repro.api'.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.library = library if library is not None else standard_library()
         self.config = config if config is not None else SynthesisConfig()
         if self.config.ngram_ranking:
@@ -325,4 +344,6 @@ def synthesize(
     k: Optional[int] = None,
 ) -> SynthesisResult:
     """One-call convenience API: synthesize a program from input/output tables."""
-    return Morpheus(library, config).synthesize(Example.make(inputs, output), k=k)
+    return Morpheus(library, config, _sanctioned=True).synthesize(
+        Example.make(inputs, output), k=k
+    )

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -95,22 +96,30 @@ class _InterleavedTask:
     """One kernel's scheduling state inside the interleaver."""
 
     index: int
-    example: Example
-    morpheus: Morpheus
+    example: Optional[Example] = None
+    morpheus: Optional[Morpheus] = None
     context: TaskContext = field(default_factory=TaskContext)
     kernel: object = None
     result: Optional[SynthesisResult] = None
+    #: Externally managed task: any object with ``advance(max_steps) -> bool``
+    #: (True when finished).  The driver owns its own kernel, context and
+    #: budget accounting; the interleaver only provides the round-robin slot.
+    driver: object = None
 
 
 class KernelInterleaver:
     """Steps many search kernels round-robin inside one process.
 
-    Tasks are added with :meth:`add` and driven by :meth:`run`.  Each task's
-    kernel is constructed, stepped and finalised inside that task's
-    :class:`TaskContext`, and its per-task wall-clock budget
-    (``config.timeout``) is charged against *active* time -- the seconds its
-    own steps consumed -- not against the shared wall clock, so interleaved
-    tasks neither starve nor subsidise one another.
+    Tasks are added with :meth:`add` and driven by :meth:`run` -- or, for
+    long-lived callers like the synthesis service, by repeated :meth:`pump`
+    calls: one round-robin pass per call, with new tasks allowed to join the
+    rotation at any time (``add``/``add_driver`` are safe to call from other
+    threads while one thread pumps).  Each task's kernel is constructed,
+    stepped and finalised inside that task's :class:`TaskContext`, and its
+    per-task wall-clock budget (``config.timeout``) is charged against
+    *active* time -- the seconds its own steps consumed -- not against the
+    shared wall clock, so interleaved tasks neither starve nor subsidise one
+    another.
     """
 
     def __init__(self, slice_steps: int = DEFAULT_SLICE_STEPS) -> None:
@@ -118,9 +127,23 @@ class KernelInterleaver:
             raise ValueError(f"slice_steps must be >= 1, got {slice_steps}")
         self.slice_steps = slice_steps
         self._tasks: List[_InterleavedTask] = []
+        self._pending: deque = deque()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._tasks)
+
+    @property
+    def unfinished(self) -> int:
+        """Tasks still waiting for (more) pump passes."""
+        return len(self._pending)
+
+    def _register(self, task: _InterleavedTask) -> int:
+        with self._lock:
+            task.index = len(self._tasks)
+            self._tasks.append(task)
+            self._pending.append(task)
+        return task.index
 
     def add(
         self,
@@ -129,15 +152,59 @@ class KernelInterleaver:
         library=None,
     ) -> int:
         """Register a task; returns its index (results come back in order)."""
-        task = _InterleavedTask(
-            index=len(self._tasks),
-            example=_coerce_example(example),
-            morpheus=Morpheus(library=library, config=config),
+        return self._register(
+            _InterleavedTask(
+                index=-1,
+                example=_coerce_example(example),
+                morpheus=Morpheus(library=library, config=config, _sanctioned=True),
+            )
         )
-        self._tasks.append(task)
-        return task.index
+
+    def add_driver(self, driver) -> int:
+        """Register an externally managed task.
+
+        *driver* is any object with ``advance(max_steps) -> bool`` returning
+        ``True`` when the task is finished.  The driver owns its kernel,
+        context and budget; the interleaver contributes only the fair
+        round-robin slicing.  This is how the synthesis service enrolls
+        long-lived sessions (whose kernels are replaced across
+        snapshot/restore resumes) into the same scheduler that drives
+        benchmark batches.
+        """
+        return self._register(_InterleavedTask(index=-1, driver=driver))
 
     # ------------------------------------------------------------------
+    def pump(
+        self,
+        on_result: Optional[Callable[[int, SynthesisResult], None]] = None,
+    ) -> int:
+        """One round-robin pass over the unfinished tasks.
+
+        Every task pending at the start of the pass gets one slice; finished
+        tasks leave the rotation (kernel tasks fire ``on_result``).  Returns
+        the number of tasks still unfinished.  Only one thread may pump at a
+        time; concurrent :meth:`add`/:meth:`add_driver` calls join the next
+        pass.
+        """
+        with self._lock:
+            rotation = len(self._pending)
+        for _ in range(rotation):
+            with self._lock:
+                if not self._pending:
+                    break
+                task = self._pending.popleft()
+            if task.driver is not None:
+                finished = task.driver.advance(self.slice_steps)
+            else:
+                finished = self._advance(task)
+            if finished:
+                if task.driver is None and on_result is not None:
+                    on_result(task.index, task.result)
+            else:
+                with self._lock:
+                    self._pending.append(task)
+        return self.unfinished
+
     def run(
         self,
         on_result: Optional[Callable[[int, SynthesisResult], None]] = None,
@@ -147,14 +214,8 @@ class KernelInterleaver:
         ``on_result(index, result)`` fires as each task finishes (fast tasks
         finish first regardless of registration order).
         """
-        pending = deque(self._tasks)
-        while pending:
-            task = pending.popleft()
-            if self._advance(task):
-                if on_result is not None:
-                    on_result(task.index, task.result)
-            else:
-                pending.append(task)
+        while self.pump(on_result=on_result):
+            pass
         return [task.result for task in self._tasks]
 
     def _advance(self, task: _InterleavedTask) -> bool:
@@ -239,7 +300,7 @@ def _synthesize_task(task):
     # the benchmark harness.
     clear_formula_cache()
     reset_execution_state()
-    result = Morpheus(library=library, config=config).synthesize(example)
+    result = Morpheus(library=library, config=config, _sanctioned=True).synthesize(example)
     return index, result
 
 

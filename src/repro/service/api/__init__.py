@@ -1,0 +1,5 @@
+"""HTTP surface of the synthesis service (stdlib ``http.server`` only)."""
+
+from .http import SynthesisHTTPServer, make_server, serve
+
+__all__ = ["SynthesisHTTPServer", "make_server", "serve"]

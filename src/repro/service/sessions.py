@@ -1,0 +1,355 @@
+"""The session store behind the synthesis service.
+
+One :class:`SessionStore` owns every live session and a single background
+scheduler thread.  The threading contract is strict and worth stating once:
+
+* A :class:`~repro.engine.context.TaskContext` isolates a session's search
+  state by *swapping process-wide globals* while active, so any
+  context-active work -- constructing a kernel, stepping it, suspending and
+  restoring it -- must be serialised across the whole process.  The store
+  does this with one lock (``_work_lock``): the scheduler thread holds it
+  for the duration of each kernel slice, and HTTP worker threads hold it
+  for the (short) context-active parts of session creation and
+  ``add_example``.
+* Fairness across sessions comes from the engine's
+  :class:`~repro.engine.parallel.KernelInterleaver`: each live session is
+  enrolled as a *driver* (:meth:`ServiceSession.advance`), and the
+  scheduler's loop is nothing but ``interleaver.pump()`` -- the same
+  round-robin slicing the benchmark batch runner uses.
+* Everything else (the registry dict, the rate limiter, per-session
+  condition variables for streaming readers) uses ordinary fine-grained
+  locks and never blocks on kernel work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from typing import Dict, List, Optional
+
+from ..api import SynthesisRequest, SynthesisSession
+from ..engine.parallel import KernelInterleaver
+
+#: Kernel steps per scheduler slice (one ``pump`` pass gives every live
+#: session one slice).
+DEFAULT_SLICE_STEPS = 64
+
+#: Sessions idle longer than this many seconds are expired by the sweeper.
+DEFAULT_TTL = 600.0
+
+#: Token-bucket defaults: sustained mutating requests per second, and the
+#: burst the bucket absorbs before returning 429s.
+DEFAULT_RATE = 10.0
+DEFAULT_BURST = 20
+
+
+class UnknownSession(KeyError):
+    """No live session has the requested id (maps to HTTP 404)."""
+
+
+class RateLimited(RuntimeError):
+    """The token bucket is empty (maps to HTTP 429)."""
+
+
+class TokenBucket:
+    """Classic token bucket: *rate* tokens/second, holding at most *burst*.
+
+    ``allow()`` is thread-safe and never blocks -- a drained bucket simply
+    answers ``False`` until refill catches up.
+    """
+
+    def __init__(self, rate: float = DEFAULT_RATE, burst: int = DEFAULT_BURST) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._updated = time.monotonic()
+        self._lock = threading.Lock()
+        self.denied = 0
+
+    def allow(self) -> bool:
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(self.burst, self._tokens + (now - self._updated) * self.rate)
+            self._updated = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            self.denied += 1
+            return False
+
+
+class ServiceSession:
+    """A stored session: the facade session plus service-level bookkeeping.
+
+    Doubles as a :meth:`~repro.engine.parallel.KernelInterleaver.add_driver`
+    driver -- :meth:`advance` is the slice the scheduler's pump grants.
+    """
+
+    def __init__(self, store: "SessionStore", session: SynthesisSession) -> None:
+        self.id = uuid.uuid4().hex[:16]
+        self.store = store
+        self.session = session
+        self.created_at = time.monotonic()
+        self.last_access = self.created_at
+        self.expired = False
+        #: Guarded by ``changed``; notified after every slice and resume so
+        #: streaming readers wake as soon as new candidates can exist.
+        self.changed = threading.Condition()
+        self._enrolled = False
+
+    # -- driver protocol ----------------------------------------------
+    def advance(self, max_steps: int) -> bool:
+        """One scheduler slice; ``True`` drops the session from the rotation.
+
+        Called only by the scheduler thread, which holds the store's work
+        lock around the context-active kernel stepping.
+        """
+        if self.expired:
+            self._enrolled = False
+            return True
+        with self.store._work_lock:
+            finished = self.session.advance(max_steps=max_steps)
+        with self.changed:
+            self.changed.notify_all()
+        if finished:
+            self._enrolled = False
+            self.store._persist(self)
+        return finished
+
+    # -- service-level views ------------------------------------------
+    def touch(self) -> None:
+        self.last_access = time.monotonic()
+
+    @property
+    def status(self) -> str:
+        return "expired" if self.expired else self.session.status
+
+    def state_json(self) -> dict:
+        payload = self.session.state().to_json()
+        payload["id"] = self.id
+        payload["status"] = self.status
+        return payload
+
+    def wait_for(self, predicate, timeout: Optional[float]) -> bool:
+        """Block until *predicate()* holds, the session settles, or *timeout*."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self.changed:
+            while True:
+                if predicate() or self.expired or self.session.finished:
+                    return predicate()
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return predicate()
+                self.changed.wait(0.1 if remaining is None else min(0.1, remaining))
+
+
+class SessionStore:
+    """Registry + scheduler: the whole service state apart from HTTP plumbing.
+
+    *persist_dir* (optional) enables JSON-file persistence: each session's
+    frontier snapshot and candidate list is written to
+    ``<persist_dir>/<id>.json`` whenever the session finishes, is suspended
+    by a new example, expires, or the store shuts down -- a crash-recovery
+    artifact and an audit trail, readable back via :meth:`load_persisted`.
+    """
+
+    def __init__(
+        self,
+        ttl: Optional[float] = DEFAULT_TTL,
+        rate: float = DEFAULT_RATE,
+        burst: int = DEFAULT_BURST,
+        slice_steps: int = DEFAULT_SLICE_STEPS,
+        persist_dir: Optional[str] = None,
+    ) -> None:
+        self.ttl = ttl
+        self.bucket = TokenBucket(rate=rate, burst=burst)
+        self.persist_dir = persist_dir
+        self._sessions: Dict[str, ServiceSession] = {}
+        self._registry_lock = threading.Lock()
+        #: Serialises all TaskContext-active work (see the module docstring).
+        self._work_lock = threading.Lock()
+        self._interleaver = KernelInterleaver(slice_steps=slice_steps)
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self.sessions_created = 0
+        self.sessions_expired = 0
+        self._scheduler = threading.Thread(
+            target=self._schedule, name="synthesis-scheduler", daemon=True
+        )
+        self._scheduler.start()
+
+    # -- public operations (HTTP worker threads) ----------------------
+    def create(self, request: SynthesisRequest) -> ServiceSession:
+        """Create, register and enroll a session (raises :class:`RateLimited`)."""
+        if not self.bucket.allow():
+            raise RateLimited("session quota exceeded, retry later")
+        with self._work_lock:
+            session = ServiceSession(self, SynthesisSession(request))
+        with self._registry_lock:
+            self._sessions[session.id] = session
+            self.sessions_created += 1
+        self._enroll(session)
+        return session
+
+    def get(self, session_id: str) -> ServiceSession:
+        with self._registry_lock:
+            try:
+                session = self._sessions[session_id]
+            except KeyError:
+                raise UnknownSession(session_id) from None
+        session.touch()
+        return session
+
+    def add_example(self, session_id: str, example) -> ServiceSession:
+        """Suspend, revalidate, resume -- then re-enroll if work remains."""
+        if not self.bucket.allow():
+            raise RateLimited("request quota exceeded, retry later")
+        session = self.get(session_id)
+        with self._work_lock:
+            session.session.add_example(example)
+        self._persist(session)
+        with session.changed:
+            session.changed.notify_all()
+        self._enroll(session)
+        return session
+
+    def close(self) -> None:
+        """Stop the scheduler and persist every live session."""
+        self._stop.set()
+        self._wake.set()
+        self._scheduler.join(timeout=5)
+        with self._registry_lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            self._persist(session)
+
+    # -- metrics -------------------------------------------------------
+    def metrics(self) -> dict:
+        with self._registry_lock:
+            sessions = list(self._sessions.values())
+        live = [s for s in sessions if not s.expired]
+        totals: Dict[str, float] = {}
+        for session in live:
+            for key, value in session.session.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        steps = totals.get("steps", 0)
+        smt = totals.get("smt_calls", 0)
+        prescreen = totals.get("prescreen_decided", 0)
+        oe_candidates = totals.get("oe_candidates", 0)
+        exec_hits = totals.get("exec_cache_hits", 0)
+        return {
+            "sessions_active": sum(1 for s in live if not s.session.finished),
+            "sessions_live": len(live),
+            "sessions_created_total": self.sessions_created,
+            "sessions_expired_total": self.sessions_expired,
+            "rate_limited_total": self.bucket.denied,
+            "kernel_steps_total": steps,
+            "resumes_total": int(totals.get("resumes", 0)),
+            "smt_calls_total": int(smt),
+            "prescreen_decided_total": int(prescreen),
+            "prescreen_hit_rate": (
+                prescreen / (prescreen + totals.get("prescreen_fallback", 0))
+                if prescreen
+                else 0.0
+            ),
+            "oe_merged_total": int(totals.get("oe_merged", 0)),
+            "oe_merge_rate": (
+                totals.get("oe_merged", 0) / oe_candidates if oe_candidates else 0.0
+            ),
+            "exec_cache_hits_total": int(exec_hits),
+        }
+
+    # -- scheduler internals ------------------------------------------
+    def _enroll(self, session: ServiceSession) -> None:
+        if session.expired or session.session.finished or session._enrolled:
+            return
+        session._enrolled = True
+        self._interleaver.add_driver(session)
+        self._wake.set()
+
+    def _schedule(self) -> None:
+        while not self._stop.is_set():
+            unfinished = self._interleaver.pump()
+            self._sweep()
+            if not unfinished:
+                self._wake.wait(timeout=0.05)
+                self._wake.clear()
+
+    def _sweep(self) -> None:
+        if self.ttl is None:
+            return
+        now = time.monotonic()
+        with self._registry_lock:
+            stale = [
+                session
+                for session in self._sessions.values()
+                if not session.expired and now - session.last_access > self.ttl
+            ]
+            for session in stale:
+                session.expired = True
+                self.sessions_expired += 1
+                del self._sessions[session.id]
+        for session in stale:
+            self._persist(session)
+            with session.changed:
+                session.changed.notify_all()
+
+    # -- persistence ---------------------------------------------------
+    def _persist(self, session: ServiceSession) -> None:
+        if self.persist_dir is None:
+            return
+        try:
+            with self._work_lock:
+                snapshot = (
+                    None
+                    if session.session.finished
+                    else session.session.snapshot_payload()
+                )
+            payload = {
+                "id": session.id,
+                "status": session.status,
+                "request": session.session.request.to_json(),
+                "state": session.session.state().to_json(),
+                "snapshot": snapshot,
+            }
+            os.makedirs(self.persist_dir, exist_ok=True)
+            path = os.path.join(self.persist_dir, f"{session.id}.json")
+            tmp = f"{path}.tmp"
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except OSError:
+            # Persistence is best-effort crash recovery; the live session
+            # is authoritative and must not die with the disk.
+            pass
+
+    def load_persisted(self, session_id: str) -> dict:
+        """Read back a persisted session file (raises :class:`UnknownSession`)."""
+        if self.persist_dir is None:
+            raise UnknownSession(session_id)
+        path = os.path.join(self.persist_dir, f"{session_id}.json")
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            raise UnknownSession(session_id) from None
+
+    def list_sessions(self) -> List[dict]:
+        with self._registry_lock:
+            sessions = list(self._sessions.values())
+        return [
+            {
+                "id": session.id,
+                "status": session.status,
+                "examples": len(session.session.examples),
+                "candidates": len(session.session.candidates),
+            }
+            for session in sessions
+        ]

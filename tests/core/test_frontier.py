@@ -272,3 +272,174 @@ class TestTopK:
     def test_config_describe_mentions_no_oe(self):
         assert SynthesisConfig(oe=False).describe() == "spec2-no-oe"
         assert SynthesisConfig().describe() == "spec2"
+
+class TestSnapshotValidation:
+    def example(self):
+        return Example.make([STUDENTS], ADULTS)
+
+    def restore(self, payload):
+        from repro.core.frontier import SearchKernel
+        from repro.core.synthesizer import SynthesisStats
+
+        morpheus = Morpheus(config=SynthesisConfig(timeout=20), _sanctioned=True)
+        return SearchKernel.restore(
+            payload, self.example(), morpheus.config, morpheus.library,
+            morpheus.cost_model, SynthesisStats(),
+        )
+
+    def snapshot(self):
+        morpheus = Morpheus(config=SynthesisConfig(timeout=20), _sanctioned=True)
+        kernel = morpheus.kernel(self.example())
+        kernel.run(max_steps=5)
+        return kernel.snapshot()
+
+    def test_wrong_version_raises_typed_error(self):
+        import pytest
+
+        from repro.core import SnapshotVersionError
+
+        payload = self.snapshot()
+        payload["version"] = 999
+        with pytest.raises(SnapshotVersionError, match="version 999"):
+            self.restore(payload)
+
+    def test_missing_version_raises_typed_error(self):
+        import pytest
+
+        from repro.core import SnapshotVersionError
+
+        payload = self.snapshot()
+        del payload["version"]
+        with pytest.raises(SnapshotVersionError):
+            self.restore(payload)
+
+    def test_missing_required_key_raises_typed_error_not_keyerror(self):
+        import pytest
+
+        from repro.core import SnapshotVersionError
+
+        for key in ("k", "tiebreak", "node_counter", "visited", "pending"):
+            payload = self.snapshot()
+            del payload[key]
+            with pytest.raises(SnapshotVersionError, match=key):
+                self.restore(payload)
+
+    def test_non_dict_payload_raises_snapshot_error(self):
+        import pytest
+
+        from repro.core import SnapshotError
+
+        with pytest.raises(SnapshotError, match="dict"):
+            self.restore([1, 2, 3])
+
+    def test_malformed_pending_lane_raises_snapshot_error(self):
+        import pytest
+
+        from repro.core import SnapshotError
+
+        payload = self.snapshot()
+        payload["pending"] = [{"tiebreak": 0, "hypothesis": {"bogus": True}}]
+        with pytest.raises(SnapshotError, match="pending"):
+            self.restore(payload)
+
+    def test_snapshot_error_is_a_value_error(self):
+        from repro.core import SnapshotError, SnapshotVersionError
+
+        assert issubclass(SnapshotVersionError, SnapshotError)
+        assert issubclass(SnapshotError, ValueError)
+
+
+class TestSuspendResume:
+    """suspend() + the oe_store carry: resume without re-exploring merged states."""
+
+    def example(self):
+        output = Table(["name", "gpa"], [["Alice", 4.0], ["Bob", 3.2], ["Tom", 3.0]])
+        return Example.make([STUDENTS], output)
+
+    def build(self, k=3):
+        morpheus = Morpheus(config=SynthesisConfig(timeout=20), _sanctioned=True)
+        return morpheus, morpheus.kernel(self.example(), k=k)
+
+    def test_suspended_kernel_resumes_to_the_same_programs(self):
+        from repro.core.frontier import SearchKernel
+        from repro.core.hypothesis import render_program
+        from repro.core.synthesizer import SynthesisStats
+
+        morpheus, reference = self.build()
+        reference.run()
+        expected = [render_program(p) for p in reference.solutions]
+
+        morpheus2, kernel = self.build()
+        while not kernel.solutions:
+            kernel.step()
+        found = [render_program(p) for p in kernel.solutions]
+        payload = kernel.suspend()
+        restored = SearchKernel.restore(
+            payload, self.example(), morpheus2.config, morpheus2.library,
+            morpheus2.cost_model, SynthesisStats(), oe_store=kernel.oe_store,
+        )
+        restored.run()
+        assert found + [render_program(p) for p in restored.solutions] == expected
+
+    def test_oe_carry_keeps_merged_states_merged(self):
+        # The carried store is adopted by the successor kernel (identity,
+        # not a copy), and the representatives the suspended search fully
+        # explored stay in it -- an observationally equal state offered
+        # after the resume merges instead of being re-enumerated.
+        from repro.core.frontier import SearchKernel
+        from repro.core.oe import OEStore
+        from repro.core.synthesizer import SynthesisStats
+
+        morpheus, kernel = self.build()
+        while not (kernel.solutions and kernel.frontier.has_continuations):
+            kernel.step()
+        payload = kernel.suspend()
+        assert len(kernel.oe_store) > 0  # fully-explored representatives survive
+        surviving = set(kernel.oe_store._representatives)
+
+        restored = SearchKernel.restore(
+            payload, self.example(), morpheus.config, morpheus.library,
+            morpheus.cost_model, SynthesisStats(), oe_store=kernel.oe_store,
+        )
+        assert restored.oe_store is kernel.oe_store
+        assert restored.completer.oe_store is kernel.oe_store
+        # A pre-suspend state re-offered post-resume merges with the carry...
+        key = next(iter(surviving))
+        assert restored.oe_store.admit(key) is False
+        # ...but would be re-explored from a fresh store (what a restore
+        # without the carry would do).
+        assert OEStore().admit(key) is True
+
+    def test_suspend_withdraws_pending_admissions(self):
+        # States still pending on the continuation lane are only partially
+        # explored; suspend() must withdraw their admissions so the
+        # successor's re-expansion is not wrongly suppressed.
+        from repro.core.frontier import CompletionState
+
+        morpheus, kernel = self.build()
+        while not (kernel.solutions and kernel.frontier.has_continuations):
+            kernel.step()
+        pending_admits = sum(
+            len(state.run._admitted)
+            for state in kernel.frontier.continuation_states()
+            if isinstance(state, CompletionState)
+        )
+        before = len(kernel.oe_store)
+        kernel.suspend()
+        assert len(kernel.oe_store) == before - pending_admits
+
+    def test_steps_taken_counts_this_kernels_work_only(self):
+        from repro.core.frontier import SearchKernel
+        from repro.core.synthesizer import SynthesisStats
+
+        morpheus, kernel = self.build(k=1)
+        assert kernel.steps_taken == 0
+        kernel.run(max_steps=5)
+        assert kernel.steps_taken == 5
+        restored = SearchKernel.restore(
+            kernel.suspend(), self.example(), morpheus.config, morpheus.library,
+            morpheus.cost_model, SynthesisStats(), oe_store=kernel.oe_store,
+        )
+        assert restored.steps_taken == 0  # accumulating across kernels is the caller's job
+        restored.run(max_steps=3)
+        assert restored.steps_taken == 3

@@ -1,0 +1,260 @@
+"""End-to-end tests of the HTTP service: sessions, streaming, resume, 429s.
+
+The concurrency test reuses the determinism invariant established for the
+interleaved benchmark scheduler: a session's final counters depend only on
+its own request, never on what else the process ran -- so per-session
+counters from a threaded server must be byte-identical to serial runs.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import Table
+from repro.api import SynthesisRequest, SynthesisSession
+from repro.service import SessionStore, make_server
+
+STUDENTS = Table(["name", "age", "gpa"],
+                 [["Alice", 8, 4.0], ["Bob", 18, 3.2], ["Tom", 12, 3.0]])
+ADULTS = Table(["name", "age", "gpa"], [["Bob", 18, 3.2], ["Tom", 12, 3.0]])
+EMPLOYEES = Table(
+    ["name", "dept", "salary"],
+    [["ann", "eng", 100], ["bob", "eng", 90], ["cal", "ops", 80]],
+)
+HEADCOUNT = Table(["dept", "n"], [["eng", 2], ["ops", 1]])
+
+FILTER_REQUEST = {
+    "examples": [
+        {
+            "inputs": [{"columns": ["name", "age", "gpa"],
+                        "rows": [["Alice", 8, 4.0], ["Bob", 18, 3.2], ["Tom", 12, 3.0]]}],
+            "output": {"columns": ["name", "age", "gpa"],
+                       "rows": [["Bob", 18, 3.2], ["Tom", 12, 3.0]]},
+        }
+    ],
+    "config": {"timeout": 20},
+}
+
+DISTINGUISHER = {
+    "inputs": [{"columns": ["name", "age", "gpa"],
+                "rows": [["Zoe", 8, 3.5], ["Max", 20, 2.0]]}],
+    "output": {"columns": ["name", "age", "gpa"], "rows": [["Max", 20, 2.0]]},
+}
+
+#: Timing counters excluded from byte-identity comparisons.
+NONDETERMINISTIC = ("active_seconds",)
+
+
+@pytest.fixture
+def server():
+    server = make_server(host="127.0.0.1", port=0, ttl=None, rate=1000, burst=1000)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def base_url(server):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def get(server, path, timeout=30):
+    with urllib.request.urlopen(base_url(server) + path, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def post(server, path, payload, timeout=60):
+    request = urllib.request.Request(
+        base_url(server) + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def wait_for_status(server, session_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, state = get(server, f"/v1/sessions/{session_id}")
+        if state["status"] in ("done", "exhausted", "timeout"):
+            return state
+        time.sleep(0.05)
+    return state
+
+
+def drop_timing(counters):
+    return {k: v for k, v in counters.items() if k not in NONDETERMINISTIC}
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        assert get(server, "/healthz") == (200, {"status": "ok"})
+
+    def test_metrics_is_non_empty(self, server):
+        status, metrics = get(server, "/metrics")
+        assert status == 200
+        assert metrics["sessions_live"] == 0
+        assert "kernel_steps_total" in metrics
+
+    def test_unknown_session_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, "/v1/sessions/deadbeef")
+        assert excinfo.value.code == 404
+
+    def test_malformed_request_is_400(self, server):
+        status, body = post(server, "/v1/sessions", {"examples": []})
+        assert status == 400
+        assert "error" in body
+
+    def test_invalid_json_body_is_400(self, server):
+        request = urllib.request.Request(
+            base_url(server) + "/v1/sessions",
+            data=b"not json",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_session_round_trip(self, server):
+        status, created = post(server, "/v1/sessions", FILTER_REQUEST)
+        assert status == 201
+        state = wait_for_status(server, created["id"])
+        assert state["status"] == "done"
+        assert state["candidates"][0]["validated"]
+        _, metrics = get(server, "/metrics")
+        assert metrics["kernel_steps_total"] > 0
+
+
+class TestStreaming:
+    def test_chunked_stream_yields_candidates_then_status(self, server):
+        _, created = post(server, "/v1/sessions", FILTER_REQUEST)
+        url = base_url(server) + f"/v1/sessions/{created['id']}/programs?stream=1&count=1&wait=20"
+        with urllib.request.urlopen(url, timeout=30) as response:
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            lines = [json.loads(line) for line in response.read().splitlines() if line.strip()]
+        assert len(lines) == 2
+        assert lines[0]["rank"] == 1 and lines[0]["program"]
+        assert lines[1]["candidates_sent"] == 1
+        assert lines[1]["counters"]["steps"] > 0
+
+    def test_polling_with_wait_blocks_until_candidates(self, server):
+        _, created = post(server, "/v1/sessions", FILTER_REQUEST)
+        status, state = get(
+            server, f"/v1/sessions/{created['id']}/programs?count=1&wait=20"
+        )
+        assert status == 200
+        assert state["candidates"]
+
+
+class TestResume:
+    def test_distinguishing_example_resumes_without_restarting(self, server):
+        _, created = post(server, "/v1/sessions", FILTER_REQUEST)
+        sid = created["id"]
+        first = wait_for_status(server, sid)
+        assert first["candidates"][0]["validated"]
+        steps_before = first["counters"]["steps"]
+        oe_before = first["counters"]["oe_merged"]
+
+        status, resumed = post(server, f"/v1/sessions/{sid}/examples", DISTINGUISHER)
+        assert status == 200
+        # Counters continue instead of resetting: the frontier was resumed.
+        assert resumed["counters"]["resumes"] == 1
+        assert resumed["counters"]["steps"] >= steps_before
+        assert resumed["counters"]["oe_merged"] >= oe_before
+        assert not resumed["candidates"][0]["validated"]  # revalidated and overfit
+
+        final = wait_for_status(server, sid, timeout=40.0)
+        assert final["counters"]["steps"] > steps_before
+        validated = [c["program"] for c in final["candidates"] if c["validated"]]
+        assert validated
+
+        # The resumed search agrees with a cold run given both examples.
+        cold_payload = dict(FILTER_REQUEST)
+        cold_payload["examples"] = FILTER_REQUEST["examples"] + [DISTINGUISHER]
+        cold = SynthesisSession(SynthesisRequest.from_json(cold_payload))
+        while not cold.finished and not cold.validated_count:
+            cold.advance(max_steps=64)
+        cold_validated = [c.program for c in cold.candidates if c.validated]
+        assert validated[0] == cold_validated[0]
+
+
+class TestRateLimiting:
+    def test_burst_gets_429(self):
+        server = make_server(
+            host="127.0.0.1", port=0,
+            store=SessionStore(ttl=None, rate=0.001, burst=2),
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            codes = [post(server, "/v1/sessions", FILTER_REQUEST)[0] for _ in range(3)]
+            assert codes == [201, 201, 429]
+            _, metrics = get(server, "/metrics")
+            assert metrics["rate_limited_total"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestConcurrencyDeterminism:
+    """N threads against one server: counters byte-identical to serial runs."""
+
+    TASKS = {
+        "filter": ([STUDENTS], ADULTS),
+        "headcount": ([EMPLOYEES], HEADCOUNT),
+    }
+
+    def serial_counters(self, inputs, output):
+        session = SynthesisSession(
+            SynthesisRequest.from_tables(inputs, output, timeout=20)
+        )
+        while not session.finished:
+            session.advance(max_steps=64)
+        return drop_timing(session.counters())
+
+    def test_threaded_sessions_match_serial_counters(self, server):
+        reference = {
+            name: self.serial_counters(inputs, output)
+            for name, (inputs, output) in self.TASKS.items()
+        }
+
+        results = {}
+        errors = []
+
+        def drive(thread_id, name):
+            try:
+                inputs, output = self.TASKS[name]
+                payload = SynthesisRequest.from_tables(inputs, output, timeout=20).to_json()
+                _, created = post(server, "/v1/sessions", payload)
+                state = wait_for_status(server, created["id"])
+                results[thread_id] = (name, drop_timing(state["counters"]))
+            except Exception as error:  # pragma: no cover - surfaced via assert
+                errors.append((thread_id, error))
+
+        names = ["filter", "headcount"] * 3
+        threads = [
+            threading.Thread(target=drive, args=(i, name))
+            for i, name in enumerate(names)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(results) == len(names)
+        for thread_id, (name, counters) in results.items():
+            assert counters == reference[name], f"thread {thread_id} ({name}) diverged"

@@ -1,0 +1,173 @@
+"""Tests for the session store: scheduler, TTL, rate limiting, persistence."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import Table
+from repro.api import ExamplePayload, SynthesisRequest
+from repro.service import RateLimited, SessionStore, TokenBucket, UnknownSession
+
+STUDENTS = Table(["name", "age", "gpa"],
+                 [["Alice", 8, 4.0], ["Bob", 18, 3.2], ["Tom", 12, 3.0]])
+ADULTS = Table(["name", "age", "gpa"], [["Bob", 18, 3.2], ["Tom", 12, 3.0]])
+
+
+def filter_request(**knobs):
+    knobs.setdefault("timeout", 20)
+    return SynthesisRequest.from_tables([STUDENTS], ADULTS, **knobs)
+
+
+def wait_until(predicate, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+@pytest.fixture
+def store():
+    store = SessionStore(ttl=None, rate=1000, burst=1000)
+    yield store
+    store.close()
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        bucket = TokenBucket(rate=0.001, burst=3)
+        assert [bucket.allow() for _ in range(4)] == [True, True, True, False]
+        assert bucket.denied == 1
+
+    def test_refill_restores_tokens(self):
+        bucket = TokenBucket(rate=1000, burst=1)
+        assert bucket.allow()
+        assert not bucket.allow()
+        time.sleep(0.01)
+        assert bucket.allow()
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0)
+        with pytest.raises(ValueError):
+            TokenBucket(burst=0)
+
+
+class TestSessionStore:
+    def test_scheduler_drives_sessions_to_completion(self, store):
+        session = store.create(filter_request())
+        assert wait_until(lambda: session.session.finished)
+        assert session.session.status == "done"
+        assert session.session.candidates
+
+    def test_round_robin_serves_concurrent_sessions(self, store):
+        sessions = [store.create(filter_request()) for _ in range(3)]
+        assert wait_until(lambda: all(s.session.finished for s in sessions))
+        programs = {s.session.candidates[0].program for s in sessions}
+        assert len(programs) == 1  # identical tasks, identical programs
+
+    def test_get_unknown_session_raises(self, store):
+        with pytest.raises(UnknownSession):
+            store.get("not-a-session")
+
+    def test_add_example_resumes_and_reenrolls(self, store):
+        session = store.create(filter_request())
+        assert wait_until(lambda: session.session.finished)
+        steps_before = session.session.steps
+        store.add_example(
+            session.id,
+            ExamplePayload.make(
+                [Table(["name", "age", "gpa"], [["Zoe", 8, 3.5], ["Max", 20, 2.0]])],
+                Table(["name", "age", "gpa"], [["Max", 20, 2.0]]),
+            ),
+        )
+        assert session.session.resumes == 1
+        assert wait_until(lambda: session.session.finished, timeout=40.0)
+        assert session.session.steps > steps_before
+        assert any(c.validated for c in session.session.candidates)
+
+    def test_metrics_aggregate_counters(self, store):
+        session = store.create(filter_request())
+        assert wait_until(lambda: session.session.finished)
+        metrics = store.metrics()
+        assert metrics["sessions_live"] == 1
+        assert metrics["sessions_created_total"] == 1
+        assert metrics["kernel_steps_total"] > 0
+
+    def test_rate_limited_create_raises(self):
+        store = SessionStore(ttl=None, rate=0.001, burst=1)
+        try:
+            store.create(filter_request())
+            with pytest.raises(RateLimited):
+                store.create(filter_request())
+            assert store.metrics()["rate_limited_total"] == 1
+        finally:
+            store.close()
+
+
+class TestTTL:
+    def test_idle_sessions_expire(self):
+        store = SessionStore(ttl=0.05, rate=1000, burst=1000)
+        try:
+            session = store.create(filter_request())
+            assert wait_until(lambda: session.expired, timeout=10.0)
+            assert session.status == "expired"
+            with pytest.raises(UnknownSession):
+                store.get(session.id)
+            assert store.metrics()["sessions_expired_total"] == 1
+        finally:
+            store.close()
+
+
+class TestPersistence:
+    def test_finished_sessions_are_written_to_disk(self, tmp_path):
+        store = SessionStore(ttl=None, rate=1000, burst=1000, persist_dir=str(tmp_path))
+        try:
+            session = store.create(filter_request())
+            assert wait_until(lambda: session.session.finished)
+            path = tmp_path / f"{session.id}.json"
+            assert wait_until(path.exists)
+            payload = json.loads(path.read_text())
+            assert payload["id"] == session.id
+            assert payload["status"] == "done"
+            assert payload["state"]["candidates"]
+            assert payload["snapshot"] is None  # finished: no frontier left to resume
+            assert store.load_persisted(session.id) == payload
+        finally:
+            store.close()
+
+    def test_suspension_persists_the_frontier_snapshot(self, tmp_path):
+        store = SessionStore(ttl=None, rate=1000, burst=1000, persist_dir=str(tmp_path))
+        try:
+            session = store.create(filter_request())
+            assert wait_until(lambda: session.session.finished)
+            store.add_example(
+                session.id,
+                ExamplePayload.make(
+                    [Table(["name", "age", "gpa"], [["Zoe", 8, 3.5], ["Max", 20, 2.0]])],
+                    Table(["name", "age", "gpa"], [["Max", 20, 2.0]]),
+                ),
+            )
+            payload = store.load_persisted(session.id)
+            if payload["snapshot"] is not None:  # unless the resume already finished
+                assert payload["snapshot"]["version"] == 1
+                assert "pending" in payload["snapshot"]
+        finally:
+            store.close()
+
+    def test_load_persisted_unknown_id_raises(self, tmp_path):
+        store = SessionStore(ttl=None, persist_dir=str(tmp_path))
+        try:
+            with pytest.raises(UnknownSession):
+                store.load_persisted("missing")
+        finally:
+            store.close()
+
+    def test_close_persists_live_sessions(self, tmp_path):
+        store = SessionStore(ttl=None, rate=1000, burst=1000, persist_dir=str(tmp_path))
+        session = store.create(filter_request())
+        store.close()
+        assert os.path.exists(tmp_path / f"{session.id}.json")
