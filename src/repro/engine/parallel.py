@@ -140,8 +140,14 @@ class KernelInterleaver:
 
     def _register(self, task: _InterleavedTask) -> int:
         with self._lock:
-            task.index = len(self._tasks)
-            self._tasks.append(task)
+            if task.driver is None:
+                task.index = len(self._tasks)
+                self._tasks.append(task)
+            # Driver-backed tasks live only in the pending rotation: they are
+            # dropped outright when their driver finishes (a long-lived
+            # service re-enrolls resumed sessions with a fresh registration),
+            # so the interleaver never pins a finished session's kernel, OE
+            # store or tables in memory.
             self._pending.append(task)
         return task.index
 
@@ -170,6 +176,11 @@ class KernelInterleaver:
         long-lived sessions (whose kernels are replaced across
         snapshot/restore resumes) into the same scheduler that drives
         benchmark batches.
+
+        Unlike :meth:`add`, a driver task joins only the pending rotation
+        (there is no result to collect in :meth:`run` order), so the returned
+        index is always ``-1`` and the task is released as soon as its
+        ``advance`` reports completion.
         """
         return self._register(_InterleavedTask(index=-1, driver=driver))
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import re
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
@@ -46,7 +47,17 @@ DEFAULT_PORT = 8642
 #: Longest a blocking ``?wait=``/stream request may hold its handler thread.
 MAX_WAIT_SECONDS = 300.0
 
+#: Largest request body accepted before parsing (maps to HTTP 413); example
+#: tables a few orders of magnitude past anything the synthesizer handles
+#: still fit, but a hostile Content-Length cannot make the server allocate
+#: arbitrary memory.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
 _SESSION_ROUTE = re.compile(r"^/v1/sessions/([0-9a-f]{1,32})(/programs|/examples)?$")
+
+
+class PayloadTooLarge(ValueError):
+    """The request body exceeds :data:`MAX_BODY_BYTES` (maps to HTTP 413)."""
 
 
 class SynthesisHTTPServer(ThreadingHTTPServer):
@@ -107,6 +118,10 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
             self._error(404, f"unknown session {error.args[0]!r}")
         except RateLimited as error:
             self._error(429, str(error))
+        except PayloadTooLarge as error:
+            self._error(413, str(error))
+            # The unread body would be parsed as the next request.
+            self.close_connection = True
         except RequestError as error:
             self._error(400, str(error))
         except (ValueError, KeyError, TypeError) as error:
@@ -133,16 +148,20 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
         self._error(404, f"no such endpoint: {url.path}")
 
     def _route_post(self) -> None:
+        # Deserialisation goes through the store: building the payload's
+        # Table objects mutates the installed execution counters and intern
+        # pool, which on a handler thread would corrupt whichever session's
+        # context the scheduler has active (see SessionStore.deserialize).
         url = urlsplit(self.path)
         if url.path == "/v1/sessions":
-            request = SynthesisRequest.from_json(self._read_json())
+            request = self.store.deserialize(SynthesisRequest.from_json, self._read_json())
             session = self.store.create(request)
             payload = session.state_json()
             self._send_json(201, payload)
             return
         match = _SESSION_ROUTE.match(url.path)
         if match and match.group(2) == "/examples":
-            example = ExamplePayload.from_json(self._read_json())
+            example = self.store.deserialize(ExamplePayload.from_json, self._read_json())
             session = self.store.add_example(match.group(1), example)
             self._send_json(200, session.state_json())
             return
@@ -152,6 +171,10 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
             raise RequestError("request body is required")
+        if length > MAX_BODY_BYTES:
+            raise PayloadTooLarge(
+                f"request body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            )
         raw = self.rfile.read(length)
         try:
             return json.loads(raw)
@@ -203,6 +226,7 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Cache-Control", "no-store")
         self.end_headers()
         budget = MAX_WAIT_SECONDS if wait is None else wait
+        deadline = time.monotonic() + budget
         sent = 0
         try:
             while True:
@@ -214,8 +238,13 @@ class SynthesisRequestHandler(BaseHTTPRequestHandler):
                     break
                 if session.expired or session.session.finished:
                     break
+                # One shared deadline across all waits: a slow trickle of
+                # candidates must not hold the handler past the budget.
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
                 grew = session.wait_for(
-                    lambda: len(session.session.candidates) > sent, timeout=budget
+                    lambda: len(session.session.candidates) > sent, timeout=remaining
                 )
                 if not grew:
                     break

@@ -9,8 +9,10 @@ scheduler thread.  The threading contract is strict and worth stating once:
   restoring it -- must be serialised across the whole process.  The store
   does this with one lock (``_work_lock``): the scheduler thread holds it
   for the duration of each kernel slice, and HTTP worker threads hold it
-  for the (short) context-active parts of session creation and
-  ``add_example``.
+  for the (short) context-active parts of session creation,
+  ``add_example`` and request deserialisation (building a request's tables
+  mutates the installed counters and intern pool, so it runs through
+  :meth:`SessionStore.deserialize` under the lock in a scratch context).
 * Fairness across sessions comes from the engine's
   :class:`~repro.engine.parallel.KernelInterleaver`: each live session is
   enrolled as a *driver* (:meth:`ServiceSession.advance`), and the
@@ -31,6 +33,7 @@ import uuid
 from typing import Dict, List, Optional
 
 from ..api import SynthesisRequest, SynthesisSession
+from ..engine.context import TaskContext
 from ..engine.parallel import KernelInterleaver
 
 #: Kernel steps per scheduler slice (one ``pump`` pass gives every live
@@ -109,17 +112,29 @@ class ServiceSession:
         """One scheduler slice; ``True`` drops the session from the rotation.
 
         Called only by the scheduler thread, which holds the store's work
-        lock around the context-active kernel stepping.
+        lock around the context-active kernel stepping.  Leaving the
+        rotation and :meth:`SessionStore._enroll` are serialised on the
+        registry lock: a concurrent ``add_example`` either resumes the
+        session before the finished-check here (the task stays enrolled and
+        keeps its rotation slot) or after ``_enrolled`` drops (and then
+        enrolls a fresh task) -- never in between, which would strand a live
+        session outside the rotation.
         """
         if self.expired:
-            self._enrolled = False
+            with self.store._registry_lock:
+                self._enrolled = False
             return True
         with self.store._work_lock:
-            finished = self.session.advance(max_steps=max_steps)
+            self.session.advance(max_steps=max_steps)
         with self.changed:
             self.changed.notify_all()
+        finished = False
+        if self.session.finished:
+            with self.store._registry_lock:
+                if self.session.finished:
+                    self._enrolled = False
+                    finished = True
         if finished:
-            self._enrolled = False
             self.store._persist(self)
         return finished
 
@@ -186,6 +201,21 @@ class SessionStore:
         self._scheduler.start()
 
     # -- public operations (HTTP worker threads) ----------------------
+    def deserialize(self, parse, payload):
+        """Run *parse(payload)* (a ``from_json`` constructor) table-safely.
+
+        Constructing a :class:`~repro.dataframe.table.Table` mutates the
+        *installed* execution counters and intern pool -- the process-wide
+        state the scheduler swaps per session -- so request parsing counts
+        as context-active work.  It holds the work lock (no session context
+        can be installed concurrently) and runs inside a throwaway
+        :class:`TaskContext` so not even the process defaults are touched;
+        the parsed tables stay valid after the scratch context is dropped.
+        """
+        with self._work_lock:
+            with TaskContext().active():
+                return parse(payload)
+
     def create(self, request: SynthesisRequest) -> ServiceSession:
         """Create, register and enroll a session (raises :class:`RateLimited`)."""
         if not self.bucket.allow():
@@ -268,9 +298,14 @@ class SessionStore:
 
     # -- scheduler internals ------------------------------------------
     def _enroll(self, session: ServiceSession) -> None:
-        if session.expired or session.session.finished or session._enrolled:
-            return
-        session._enrolled = True
+        # The registry lock pairs with ServiceSession.advance: enrollment
+        # state only changes under it, so a session resumed by add_example
+        # is either still in the rotation (flag up) or re-enrolled here --
+        # it can never fall through the gap and hang until TTL expiry.
+        with self._registry_lock:
+            if session.expired or session.session.finished or session._enrolled:
+                return
+            session._enrolled = True
         self._interleaver.add_driver(session)
         self._wake.set()
 

@@ -172,6 +172,33 @@ class TestKernelInterleaver:
         with pytest.raises(ValueError):
             KernelInterleaver(slice_steps=0)
 
+    def test_finished_driver_tasks_are_released(self):
+        class FakeDriver:
+            def __init__(self, slices):
+                self.slices = slices
+
+            def advance(self, max_steps):
+                self.slices -= 1
+                return self.slices <= 0
+
+        interleaver = KernelInterleaver(slice_steps=1)
+        interleaver.add_driver(FakeDriver(1))
+        interleaver.add_driver(FakeDriver(3))
+        assert interleaver.unfinished == 2
+        while interleaver.pump():
+            pass
+        # Finished drivers leave the rotation *and* hold no task-list slot:
+        # a long-lived service re-enrolls sessions on every resume, so any
+        # retained reference would pin expired sessions in memory forever.
+        assert interleaver.unfinished == 0
+        assert len(interleaver._tasks) == 0
+        interleaver.add_driver(FakeDriver(2))
+        assert interleaver.unfinished == 1
+        while interleaver.pump():
+            pass
+        assert interleaver.unfinished == 0
+        assert len(interleaver._tasks) == 0
+
     def test_synthesize_batch_interleaved_matches_plain(self):
         config = SynthesisConfig(timeout=TIMEOUT)
         plain = synthesize_batch(self.examples(), config=config, jobs=1)

@@ -128,6 +128,19 @@ class TestEndpoints:
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 400
 
+    def test_oversized_body_is_413(self, server):
+        from repro.service.api.http import MAX_BODY_BYTES
+
+        request = urllib.request.Request(
+            base_url(server) + "/v1/sessions",
+            data=b"{}",
+            headers={"Content-Length": str(MAX_BODY_BYTES + 1)},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 413
+
     def test_session_round_trip(self, server):
         status, created = post(server, "/v1/sessions", FILTER_REQUEST)
         assert status == 201

@@ -89,6 +89,14 @@ class TestSessionStore:
         assert session.session.steps > steps_before
         assert any(c.validated for c in session.session.candidates)
 
+    def test_finished_sessions_release_their_scheduler_slot(self, store):
+        session = store.create(filter_request())
+        assert wait_until(lambda: session.session.finished)
+        assert wait_until(lambda: store._interleaver.unfinished == 0)
+        # No task-list slot retained either: the interleaver must not keep
+        # finished (and later expired) sessions reachable forever.
+        assert len(store._interleaver._tasks) == 0
+
     def test_metrics_aggregate_counters(self, store):
         session = store.create(filter_request())
         assert wait_until(lambda: session.session.finished)
@@ -104,6 +112,66 @@ class TestSessionStore:
             with pytest.raises(RateLimited):
                 store.create(filter_request())
             assert store.metrics()["rate_limited_total"] == 1
+        finally:
+            store.close()
+
+
+class TestEnrollmentRace:
+    def test_resume_in_the_unenroll_gap_is_not_lost(self):
+        """A client adding an example right as the final slice ends must not
+        strand the resumed session outside the scheduler rotation.
+
+        The race window is after the slice releases the work lock (the
+        post-slice ``notify_all``) and before the scheduler decides whether
+        the session leaves the rotation.  The store is driven by hand so the
+        window is hit deterministically: a proxy condition injects the
+        ``add_example`` exactly there.  Before the registry-lock fix the
+        session stayed ``searching`` forever (``_enrolled`` still true when
+        ``_enroll`` checked, then dropped by the scheduler).
+        """
+        store = SessionStore(ttl=None, rate=1000, burst=1000)
+        store._stop.set()
+        store._wake.set()
+        store._scheduler.join(timeout=5)
+        try:
+            session = store.create(filter_request())
+            real_changed = session.changed
+            injected = []
+
+            class InjectingCondition:
+                def __enter__(self):
+                    return real_changed.__enter__()
+
+                def __exit__(self, *args):
+                    return real_changed.__exit__(*args)
+
+                def wait(self, timeout=None):
+                    return real_changed.wait(timeout)
+
+                def notify_all(self):
+                    real_changed.notify_all()
+                    if session.session.finished and not injected:
+                        injected.append(True)
+                        store.add_example(
+                            session.id,
+                            ExamplePayload.make(
+                                [Table(["name", "age", "gpa"],
+                                       [["Zoe", 8, 3.5], ["Max", 20, 2.0]])],
+                                Table(["name", "age", "gpa"],
+                                      [["Max", 20, 2.0]]),
+                            ),
+                        )
+
+            session.changed = InjectingCondition()
+            while store._interleaver.pump():
+                pass
+            session.changed = real_changed
+            assert injected
+            assert session.session.resumes == 1
+            # The resumed search kept its rotation slot (or was re-enrolled)
+            # and ran to completion instead of hanging in 'searching'.
+            assert session.session.finished
+            assert any(c.validated for c in session.session.candidates)
         finally:
             store.close()
 
