@@ -4,8 +4,10 @@ Runs the representative Figure-16 subset under the full spec2 configuration
 and its ``--no-prescreen`` and ``--no-oe`` ablations, and writes
 ``BENCH_figure16.json`` with per-task wall times, prune counts and the
 prescreen / OE / exec-cache counters, plus A/B comparison blocks quantifying
-the tier-1 prescreen's end-to-end wall-clock win and the
-observational-equivalence store's completion-work dedup.  CI runs this on
+the tier-1 prescreen's end-to-end wall-clock win, the
+observational-equivalence store's completion-work dedup, and the warm-start
+knowledge base's cold-vs-warm differential (byte-identical programs and
+trajectory, nonzero hit rate).  CI runs this on
 every push and uploads the file as an artifact; re-record the checked-in
 copy with::
 
@@ -16,13 +18,38 @@ copy with::
 
 import argparse
 import json
+import os
 import platform
 import sys
+import tempfile
 
 from repro.baselines import spec2_config, spec2_no_oe_config, spec2_no_prescreen_config
 from repro.benchmarks import r_benchmark_suite, run_suite, suite_runs_json
+from repro.benchmarks.kb_differential import run_kb_differential
 
 from conftest import REPRESENTATIVE_BENCHMARKS
+
+
+def kb_comparison(suite, timeout: float) -> dict:
+    """Run the warm-start differential against a fresh temporary KB.
+
+    Cold run populates the knowledge base, warm run replays the same tasks
+    against it; the block records both wall times, the warm hit rate and
+    the byte-identical gates (see ``repro.benchmarks.kb_differential``).
+    """
+    handle, kb_path = tempfile.mkstemp(prefix="repro-kb-", suffix=".sqlite")
+    os.close(handle)
+    os.unlink(kb_path)  # let sqlite create the file itself
+    try:
+        comparison = run_kb_differential(suite, timeout=timeout, kb_path=kb_path)
+    finally:
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(kb_path + suffix)
+            except OSError:
+                pass
+    comparison["kb_path"] = "<temporary>"
+    return comparison
 
 
 def record(timeout: float, full: bool = False) -> dict:
@@ -80,6 +107,7 @@ def record(timeout: float, full: bool = False) -> dict:
             ),
             "programs_identical": programs("spec2") == programs("spec2-no-oe"),
         },
+        "kb_comparison": kb_comparison(suite, timeout),
     }
 
 
@@ -113,6 +141,14 @@ def main(argv=None) -> int:
         f"programs identical: {oe['programs_identical']}",
         file=sys.stderr,
     )
+    kb = payload["kb_comparison"]
+    print(
+        f"kb warm-start: cold {kb['cold_wall_s']}s vs warm {kb['warm_wall_s']}s "
+        f"(speedup {kb['speedup']}x), warm hit-rate {kb['warm_kb']['hit_rate']}, "
+        f"programs identical: {kb['programs_identical']}, "
+        f"counters identical: {kb['counters_identical']}",
+        file=sys.stderr,
+    )
     # The acceptance gates (also enforced by CI): byte-identical programs
     # under both ablations, a tier-1 hit rate of at least 50%, and a live
     # OE store (merges > 0, never more completion work than the ablation).
@@ -123,6 +159,12 @@ def main(argv=None) -> int:
     if not oe["programs_identical"]:
         return 1
     if not oe["oe_merged"] or oe["partial_programs_saved"] < 0:
+        return 1
+    # Warm-start gates: the warm run must synthesize byte-identical programs
+    # with an identical search trajectory, and must actually hit the KB.
+    if not kb["programs_identical"] or not kb["counters_identical"]:
+        return 1
+    if not kb["warm_kb"]["hits"]:
         return 1
     return 0
 

@@ -383,11 +383,13 @@ class SynthesisSession:
     to ``searching`` when the surviving candidates no longer meet the quota.
     """
 
-    def __init__(self, request: SynthesisRequest, library=None) -> None:
+    def __init__(self, request: SynthesisRequest, library=None, kb=None) -> None:
         if not request.examples:
             raise RequestError("a session needs at least one example")
         self.request = request
-        self.context = TaskContext()
+        # *kb* attaches a warm-start knowledge base (repro.engine.kb) to the
+        # session's context; None inherits the process default, if any.
+        self.context = TaskContext(kb=kb)
         self.status = STATUS_CREATED
         self._examples: List[Example] = [
             payload.to_example() for payload in request.examples
@@ -469,7 +471,10 @@ class SynthesisSession:
         with self.context.active():
             budget = self.request.config.timeout
             remaining = None if budget is None else budget - self.active_seconds
-            if remaining is None or remaining > 0:
+            step_budget = self.request.config.max_steps
+            if step_budget is not None:
+                max_steps = min(max_steps, step_budget - self.steps)
+            if (remaining is None or remaining > 0) and max_steps > 0:
                 deadline = None if remaining is None else time.monotonic() + remaining
                 self._kernel.run(deadline=deadline, max_steps=max_steps)
             self._drain()
@@ -478,11 +483,16 @@ class SynthesisSession:
 
     def _update_status(self) -> None:
         budget = self.request.config.timeout
+        step_budget = self.request.config.max_steps
         if self.validated_count >= self._target:
             self.status = STATUS_DONE
         elif self._kernel.exhausted:
             self.status = STATUS_EXHAUSTED
         elif budget is not None and self.active_seconds >= budget:
+            self.status = STATUS_TIMEOUT
+        elif step_budget is not None and self.steps >= step_budget:
+            # A spent step budget is a deterministic timeout: the search
+            # stopped at a host-independent position rather than a clock.
             self.status = STATUS_TIMEOUT
         else:
             self.status = STATUS_SEARCHING
@@ -656,13 +666,21 @@ class SynthesisSession:
         started = time.monotonic()
         timeout = self.request.config.timeout
         deadline = started + timeout if timeout is not None else None
+        step_budget = self.request.config.max_steps
         with self.context.active():
             while True:
-                self._kernel.run(deadline=deadline)
+                remaining_steps = (
+                    None if step_budget is None else step_budget - self.steps
+                )
+                if remaining_steps is not None and remaining_steps <= 0:
+                    break
+                self._kernel.run(deadline=deadline, max_steps=remaining_steps)
                 self._drain()
                 if self.validated_count >= self._target or self._kernel.exhausted:
                     break
                 if deadline is not None and time.monotonic() > deadline:
+                    break
+                if step_budget is not None and self.steps >= step_budget:
                     break
             self._update_status()
             if self.status == STATUS_SEARCHING:
@@ -687,19 +705,21 @@ class SynthesisSession:
 
 
 def create_session(
-    request: SynthesisRequest, library=None
+    request: SynthesisRequest, library=None, kb=None
 ) -> SynthesisSession:
     """Create an interactive synthesis session (the sanctioned entry point).
 
     *library* optionally overrides the component library object (the request
-    names one of :data:`LIBRARIES` otherwise).
+    names one of :data:`LIBRARIES` otherwise).  *kb* attaches a warm-start
+    :class:`~repro.engine.kb.KnowledgeBase` (None inherits the process
+    default installed via :func:`repro.engine.kb.set_default_kb`).
     """
-    return SynthesisSession(request, library=library)
+    return SynthesisSession(request, library=library, kb=kb)
 
 
-def solve(request: SynthesisRequest, library=None) -> SynthesisResult:
+def solve(request: SynthesisRequest, library=None, kb=None) -> SynthesisResult:
     """One-shot facade: drive *request* to completion, return the JSON-able result."""
-    session = create_session(request, library=library)
+    session = create_session(request, library=library, kb=kb)
     core = session.solve()
     result = session.result()
     # ``solve`` ran under a wall clock, which is the elapsed callers expect.

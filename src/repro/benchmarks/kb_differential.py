@@ -1,0 +1,139 @@
+"""Shared cold-vs-warm knowledge-base differential.
+
+Both ``repro-bench --kb-bench`` and the ``benchmarks/record_figure16.py``
+recorder measure the warm-start knowledge base the same way: run a suite
+twice against one KB file -- cold (populating it) then warm (replaying the
+identical task list) -- and compare wall time, KB hit statistics and the
+search trajectories.  This module is that shared measurement, so the CLI
+gate and the CI gate can never disagree on what "warm-start correct" means.
+
+The two guarantees the differential checks:
+
+* **Programs byte-identical.**  The KB only replaces concrete executions
+  and attribute-vector computations with persisted copies of the same
+  values, so the warm run must synthesize exactly the programs the cold
+  run did.
+* **Trajectory counters byte-identical.**  Every deterministic search
+  counter (SMT calls, lemma prunes, prescreen decisions, partial programs,
+  OE merges, exec-cache hits, ...) must match: the warm run walks the same
+  search tree, it just skips re-deriving facts.  ``tables_built`` and
+  ``cells_interned`` are deliberately *not* compared -- the warm run skips
+  the table constructions the KB answered, which is the point of the
+  cache; that saved work shows up in the KB hit count instead.
+
+Counter identity only holds for tasks that reach their deterministic end
+(a solution): a task cut off by the wall-clock timeout stops at whatever
+point the clock ran out, and a warm run -- doing less work per step --
+gets further down the *same* trajectory before the cut.  The counter gate
+therefore compares the tasks solved in both phases; the program gate
+still covers every task (a timeout in one phase and a solution in the
+other is reported as a difference).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from ..baselines.configurations import spec2_config
+from ..engine.kb import KnowledgeBase, set_default_kb
+from .runner import SuiteRun, run_suite
+from .suite import BenchmarkSuite
+
+#: Per-outcome fields a warm start must reproduce exactly (the search
+#: trajectory).  Execution-volume counters (``tables_built``,
+#: ``cells_interned``) are excluded: the KB exists to shrink them.
+TRAJECTORY_FIELDS = (
+    "benchmark",
+    "solved",
+    "program",
+    "program_size",
+    "smt_calls",
+    "lemma_prunes",
+    "lemmas_learned",
+    "lemma_mining_solves",
+    "prescreen_decided",
+    "prescreen_fallback",
+    "partial_programs",
+    "oe_candidates",
+    "oe_merged",
+    "frontier_peak",
+    "exec_cache_hits",
+)
+
+
+def trajectory(run: SuiteRun, benchmarks=None) -> list:
+    """The deterministic per-task counter trajectory of one suite run.
+
+    *benchmarks* restricts the trajectory to those task names (used to
+    compare only tasks that reached their deterministic end in both runs).
+    """
+    return [
+        tuple(getattr(outcome, field) for field in TRAJECTORY_FIELDS)
+        for outcome in run.outcomes
+        if benchmarks is None or outcome.benchmark in benchmarks
+    ]
+
+
+def programs(run: SuiteRun) -> list:
+    """The synthesized programs of one suite run, in suite order."""
+    return [(o.benchmark, o.solved, o.program) for o in run.outcomes]
+
+
+def run_kb_differential(
+    suite: BenchmarkSuite,
+    timeout: float,
+    kb_path: str,
+    progress: Optional[Callable] = None,
+    label: str = "spec2",
+) -> dict:
+    """Run *suite* cold then warm against the KB at *kb_path*.
+
+    Each phase opens its own :class:`~repro.engine.kb.KnowledgeBase` on the
+    file (exactly what two separate processes sharing the KB would do),
+    installs it as the process default, runs the suite serially under the
+    plain spec2 configuration, then uninstalls and closes it.  Returns the
+    ``kb_comparison`` payload block.
+    """
+    phase_data = {}
+    for phase in ("cold", "warm"):
+        kb = KnowledgeBase(kb_path)
+        set_default_kb(kb)
+        try:
+            started = time.perf_counter()
+            run = run_suite(
+                suite, spec2_config, timeout=timeout,
+                label=f"{label}-{phase}", progress=progress,
+            )
+            wall = time.perf_counter() - started
+        finally:
+            set_default_kb(None)
+        stats = kb.stats.as_dict()
+        stats["entries"] = len(kb)
+        kb.close()
+        phase_data[phase] = {"wall_s": round(wall, 3), "kb": stats, "run": run}
+    cold, warm = phase_data["cold"], phase_data["warm"]
+    # Only tasks that reached their deterministic end (a solution) in both
+    # phases can promise identical counters; timeouts are wall-clock cuts.
+    solved_both = {o.benchmark for o in cold["run"].outcomes if o.solved} & {
+        o.benchmark for o in warm["run"].outcomes if o.solved
+    }
+    return {
+        "suite_size": cold["run"].total,
+        "timeout_s": timeout,
+        "cold_wall_s": cold["wall_s"],
+        "warm_wall_s": warm["wall_s"],
+        "speedup": (
+            round(cold["wall_s"] / warm["wall_s"], 3) if warm["wall_s"] else None
+        ),
+        "cold_kb": cold["kb"],
+        "warm_kb": warm["kb"],
+        "solved_cold": cold["run"].solved,
+        "solved_warm": warm["run"].solved,
+        "counters_compared": len(solved_both),
+        "programs_identical": programs(cold["run"]) == programs(warm["run"]),
+        "counters_identical": (
+            trajectory(cold["run"], solved_both)
+            == trajectory(warm["run"], solved_both)
+        ),
+    }

@@ -197,6 +197,7 @@ def run_suite(
     library=None,
     progress: Optional[Callable[[BenchmarkOutcome], None]] = None,
     jobs: Optional[int] = None,
+    kb_path: Optional[str] = None,
 ) -> SuiteRun:
     """Run a whole suite under one configuration factory.
 
@@ -205,14 +206,25 @@ def run_suite(
     serial run, in suite order.  (Caveat: tasks whose solve time approaches
     the wall-clock ``timeout`` can flip to a timeout when more workers run
     than there are CPU cores, since concurrent workers share the CPU.)
+
+    ``kb_path`` attaches the warm-start knowledge base at that path
+    (:mod:`repro.engine.kb`): every task consults it for persisted
+    executions and attribute vectors and writes new facts back.  The KB
+    never changes outcomes, only how much work each search re-does.
     """
     if jobs is not None and jobs != 1:
         from ..engine.parallel import ParallelRunner
 
-        return ParallelRunner(jobs=jobs).run_suite(
+        return ParallelRunner(jobs=jobs, kb_path=kb_path).run_suite(
             suite, config_factory, timeout=timeout, label=label,
             library=library, progress=progress,
         )
+    if kb_path is not None:
+        from ..engine.kb import current_kb
+        from ..engine.parallel import _init_worker_kb
+
+        if current_kb() is None:
+            _init_worker_kb(kb_path)
     config = config_factory(timeout)
     run = SuiteRun(configuration=label or config.describe())
     for benchmark in suite:
@@ -232,6 +244,7 @@ def run_figure16(
     configurations: Optional[Dict[str, Callable]] = None,
     progress: Optional[Callable[[BenchmarkOutcome], None]] = None,
     jobs: Optional[int] = None,
+    kb_path: Optional[str] = None,
 ) -> Dict[str, SuiteRun]:
     """Run the Figure 16 experiment (No deduction / Spec 1 / Spec 2)."""
     suite = suite if suite is not None else r_benchmark_suite()
@@ -239,11 +252,12 @@ def run_figure16(
     if jobs is not None and jobs != 1:
         from ..engine.parallel import ParallelRunner
 
-        return ParallelRunner(jobs=jobs).run_matrix(
+        return ParallelRunner(jobs=jobs, kb_path=kb_path).run_matrix(
             suite, configurations, timeout=timeout, progress=progress
         )
     return {
-        label: run_suite(suite, factory, timeout=timeout, label=label, progress=progress)
+        label: run_suite(suite, factory, timeout=timeout, label=label,
+                         progress=progress, kb_path=kb_path)
         for label, factory in configurations.items()
     }
 
@@ -257,6 +271,7 @@ def run_figure17(
     configurations: Optional[Dict[str, Callable]] = None,
     progress: Optional[Callable[[BenchmarkOutcome], None]] = None,
     jobs: Optional[int] = None,
+    kb_path: Optional[str] = None,
 ) -> Dict[str, SuiteRun]:
     """Run the Figure 17 experiment (deduction x partial evaluation grid)."""
     suite = suite if suite is not None else r_benchmark_suite()
@@ -266,11 +281,12 @@ def run_figure17(
     if jobs is not None and jobs != 1:
         from ..engine.parallel import ParallelRunner
 
-        return ParallelRunner(jobs=jobs).run_matrix(
+        return ParallelRunner(jobs=jobs, kb_path=kb_path).run_matrix(
             suite, configurations, timeout=timeout, progress=progress
         )
     return {
-        label: run_suite(suite, factory, timeout=timeout, label=label, progress=progress)
+        label: run_suite(suite, factory, timeout=timeout, label=label,
+                         progress=progress, kb_path=kb_path)
         for label, factory in configurations.items()
     }
 

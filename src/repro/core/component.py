@@ -9,6 +9,7 @@ synthesized programs can be printed the way the paper presents them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from hashlib import blake2b
 from typing import Callable, Sequence, Tuple
 
 from ..dataframe.table import Table
@@ -114,6 +115,32 @@ class ComponentLibrary:
             tuple(component for component in self.table_transformers if component.name in set(names)),
             self.value_transformer_names,
         )
+
+    def version_hash(self) -> bytes:
+        """A content hash of the library's component signatures.
+
+        Covers every table transformer's name, arity and parameter signature
+        plus the value-transformer names -- the structural identity that
+        determines what a cached execution or specification fact *means*.
+        The warm-start knowledge base (:mod:`repro.engine.kb`) mixes this
+        hash into every key, so facts computed under a different library
+        version are never found rather than silently replayed.
+        """
+        hasher = blake2b(digest_size=16)
+        for component in self.table_transformers:
+            hasher.update(component.name.encode("utf-8"))
+            hasher.update(b"\x00")
+            hasher.update(str(component.table_arity).encode("ascii"))
+            for param in component.value_params:
+                hasher.update(b"\x01")
+                hasher.update(param.name.encode("utf-8"))
+                hasher.update(b"\x00")
+                hasher.update(str(param.param_type.value).encode("utf-8"))
+            hasher.update(b"\x02")
+        for name in self.value_transformer_names:
+            hasher.update(b"\x03")
+            hasher.update(name.encode("utf-8"))
+        return hasher.digest()
 
     def __iter__(self):
         return iter(self.table_transformers)

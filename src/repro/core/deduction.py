@@ -192,6 +192,10 @@ class DeductionEngine:
     lemma_store: Optional[LemmaStore] = None
     #: Bound on incremental-session solves spent mining cores this run.
     mining_budget: int = LEMMA_MINING_BUDGET
+    #: Warm-start tier (:class:`repro.engine.kb.KBView`): a disk-backed,
+    #: library-version-keyed store of executions, attribute vectors and
+    #: mined lemmas shared across runs.  ``None`` keeps every tier local.
+    kb_view: Optional[object] = None
     stats: DeductionStats = field(default_factory=DeductionStats)
 
     def __post_init__(self):
@@ -204,11 +208,24 @@ class DeductionEngine:
         #: hypotheses whose sub-programs produce identical intermediate
         #: tables share the execution above them.  Hit/miss accounting goes
         #: to the process-wide execution counters (sliced per run).
-        self.execution_cache = ExecutionCache(stats=execution_stats().exec_cache)
+        self.execution_cache = ExecutionCache(
+            stats=execution_stats().exec_cache, kb=self.kb_view
+        )
         #: Cache of table attribute vectors used by the abstraction function,
         #: keyed by table fingerprint so structurally identical tables
         #: produced by different hypotheses share one entry.
         self._attribute_cache: Dict[bytes, tuple] = {}
+        #: Identity of this example's baseline in the warm-start tier
+        #: (attribute vectors depend on it through newCols/newVals).
+        self._baseline_digest = None
+        self._kb_task_key = None
+        if self.kb_view is not None:
+            from ..engine.kb import baseline_digest
+
+            self._baseline_digest = baseline_digest(self.inputs)
+            self._kb_task_key = self.kb_view.task_key(
+                self.inputs, self.output, self.level
+            )
         #: LRU-bounded memo of abstraction formulas (hits/misses are surfaced
         #: through ``stats.abstraction_cache``).
         self._abstraction = AbstractionCache(stats=self.stats.abstraction_cache)
@@ -229,6 +246,19 @@ class DeductionEngine:
         )
         if self.cdcl and self.lemma_store is None:
             self.lemma_store = LemmaStore()
+        # Lemma warm start is an opt-in tier: lemmas rest on one example's
+        # formula, so imports are restricted to the byte-identical task key
+        # (same input/output fingerprints, same spec level) -- under which
+        # they are sound but shift work between the store and the solver.
+        if (
+            self.cdcl
+            and self.lemma_store is not None
+            and self.kb_view is not None
+            and self.kb_view.reuse_lemmas
+        ):
+            self.lemma_store.import_entries(
+                self.kb_view.get_lemmas(self._kb_task_key)
+            )
         #: Ground attribute vectors of the example tables, precomputed for
         #: the tier-1 prescreen (the output's ``group`` stays symbolic there,
         #: exactly as in the example formula).
@@ -265,7 +295,16 @@ class DeductionEngine:
         fingerprint = table.fingerprint()
         attributes = self._attribute_cache.get(fingerprint)
         if attributes is None:
-            attributes = table_attribute_vector(table, self.level, self.baseline)
+            if self.kb_view is not None:
+                attributes = self.kb_view.get_attributes(
+                    fingerprint, self.level, self._baseline_digest
+                )
+            if attributes is None:
+                attributes = table_attribute_vector(table, self.level, self.baseline)
+                if self.kb_view is not None:
+                    self.kb_view.put_attributes(
+                        fingerprint, self.level, self._baseline_digest, attributes
+                    )
             self._attribute_cache[fingerprint] = attributes
         return attributes
 
@@ -584,6 +623,27 @@ class DeductionEngine:
 
         walk(hypothesis)
         return (self.level, self.use_partial_evaluation, tuple(parts))
+
+    # ------------------------------------------------------------------
+    def export_kb_facts(self, oe_store=None) -> None:
+        """Flush per-task facts (mined lemmas, OE representatives) to the KB.
+
+        Called once when a search finalizes.  Executions and attribute
+        vectors stream out as they are computed; lemmas and OE entries are
+        task-scoped blobs, exported at the end so one merged write covers
+        the run.  OE exports are observability/transport only -- they are
+        never pre-loaded into a live search (see :mod:`repro.engine.kb`).
+        """
+        if self.kb_view is None:
+            return
+        if self.cdcl and self.lemma_store is not None and len(self.lemma_store):
+            self.kb_view.put_lemmas(
+                self._kb_task_key, self.lemma_store.export_entries()
+            )
+        if oe_store is not None:
+            entries = oe_store.export_entries()
+            if entries:
+                self.kb_view.put_oe_entries(self._kb_task_key, entries)
 
     # ------------------------------------------------------------------
     def evaluate_if_possible(self, hypothesis: Hypothesis) -> Optional[Dict[int, Table]]:

@@ -49,6 +49,7 @@ from typing import List, Optional, Tuple
 from ..components.errors import PRUNABLE_ERRORS
 from ..dataframe.compare import tables_match_for_synthesis
 from ..dataframe.profiling import execution_stats
+from ..engine.kb import current_kb
 from ..smt.solver import formula_cache_stats
 from .completion import (
     CompletionBudgetExceeded,
@@ -281,6 +282,11 @@ class SearchKernel:
         self.library = library
         self.stats = stats
         self.k = k
+        # Warm-start tier: bind the active knowledge base (if any) to this
+        # library's version hash, so facts persisted under a different
+        # component set are never found (invalidation by keying).
+        kb = current_kb()
+        kb_view = kb.view(library.version_hash()) if kb is not None else None
         self.engine = DeductionEngine(
             inputs=example.inputs,
             output=example.output,
@@ -289,6 +295,7 @@ class SearchKernel:
             enabled=config.deduction,
             cdcl=config.cdcl and config.deduction,
             prescreen=config.prescreen and config.deduction,
+            kb_view=kb_view,
             stats=stats.deduction,
         )
         self.oe_store = OEStore() if config.oe else None
@@ -561,6 +568,14 @@ class SearchKernel:
                 else None
             ),
         }
+
+    def export_kb_facts(self) -> None:
+        """Flush this search's task-scoped facts to the knowledge base.
+
+        A no-op without an attached KB view.  Called by the facade when a
+        search finalizes; safe to call more than once (exports merge).
+        """
+        self.engine.export_kb_facts(oe_store=self.oe_store)
 
     def suspend(self) -> dict:
         """Snapshot the kernel and withdraw its in-flight OE admissions.

@@ -21,6 +21,8 @@ observational-equivalence merging on/off (``--no-oe``).
 
 from __future__ import annotations
 
+import os
+import sys
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -89,6 +91,12 @@ class SynthesisConfig:
     max_size: int = 6
     #: Wall-clock budget in seconds (None = unlimited).
     timeout: Optional[float] = 60.0
+    #: Deterministic step budget (frontier states processed, None =
+    #: unlimited).  Unlike ``timeout`` this is a *count*, so runs bounded by
+    #: it stop at the same search position on any host and under any
+    #: scheduler -- tests and CI use it where wall-clock budgets would flip
+    #: solve/timeout on slow or single-core machines.
+    max_steps: Optional[int] = None
     #: Weight of program size in the hypothesis score (see CostModel).  Large
     #: values approximate a strictly smallest-first search.
     size_weight: float = 1.0
@@ -247,6 +255,33 @@ class SynthesisResult:
         return hypothesis_size(self.program) if self.program is not None else None
 
 
+#: Root directory of the installed ``repro`` package, for frame filtering.
+_PACKAGE_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _caller_stacklevel(default: int = 2) -> int:
+    """The ``warnings.warn`` stacklevel of the first frame outside ``repro``.
+
+    ``stacklevel=2`` is only right when user code calls ``Morpheus(...)``
+    directly; through an internal wrapper (or a subclass ``super().__init__``
+    defined inside the package) it would attribute the warning to library
+    code.  Walking the stack until the first non-package frame pins the
+    warning to the user's own line in every case.
+    """
+    level = default
+    try:
+        frame = sys._getframe(default)
+    except ValueError:
+        return default
+    while frame is not None:
+        filename = os.path.abspath(frame.f_code.co_filename)
+        if not filename.startswith(_PACKAGE_DIR + os.sep):
+            return level
+        frame = frame.f_back
+        level += 1
+    return default
+
+
 class Morpheus:
     """Example-driven synthesizer for table transformation programs.
 
@@ -271,7 +306,7 @@ class Morpheus:
                 "repro.api.create_session() (interactive) or repro.api.solve() "
                 "(one-shot) instead -- see README 'Migrating to repro.api'.",
                 DeprecationWarning,
-                stacklevel=2,
+                stacklevel=_caller_stacklevel(),
             )
         self.library = library if library is not None else standard_library()
         self.config = config if config is not None else SynthesisConfig()
@@ -306,7 +341,7 @@ class Morpheus:
             started + self.config.timeout if self.config.timeout is not None else None
         )
         kernel = self.kernel(example, k=k)
-        kernel.run(deadline=deadline)
+        kernel.run(deadline=deadline, max_steps=self.config.max_steps)
         return self.finalize(kernel, elapsed=time.monotonic() - started)
 
     def finalize(self, kernel: SearchKernel, elapsed: Optional[float] = None) -> SynthesisResult:
@@ -325,6 +360,9 @@ class Morpheus:
         stats.execution = (
             execution_stats().snapshot().since(kernel.execution_baseline)
         )
+        # Warm-start tier: flush the run's task-scoped facts (mined lemmas,
+        # OE representatives) to the attached knowledge base, if any.
+        kernel.export_kb_facts()
         program = kernel.solutions[0] if kernel.solutions else None
         return SynthesisResult(
             solved=program is not None,

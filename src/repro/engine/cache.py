@@ -89,16 +89,26 @@ class ExecutionCache:
 
     Failed executions are cached too: the stored value is the
     ``EvaluationFailure`` to re-raise.
+
+    With a knowledge-base view attached (warm start,
+    :mod:`repro.engine.kb`), a local miss falls through to the disk tier
+    and every execution is written back, so identical work in a *later
+    process* is answered from disk.  The local hit/miss counters see only
+    the in-memory probe: a key's first probe is a miss whether the result
+    is then computed or restored from the KB, so the deterministic counter
+    block stays byte-identical between cold and warm runs.
     """
 
-    __slots__ = ("_results",)
+    __slots__ = ("_results", "_kb")
 
     def __init__(
         self,
         maxsize: Optional[int] = EXECUTION_CACHE_SIZE,
         stats: Optional[CacheStats] = None,
+        kb=None,
     ) -> None:
         self._results: "LRUCache[tuple, object]" = LRUCache(maxsize=maxsize, stats=stats)
+        self._kb = kb
 
     @property
     def stats(self) -> CacheStats:
@@ -107,11 +117,18 @@ class ExecutionCache:
 
     def get(self, key: tuple):
         """The cached result (table or failure) for *key*, or ``None``."""
-        return self._results.get(key)
+        result = self._results.get(key)
+        if result is None and self._kb is not None:
+            result = self._kb.get_execution(key)
+            if result is not None:
+                self._results.put(key, result)
+        return result
 
     def put(self, key: tuple, result: object) -> None:
         """Record the execution result (table or failure) for *key*."""
         self._results.put(key, result)
+        if self._kb is not None:
+            self._kb.put_execution(key, result)
 
     def clear(self) -> None:
         """Drop every memoised execution (counters are left untouched)."""

@@ -24,17 +24,26 @@ from contextlib import contextmanager
 from ..dataframe.interning import install_intern_pool
 from ..dataframe.profiling import ExecutionStats, install_execution_stats
 from ..smt.solver import install_formula_cache, new_formula_cache
+from .kb import current_kb, install_kb
 
 
 class TaskContext:
-    """Isolated intern pool + execution counters + formula cache for one task."""
+    """Isolated intern pool + execution counters + formula cache for one task.
 
-    __slots__ = ("execution", "intern_pool", "formula_cache", "_previous")
+    The context also carries the task's knowledge-base handle
+    (:mod:`repro.engine.kb`): ``kb=None`` inherits whatever KB is active when
+    the context is *created* (usually the process default set by the CLI or
+    a pool initializer), so interleaved kernels keep their warm-start tier
+    across install/uninstall swaps without any per-call plumbing.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("execution", "intern_pool", "formula_cache", "kb", "_previous")
+
+    def __init__(self, kb=None) -> None:
         self.execution = ExecutionStats()
         self.intern_pool: dict = {}
         self.formula_cache = new_formula_cache()
+        self.kb = kb if kb is not None else current_kb()
         self._previous = None
 
     # ------------------------------------------------------------------
@@ -46,17 +55,19 @@ class TaskContext:
             install_execution_stats(self.execution),
             install_intern_pool(self.intern_pool),
             install_formula_cache(self.formula_cache),
+            install_kb(self.kb),
         )
 
     def uninstall(self) -> None:
         """Restore the state that was installed before :meth:`install`."""
         if self._previous is None:
             raise RuntimeError("TaskContext is not installed")
-        execution, pool, cache = self._previous
+        execution, pool, cache, kb = self._previous
         self._previous = None
         install_execution_stats(execution)
         install_intern_pool(pool)
         install_formula_cache(cache)
+        install_kb(kb)
 
     @contextmanager
     def active(self):

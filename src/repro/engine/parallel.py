@@ -240,14 +240,25 @@ class KernelInterleaver:
             kernel = task.kernel
             budget = config.timeout
             remaining = None if budget is None else budget - kernel.active_seconds
+            # Deterministic step-count budget (``config.max_steps``): unlike
+            # the wall-clock budget it cuts the search at the same frontier
+            # position on any host, so near-budget tasks cannot flip between
+            # solve and timeout when workers oversubscribe the CPUs.
+            step_budget = config.max_steps
+            slice_budget = self.slice_steps
+            if step_budget is not None:
+                slice_budget = min(slice_budget, step_budget - kernel.steps_taken)
             more = False
-            if remaining is None or remaining > 0:
+            if (remaining is None or remaining > 0) and slice_budget > 0:
                 deadline = (
                     None if remaining is None else time.monotonic() + remaining
                 )
-                more = kernel.run(deadline=deadline, max_steps=self.slice_steps)
+                more = kernel.run(deadline=deadline, max_steps=slice_budget)
             out_of_time = budget is not None and kernel.active_seconds >= budget
-            if more and not out_of_time:
+            out_of_steps = (
+                step_budget is not None and kernel.steps_taken >= step_budget
+            )
+            if more and not out_of_time and not out_of_steps:
                 return False
             task.result = task.morpheus.finalize(
                 kernel, elapsed=kernel.active_seconds
@@ -291,6 +302,19 @@ def interleave_benchmarks(
 # ----------------------------------------------------------------------
 # Worker functions (top-level so they pickle under the spawn start method)
 # ----------------------------------------------------------------------
+def _init_worker_kb(kb_path: str) -> None:
+    """Pool initializer: open this worker's own warm-start knowledge base.
+
+    sqlite connections must not cross ``fork``/``spawn`` boundaries, so each
+    worker process opens the shared file itself (WAL journaling arbitrates
+    the concurrent writers).  The handle is installed as the process default,
+    which freshly created :class:`TaskContext` objects inherit.
+    """
+    from .kb import KnowledgeBase, set_default_kb
+
+    set_default_kb(KnowledgeBase(kb_path))
+
+
 def _run_pair_task(task):
     index, benchmark, config, label, library = task
     return index, run_benchmark(benchmark, config, library=library, label=label)
@@ -340,6 +364,8 @@ def _map_indexed(
     start_method: Optional[str] = None,
     on_result=None,
     stop=None,
+    initializer=None,
+    initargs=(),
 ) -> Dict[int, object]:
     """Run index-prefixed *tasks* through *worker*, serially or over a pool.
 
@@ -367,7 +393,9 @@ def _map_indexed(
         if start_method is not None
         else multiprocessing
     )
-    with context.Pool(processes=min(jobs, len(tasks))) as pool:
+    with context.Pool(
+        processes=min(jobs, len(tasks)), initializer=initializer, initargs=initargs
+    ) as pool:
         for index, value in pool.imap_unordered(worker, tasks):
             if record(index, value):
                 # Exiting the with-block terminates the remaining workers.
@@ -381,6 +409,8 @@ def _map_batched(
     jobs: int,
     start_method: Optional[str] = None,
     on_result=None,
+    initializer=None,
+    initargs=(),
 ) -> Dict[int, object]:
     """Run batch workers (each returning ``[(index, value), ...]``) and flatten."""
     collected: Dict[int, object] = {}
@@ -400,7 +430,11 @@ def _map_batched(
         if start_method is not None
         else multiprocessing
     )
-    with context.Pool(processes=min(jobs, len(batch_tasks))) as pool:
+    with context.Pool(
+        processes=min(jobs, len(batch_tasks)),
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
         for results in pool.imap_unordered(worker, batch_tasks):
             record(results)
     return collected
@@ -435,9 +469,21 @@ class ParallelRunner:
     #: Batches handed to each worker over the run (smaller batches improve
     #: progress granularity, larger ones improve interleaving fairness).
     batches_per_worker: int = BATCHES_PER_WORKER
+    #: Path to a warm-start knowledge base file (:mod:`repro.engine.kb`).
+    #: Each worker process opens its own connection to it; ``None`` runs
+    #: cold.  The KB only changes how much work each task performs, never
+    #: its programs or deterministic counters, so ``--jobs`` equivalence
+    #: holds with or without it.
+    kb_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.jobs = _resolve_jobs(self.jobs)
+
+    def _pool_initializer(self) -> tuple:
+        """The ``(initializer, initargs)`` pair for worker pools."""
+        if self.kb_path is None:
+            return None, ()
+        return _init_worker_kb, (self.kb_path,)
 
     # ------------------------------------------------------------------
     def map_benchmarks(
@@ -454,6 +500,16 @@ class ParallelRunner:
         together).
         """
         on_result = None if progress is None else (lambda _index, outcome: progress(outcome))
+        initializer, initargs = self._pool_initializer()
+        if self.kb_path is not None:
+            # Serial runs (and pool-skipping fallbacks for tiny inputs)
+            # execute in this process, where no initializer hook fires:
+            # install the process-default KB here unless the caller (the
+            # CLI, a service) already did.
+            from .kb import current_kb
+
+            if current_kb() is None:
+                _init_worker_kb(self.kb_path)
         if self.interleave:
             if self.jobs == 1:
                 # One interleaver over everything: maximal fairness and
@@ -471,7 +527,7 @@ class ParallelRunner:
             ]
             collected = _map_batched(
                 _run_pair_batch, batch_tasks, self.jobs, self.start_method,
-                on_result=on_result,
+                on_result=on_result, initializer=initializer, initargs=initargs,
             )
         else:
             tasks = [
@@ -480,7 +536,7 @@ class ParallelRunner:
             ]
             collected = _map_indexed(
                 _run_pair_task, tasks, self.jobs, self.start_method,
-                on_result=on_result,
+                on_result=on_result, initializer=initializer, initargs=initargs,
             )
         return [collected[index] for index in range(len(pairs))]
 

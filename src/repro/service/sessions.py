@@ -171,8 +171,15 @@ class SessionStore:
     *persist_dir* (optional) enables JSON-file persistence: each session's
     frontier snapshot and candidate list is written to
     ``<persist_dir>/<id>.json`` whenever the session finishes, is suspended
-    by a new example, expires, or the store shuts down -- a crash-recovery
-    artifact and an audit trail, readable back via :meth:`load_persisted`.
+    by a new example, or the store shuts down -- a crash-recovery artifact
+    and an audit trail, readable back via :meth:`load_persisted`.  When the
+    TTL sweeper expires a session its file is *deleted*: the session is
+    unreachable from every endpoint, so keeping the file would leak one
+    orphan per expired session forever.
+
+    *kb_path* (optional) opens a shared warm-start knowledge base
+    (:mod:`repro.engine.kb`): new sessions reuse executions, attribute
+    vectors and mined lemmas persisted by earlier runs of the same tasks.
     """
 
     def __init__(
@@ -182,10 +189,21 @@ class SessionStore:
         burst: int = DEFAULT_BURST,
         slice_steps: int = DEFAULT_SLICE_STEPS,
         persist_dir: Optional[str] = None,
+        kb_path: Optional[str] = None,
     ) -> None:
         self.ttl = ttl
         self.bucket = TokenBucket(rate=rate, burst=burst)
         self.persist_dir = persist_dir
+        #: Warm-start knowledge base shared by every session: a new session
+        #: for a previously seen task reuses the corpus of persisted
+        #: executions, attribute vectors and mined lemmas (the kernel
+        #: stepping is serialised on the work lock, and the KB itself is
+        #: thread-safe, so one handle serves all sessions).
+        self.kb = None
+        if kb_path is not None:
+            from ..engine.kb import KnowledgeBase
+
+            self.kb = KnowledgeBase(kb_path, reuse_lemmas=True)
         self._sessions: Dict[str, ServiceSession] = {}
         self._registry_lock = threading.Lock()
         #: Serialises all TaskContext-active work (see the module docstring).
@@ -221,7 +239,7 @@ class SessionStore:
         if not self.bucket.allow():
             raise RateLimited("session quota exceeded, retry later")
         with self._work_lock:
-            session = ServiceSession(self, SynthesisSession(request))
+            session = ServiceSession(self, SynthesisSession(request, kb=self.kb))
         with self._registry_lock:
             self._sessions[session.id] = session
             self.sessions_created += 1
@@ -251,7 +269,7 @@ class SessionStore:
         return session
 
     def close(self) -> None:
-        """Stop the scheduler and persist every live session."""
+        """Stop the scheduler, persist every live session, close the KB."""
         self._stop.set()
         self._wake.set()
         self._scheduler.join(timeout=5)
@@ -259,6 +277,8 @@ class SessionStore:
             sessions = list(self._sessions.values())
         for session in sessions:
             self._persist(session)
+        if self.kb is not None:
+            self.kb.close()
 
     # -- metrics -------------------------------------------------------
     def metrics(self) -> dict:
@@ -274,7 +294,7 @@ class SessionStore:
         prescreen = totals.get("prescreen_decided", 0)
         oe_candidates = totals.get("oe_candidates", 0)
         exec_hits = totals.get("exec_cache_hits", 0)
-        return {
+        metrics = {
             "sessions_active": sum(1 for s in live if not s.session.finished),
             "sessions_live": len(live),
             "sessions_created_total": self.sessions_created,
@@ -295,6 +315,18 @@ class SessionStore:
             ),
             "exec_cache_hits_total": int(exec_hits),
         }
+        if self.kb is not None:
+            stats = self.kb.stats
+            metrics.update(
+                {
+                    "kb_hits_total": stats.hits,
+                    "kb_misses_total": stats.misses,
+                    "kb_stores_total": stats.stores,
+                    "kb_hit_rate": round(stats.hit_rate, 6),
+                    "kb_entries": len(self.kb),
+                }
+            )
+        return metrics
 
     # -- scheduler internals ------------------------------------------
     def _enroll(self, session: ServiceSession) -> None:
@@ -332,7 +364,11 @@ class SessionStore:
                 self.sessions_expired += 1
                 del self._sessions[session.id]
         for session in stale:
-            self._persist(session)
+            # An expired session is gone from every lookup path, so its
+            # persistence file would be unreachable garbage: remove it
+            # (previously the sweep left one orphaned file per expired
+            # session in persist_dir forever).
+            self._remove_persisted(session.id)
             with session.changed:
                 session.changed.notify_all()
 
@@ -364,6 +400,19 @@ class SessionStore:
             # Persistence is best-effort crash recovery; the live session
             # is authoritative and must not die with the disk.
             pass
+
+    def _remove_persisted(self, session_id: str) -> None:
+        """Delete a session's persistence file (and any stale temp file)."""
+        if self.persist_dir is None:
+            return
+        path = os.path.join(self.persist_dir, f"{session_id}.json")
+        for stale in (path, f"{path}.tmp"):
+            try:
+                os.remove(stale)
+            except OSError:
+                # Never persisted, already removed, or the disk is gone --
+                # cleanup is best-effort either way.
+                pass
 
     def load_persisted(self, session_id: str) -> dict:
         """Read back a persisted session file (raises :class:`UnknownSession`)."""

@@ -199,6 +199,45 @@ class TestKernelInterleaver:
         assert interleaver.unfinished == 0
         assert len(interleaver._tasks) == 0
 
+    def test_step_budget_bounds_an_untimed_search(self):
+        # timeout=None + max_steps: the only budget is the deterministic
+        # step count, so the run must terminate (and report unsolved) after
+        # exactly the budget, independent of host speed.
+        config = SynthesisConfig(timeout=None, max_steps=3)
+        interleaver = KernelInterleaver(slice_steps=2)
+        for example in self.examples():
+            interleaver.add(example, config)
+        results = interleaver.run()
+        assert all(not result.solved for result in results)
+
+    def test_step_budget_matches_dedicated_runs(self):
+        # The deterministic slice mode: with a step budget the interleaver
+        # cuts every kernel at the same frontier position as a dedicated
+        # run, no matter how wall-clock time is divided across slices --
+        # the fix for the PR 5 caveat where near-timeout tasks flipped
+        # solve/timeout under --jobs on an oversubscribed host.
+        for budget in (25, 10_000):
+            config = SynthesisConfig(timeout=None, max_steps=budget)
+            dedicated = []
+            for example in self.examples():
+                context = TaskContext()
+                with context.active():
+                    dedicated.append(Morpheus(config=config).synthesize(example))
+            # slice_steps deliberately does not divide the budget evenly.
+            interleaver = KernelInterleaver(slice_steps=7)
+            for example in self.examples():
+                interleaver.add(example, config)
+            results = interleaver.run()
+            for expected, actual in zip(dedicated, results):
+                assert actual.solved == expected.solved
+                assert actual.render() == expected.render()
+                assert actual.stats.smt_calls == expected.stats.smt_calls
+                assert actual.stats.frontier_peak == expected.stats.frontier_peak
+                assert (
+                    actual.stats.completion.partial_programs
+                    == expected.stats.completion.partial_programs
+                )
+
     def test_synthesize_batch_interleaved_matches_plain(self):
         config = SynthesisConfig(timeout=TIMEOUT)
         plain = synthesize_batch(self.examples(), config=config, jobs=1)

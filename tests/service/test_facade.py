@@ -1,6 +1,7 @@
 """Tests for the sanctioned facade: repro.api."""
 
 import json
+import sys
 import warnings
 
 import pytest
@@ -206,11 +207,17 @@ class TestDeprecation:
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             Morpheus()
-        assert any(
-            issubclass(w.category, DeprecationWarning)
+            warned_at = sys._getframe().f_lineno - 1
+        deprecations = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
             and "repro.api.create_session" in str(w.message)
-            for w in caught
-        )
+        ]
+        assert deprecations
+        # The warning must point at the caller's own line, not somewhere
+        # inside core/synthesizer.py -- that is what makes it actionable.
+        assert deprecations[0].filename == __file__
+        assert deprecations[0].lineno == warned_at
 
     def test_sanctioned_paths_do_not_warn(self):
         with warnings.catch_warnings(record=True) as caught:

@@ -190,6 +190,61 @@ class TestTTL:
             store.close()
 
 
+    def test_expiry_deletes_the_persisted_file(self, tmp_path):
+        # The TTL sweep used to drop expired sessions from memory but leave
+        # <persist_dir>/<id>.json behind forever; expiry must remove it.
+        store = SessionStore(
+            ttl=0.05, rate=1000, burst=1000, persist_dir=str(tmp_path)
+        )
+        try:
+            session = store.create(filter_request())
+            path = tmp_path / f"{session.id}.json"
+            assert wait_until(path.exists)
+            assert wait_until(lambda: session.expired, timeout=10.0)
+            assert wait_until(lambda: not path.exists(), timeout=10.0)
+            assert not os.path.exists(str(path) + ".tmp")
+        finally:
+            store.close()
+
+
+class TestKnowledgeBase:
+    def test_store_opens_a_shared_kb_and_reports_metrics(self, tmp_path):
+        kb_path = str(tmp_path / "service.kb")
+        store = SessionStore(ttl=None, rate=1000, burst=1000, kb_path=kb_path)
+        try:
+            first = store.create(filter_request())
+            assert wait_until(lambda: first.session.finished)
+            metrics = store.metrics()
+            assert metrics["kb_entries"] > 0
+            assert metrics["kb_stores_total"] > 0
+            # A second session over the same example warm-starts from the
+            # facts the first one persisted.
+            second = store.create(filter_request())
+            assert wait_until(lambda: second.session.finished)
+            assert store.metrics()["kb_hits_total"] > 0
+            assert [c.program for c in second.session.candidates] == [
+                c.program for c in first.session.candidates
+            ]
+        finally:
+            store.close()
+
+    def test_kb_survives_store_restarts(self, tmp_path):
+        kb_path = str(tmp_path / "service.kb")
+        store = SessionStore(ttl=None, rate=1000, burst=1000, kb_path=kb_path)
+        try:
+            session = store.create(filter_request())
+            assert wait_until(lambda: session.session.finished)
+        finally:
+            store.close()
+        reopened = SessionStore(ttl=None, rate=1000, burst=1000, kb_path=kb_path)
+        try:
+            session = reopened.create(filter_request())
+            assert wait_until(lambda: session.session.finished)
+            assert reopened.metrics()["kb_hits_total"] > 0
+        finally:
+            reopened.close()
+
+
 class TestPersistence:
     def test_finished_sessions_are_written_to_disk(self, tmp_path):
         store = SessionStore(ttl=None, rate=1000, burst=1000, persist_dir=str(tmp_path))
