@@ -1,0 +1,64 @@
+"""Standalone driver for the large-table backend stress suite.
+
+Times the backend-dispatched verbs (filter, arrange, gather, inner_join,
+summarise) over deterministic 10**5-row synthetic tables on the pure-python
+reference backend and, when installed, the numpy backend -- checking that
+the two produce fingerprint-identical outputs.  Equivalent to
+``repro-bench --stress``; this script exists so the suite can run (and be
+recorded as JSON) without installing the console script::
+
+    PYTHONPATH=src python benchmarks/stress_suite.py --rows 100000 --out stress.json
+
+Exit status is nonzero when the backends' outputs diverge on any verb, or
+when numpy is available but fewer than two verbs reach a 2x speedup (the
+vectorization floor CI enforces).
+"""
+
+import argparse
+import json
+import sys
+
+from repro.benchmarks.stress import (
+    DEFAULT_REPEATS,
+    DEFAULT_ROWS,
+    run_stress,
+    stress_failures,
+    stress_table,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=DEFAULT_ROWS)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--verbs", nargs="*", default=None)
+    parser.add_argument("--out", default=None, help="also write the payload as JSON")
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="numpy speedup floor applied to --min-fast-verbs verbs",
+    )
+    parser.add_argument(
+        "--min-fast-verbs", type=int, default=2,
+        help="how many verbs must clear --min-speedup when numpy is available",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    note = None if args.quiet else (lambda message: print(f"  {message}", file=sys.stderr))
+    payload = run_stress(
+        rows=args.rows, repeats=args.repeats, verbs=args.verbs or None, progress=note
+    )
+    print(stress_table(payload))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    failures = stress_failures(
+        payload, min_speedup=args.min_speedup, min_fast_verbs=args.min_fast_verbs
+    )
+    for failure in failures:
+        print(f"stress: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

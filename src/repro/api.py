@@ -57,6 +57,7 @@ from .core.synthesizer import (
     SynthesisStats,
 )
 from .core.synthesizer import SynthesisResult as CoreSynthesisResult
+from .dataframe.backend import BackendUnavailableError, resolve_backend
 from .dataframe.cells import CellType
 from .dataframe.compare import tables_match_for_synthesis
 from .dataframe.table import Table
@@ -387,9 +388,13 @@ class SynthesisSession:
         if not request.examples:
             raise RequestError("a session needs at least one example")
         self.request = request
+        try:
+            backend = resolve_backend(request.config.backend)
+        except (ValueError, BackendUnavailableError) as error:
+            raise RequestError(str(error)) from error
         # *kb* attaches a warm-start knowledge base (repro.engine.kb) to the
         # session's context; None inherits the process default, if any.
-        self.context = TaskContext(kb=kb)
+        self.context = TaskContext(kb=kb, backend=backend)
         self.status = STATUS_CREATED
         self._examples: List[Example] = [
             payload.to_example() for payload in request.examples
@@ -623,7 +628,11 @@ class SynthesisSession:
             "pruned_partial": stats.completion.pruned_partial,
             "oe_candidates": stats.completion.oe_candidates,
             "oe_merged": stats.completion.oe_merged,
+            "sibling_batches": stats.completion.sibling_batches,
+            "batched_fills": stats.completion.batched_fills,
             "smt_calls": stats.deduction.smt_calls,
+            "smt_sessions": stats.deduction.smt_sessions,
+            "smt_session_reuse": stats.deduction.smt_session_reuse,
             "prescreen_decided": stats.deduction.prescreen_decided,
             "prescreen_fallback": stats.deduction.prescreen_fallback,
             "lemma_prunes": stats.deduction.lemma_prunes,

@@ -278,6 +278,18 @@ def profile_table(runs: Dict[str, SuiteRun]) -> str:
                 ]
             )
         )
+    lines.append("")
+    lines.append("Per-verb execution time (component runs, aggregated per configuration)")
+    lines.append("Configuration\tVerb\ttime (s)\tshare of verb time")
+    for label, run in runs.items():
+        totals: Dict[str, float] = {}
+        for outcome in run.outcomes:
+            for verb, elapsed in outcome.verb_times.items():
+                totals[verb] = totals.get(verb, 0.0) + elapsed
+        verb_total = sum(totals.values())
+        for verb, elapsed in sorted(totals.items(), key=lambda item: -item[1]):
+            share = f"{elapsed / verb_total:.1%}" if verb_total else "n/a"
+            lines.append(f"{label}\t{verb}\t{elapsed:.3f}\t{share}")
     return "\n".join(lines)
 
 
@@ -313,6 +325,14 @@ def outcome_record(outcome) -> Dict:
         "fingerprint_hits": outcome.fingerprint_hits,
         "exec_cache_hits": outcome.exec_cache_hits,
         "compare_fastpath_hits": outcome.compare_fastpath_hits,
+        "sibling_batches": outcome.sibling_batches,
+        "batched_fills": outcome.batched_fills,
+        "smt_sessions": outcome.smt_sessions,
+        "smt_session_reuse": outcome.smt_session_reuse,
+        "verb_times_s": {
+            verb: round(elapsed, 4)
+            for verb, elapsed in sorted(outcome.verb_times.items())
+        },
     }
 
 
@@ -344,6 +364,10 @@ def suite_runs_json(runs: Dict[str, SuiteRun]) -> Dict:
             "oe_merge_rate": (
                 round(oe_merged / oe_candidates, 4) if oe_candidates else None
             ),
+            "sibling_batches": sum(o.sibling_batches for o in run.outcomes),
+            "batched_fills": sum(o.batched_fills for o in run.outcomes),
+            "smt_sessions": sum(o.smt_sessions for o in run.outcomes),
+            "smt_session_reuse": sum(o.smt_session_reuse for o in run.outcomes),
             "outcomes": [outcome_record(o) for o in run.outcomes],
         }
     return payload

@@ -71,11 +71,24 @@ class BenchmarkOutcome:
     fingerprint_hits: int = 0
     exec_cache_hits: int = 0
     compare_fastpath_hits: int = 0
+    #: Batched sibling-hypothesis evaluation: groups of sibling hole fills
+    #: whose partial evaluations were executed through one batched component
+    #: call, and the total fills evaluated that way.  Deterministic (a pure
+    #: function of the completion order).
+    sibling_batches: int = 0
+    batched_fills: int = 0
+    #: Residual-SMT tuning: per-sketch-path incremental solver sessions
+    #: created vs reused for a sibling query.  Deterministic.
+    smt_sessions: int = 0
+    smt_session_reuse: int = 0
     #: Wall-clock time split (not deterministic; surfaced by ``--profile``):
     #: seconds inside deduction SMT checks vs concrete component execution
     #: plus output comparison.
     smt_time: float = 0.0
     exec_time: float = 0.0
+    #: Per-verb share of ``exec_time`` (component name -> seconds), from the
+    #: same clock -- wall time, not deterministic.
+    verb_times: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -157,8 +170,13 @@ def outcome_from_result(
         fingerprint_hits=execution.fingerprint_hits,
         exec_cache_hits=execution.exec_cache.hits,
         compare_fastpath_hits=execution.compare_fastpath_hits,
+        sibling_batches=completion.sibling_batches,
+        batched_fills=completion.batched_fills,
+        smt_sessions=deduction.smt_sessions,
+        smt_session_reuse=deduction.smt_session_reuse,
         smt_time=deduction.smt_time,
         exec_time=execution.exec_time + execution.compare_time,
+        verb_times=dict(execution.verb_time),
     )
 
 

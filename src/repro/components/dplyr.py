@@ -23,10 +23,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Sequence, Tuple
 
-from ..dataframe.cells import CellValue, value_sort_key
+from ..dataframe.backend import active_backend, join_key
+from ..dataframe.cells import CellValue
 from ..dataframe.table import Table
-from .errors import EvaluationError, InvalidArgumentError
-from .values import AGGREGATORS, agg_count
+from .errors import EvaluationError, InvalidArgumentError, PRUNABLE_ERRORS
+from .values import AGGREGATORS
 
 #: A predicate over a single row, given as ``{column: value}``.
 RowPredicate = Callable[[Dict[str, CellValue]], bool]
@@ -88,12 +89,39 @@ def select(table: Table, columns: Sequence[str]) -> Table:
 
 def filter_rows(table: Table, predicate: RowPredicate) -> Table:
     """Keep the rows satisfying *predicate*."""
-    kept = [index for index in range(table.n_rows) if predicate(table.row_dict(index))]
+    backend = active_backend()
+    kept = backend.filter_indices(table, predicate)
     if len(kept) == table.n_rows:
         # The paper's spec requires a strictly smaller table (footnote 3):
         # a filter that keeps everything is never needed for a minimal program.
         raise EvaluationError("filter: predicate keeps every row")
-    return table.take_rows(kept)
+    return backend.take_rows(table, kept)
+
+
+def filter_rows_batch(table: Table, predicates: Sequence[RowPredicate]) -> List[object]:
+    """Apply several filter predicates to one table, sharing per-table work.
+
+    The batched-sibling-evaluation entry point: predicates filling sibling
+    hypotheses of the same hole all scan the same input table, so the
+    per-table setup (row views for opaque predicates, cached column arrays
+    for structured ones) is paid once.  Returns one entry per predicate --
+    the filtered table, or the prunable error that predicate raises under
+    :func:`filter_rows` (same type, same message).
+    """
+    backend = active_backend()
+    rows = None
+    results: List[object] = []
+    for predicate in predicates:
+        try:
+            if rows is None and not backend.has_fast_predicate(table, predicate):
+                rows = backend.row_views(table)
+            kept = backend.filter_indices(table, predicate, rows)
+            if len(kept) == table.n_rows:
+                raise EvaluationError("filter: predicate keeps every row")
+            results.append(backend.take_rows(table, kept))
+        except PRUNABLE_ERRORS as error:
+            results.append(error)
+    return results
 
 
 def group_by(table: Table, columns: Sequence[str]) -> Table:
@@ -131,19 +159,11 @@ def summarise(
     if new_column in group_columns:
         raise EvaluationError(f"summarise: new column {new_column!r} collides with a grouping column")
 
-    groups = table.group_row_indices()
-    if aggregator == "n":
-        aggregates = [agg_count([None] * len(row_indices)) for _key, row_indices in groups]
-    else:
-        target = table.column_values(target_column)
-        aggregates = [
-            AGGREGATORS[aggregator]([target[i] for i in row_indices])
-            for _key, row_indices in groups
-        ]
+    keys, aggregates = active_backend().aggregate_groups(table, aggregator, target_column)
 
     out_columns = group_columns + [new_column]
     out_vectors = [
-        [key[position] for key, _indices in groups]
+        [key[position] for key in keys]
         for position in range(len(group_columns))
     ]
     out_vectors.append(aggregates)
@@ -181,47 +201,26 @@ def inner_join(left: Table, right: Table) -> Table:
     shared = [name for name in left.columns if right.has_column(name)]
     if not shared:
         raise EvaluationError("inner_join: tables share no columns")
-    left_vectors = [left.column_values(name) for name in shared]
-    right_vectors = [right.column_values(name) for name in shared]
     right_extra = [name for name in right.columns if name not in shared]
 
-    # Hash the right table's rows on the join key.
-    buckets: Dict[Tuple, List[int]] = {}
-    for row_index in range(right.n_rows):
-        key = tuple(_join_key(vector[row_index]) for vector in right_vectors)
-        buckets.setdefault(key, []).append(row_index)
-
-    left_indices: List[int] = []
-    right_indices: List[int] = []
-    for row_index in range(left.n_rows):
-        key = tuple(_join_key(vector[row_index]) for vector in left_vectors)
-        for match in buckets.get(key, ()):
-            left_indices.append(row_index)
-            right_indices.append(match)
-
-    if not left_indices:
+    backend = active_backend()
+    left_indices, right_indices = backend.join_pairs(left, right, shared)
+    if not len(left_indices):
         raise EvaluationError("inner_join: join result is empty")
 
     out_columns = list(left.columns) + right_extra
-    out_vectors = [
-        [vector[i] for i in left_indices]
-        for vector in (left.column_values(name) for name in left.columns)
-    ]
-    out_vectors.extend(
-        [vector[i] for i in right_indices]
-        for vector in (right.column_values(name) for name in right_extra)
-    )
-    return Table.from_vectors(
-        out_columns, out_vectors, group_cols=surviving_group_cols(left, out_columns)
+    return backend.build_join(
+        left,
+        right,
+        left_indices,
+        right_indices,
+        right_extra,
+        surviving_group_cols(left, out_columns),
     )
 
 
-def _join_key(value: CellValue):
-    if value is None:
-        return (0, None)
-    if isinstance(value, (int, float)) and not isinstance(value, bool):
-        return (1, float(value))
-    return (2, value)
+#: Backwards-compatible alias (the key moved next to the join kernels).
+_join_key = join_key
 
 
 def arrange(table: Table, columns: Sequence[str], descending: bool = False) -> Table:
@@ -232,10 +231,6 @@ def arrange(table: Table, columns: Sequence[str], descending: bool = False) -> T
     if len(set(columns)) != len(columns):
         raise InvalidArgumentError("arrange: sort columns must be distinct")
     _check_columns_exist(table, columns, "arrange")
-    vectors = [table.column_values(name) for name in columns]
-
-    def key(index):
-        return tuple(value_sort_key(vector[index]) for vector in vectors)
-
-    order = sorted(range(table.n_rows), key=key, reverse=descending)
-    return table.take_rows(order)
+    backend = active_backend()
+    order = backend.sort_order(table, columns, descending)
+    return backend.take_rows(table, order)

@@ -16,8 +16,9 @@ output schema.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
+from ..dataframe.backend import active_backend
 from ..dataframe.cells import CellType, CellValue, format_value, value_sort_key
 from ..dataframe.table import Table
 from .dplyr import surviving_group_cols
@@ -72,11 +73,10 @@ def gather(table: Table, key: str, value: str, columns: Sequence[str]) -> Table:
     out_vectors.append(key_vector)
     out_vectors.append(value_vector)
 
-    out_columns = id_columns + [key, value]
     out_types = [table.column_type(name) for name in id_columns] + [CellType.STR, value_type]
-    return Table.from_vectors(
-        out_columns, out_vectors, out_types,
-        group_cols=surviving_group_cols(table, id_columns),
+    return active_backend().build_gather(
+        table, id_columns, key, value, out_vectors, out_types,
+        surviving_group_cols(table, id_columns),
     )
 
 
@@ -89,9 +89,7 @@ def spread(table: Table, key: str, value: str) -> Table:
     id_columns = [name for name in table.columns if name not in (key, value)]
     if not id_columns:
         raise EvaluationError("spread: no identifier columns remain")
-    id_vectors = [table.column_values(name) for name in id_columns]
     key_vector = table.column_values(key)
-    value_vector = table.column_values(value)
 
     # New columns are the distinct key values, in sorted order (like tidyr).
     seen: Dict[CellValue, None] = {}
@@ -108,24 +106,15 @@ def spread(table: Table, key: str, value: str) -> Table:
         if name in id_columns:
             raise EvaluationError(f"spread: new column {name!r} collides with an existing column")
 
-    groups: List[Tuple[CellValue, ...]] = []
-    cells: Dict[Tuple[CellValue, ...], Dict[str, CellValue]] = {}
-    for row_index in range(table.n_rows):
-        group_key = tuple(vector[row_index] for vector in id_vectors)
-        if group_key not in cells:
-            groups.append(group_key)
-            cells[group_key] = {}
-        column_name = format_value(key_vector[row_index])
-        if column_name in cells[group_key]:
-            raise EvaluationError("spread: duplicate identifiers for rows")
-        cells[group_key][column_name] = value_vector[row_index]
+    first_rows, value_vectors = active_backend().spread_scatter(
+        table, id_columns, key, value, key_values, new_columns
+    )
 
     out_vectors: List[List[CellValue]] = [
-        [group_key[position] for group_key in groups]
-        for position in range(len(id_columns))
+        [vector[row] for row in first_rows]
+        for vector in (table.column_values(name) for name in id_columns)
     ]
-    for name in new_columns:
-        out_vectors.append([cells[group_key].get(name) for group_key in groups])
+    out_vectors.extend(value_vectors)
 
     out_columns = id_columns + new_columns
     return Table.from_vectors(

@@ -52,6 +52,14 @@ class CompletionTimeout(Exception):
     """Raised when the per-task deadline expires during sketch completion."""
 
 
+#: How many sibling fillings of one hole are pre-executed as a group.  Each
+#: batch shares the per-table setup of its component (see
+#: :meth:`~repro.core.deduction.DeductionEngine.batch_evaluate_fills`); the
+#: results land in the execution cache, so at most ``SIBLING_BATCH - 1``
+#: executions are wasted when the search stops mid-group.
+SIBLING_BATCH = 8
+
+
 class CompletionBudgetExceeded(Exception):
     """Raised when one sketch has used up its completion budget.
 
@@ -78,6 +86,10 @@ class CompletionStats:
     #: Of those, states merged into an earlier representative (the duplicate
     #: completion work behind them was skipped).
     oe_merged: int = 0
+    #: Sibling-fill groups pre-executed through ``batch_evaluate_fills``.
+    sibling_batches: int = 0
+    #: Individual hole fillings executed inside those groups.
+    batched_fills: int = 0
 
     def merge(self, other: "CompletionStats") -> None:
         """Accumulate another stats object into this one."""
@@ -87,6 +99,8 @@ class CompletionStats:
         self.pruned_by_prescreen += other.pruned_by_prescreen
         self.oe_candidates += other.oe_candidates
         self.oe_merged += other.oe_merged
+        self.sibling_batches += other.sibling_batches
+        self.batched_fills += other.batched_fills
 
 
 @dataclass
@@ -118,6 +132,9 @@ class _Frame:
     completes: bool = False
     #: Arguments already pulled from the enumeration (for rebuilds).
     consumed: int = 0
+    #: Arguments pulled ahead of processing for batched sibling evaluation
+    #: (already counted in :attr:`consumed`; drained before the iterator).
+    pending: List = field(default_factory=list)
 
 
 @dataclass
@@ -344,20 +361,32 @@ class CompletionRun:
 
     def _advance_arguments(self, frame: _Frame) -> Optional[Hypothesis]:
         completer = self.completer
-        if frame.arguments is None:
-            frame.arguments = self._rebuild_arguments(frame)
-        try:
-            argument = next(frame.arguments, None)
-        except CompletionTimeout:
-            # The deadline fired inside the enumeration generator, which is
-            # dead now; mark it for a rebuild so a resumed run re-enters the
-            # enumeration at the in-flight candidate (step() re-pushes the
-            # frame).
-            frame.arguments = None
-            raise
-        if argument is None:
-            return None
-        frame.consumed += 1
+        if frame.pending:
+            argument = frame.pending.pop(0)
+        else:
+            if frame.arguments is None:
+                frame.arguments = self._rebuild_arguments(frame)
+            if len(frame.holes) == 1 and SIBLING_BATCH > 1:
+                # Last hole of the node: sibling fillings differ only in this
+                # argument, so pull a group ahead and pre-execute it as a
+                # batch (results land in the execution cache).
+                self._prefetch_siblings(frame)
+                if not frame.pending:
+                    return None
+                argument = frame.pending.pop(0)
+            else:
+                try:
+                    argument = next(frame.arguments, None)
+                except CompletionTimeout:
+                    # The deadline fired inside the enumeration generator,
+                    # which is dead now; mark it for a rebuild so a resumed
+                    # run re-enters the enumeration at the in-flight
+                    # candidate (step() re-pushes the frame).
+                    frame.arguments = None
+                    raise
+                if argument is None:
+                    return None
+                frame.consumed += 1
         # Re-push the frame first so the candidate's subtree (pushed below,
         # popped first) is fully explored before the next argument -- the
         # LIFO discipline that reproduces the recursion's DFS order.
@@ -426,6 +455,41 @@ class CompletionRun:
         for _ in range(frame.consumed):
             next(iterator)
         return iterator
+
+    def _prefetch_siblings(self, frame: _Frame) -> None:
+        """Pull up to :data:`SIBLING_BATCH` candidates and pre-execute them.
+
+        The pulled candidates are parked in ``frame.pending`` (and counted in
+        ``frame.consumed``, so deadline rebuilds skip them correctly); the
+        group is handed to the deduction engine, which executes the fills
+        through the component's batched executor and primes the execution
+        cache.  A deadline firing mid-pull keeps the partial group pending --
+        those candidates are then processed unbatched, which computes the
+        same results.
+        """
+        completer = self.completer
+        batch: List = []
+        try:
+            while len(batch) < SIBLING_BATCH:
+                candidate = next(frame.arguments, None)
+                if candidate is None:
+                    break
+                frame.consumed += 1
+                batch.append(candidate)
+        except CompletionTimeout:
+            frame.arguments = None
+            frame.pending = batch
+            raise
+        frame.pending = batch
+        if len(batch) < 2:
+            return
+        node = _find_node(frame.sketch, self._order[frame.position])
+        executed = completer.engine.batch_evaluate_fills(
+            frame.sketch, node, frame.holes[0], batch
+        )
+        if executed:
+            completer.stats.sibling_batches += 1
+            completer.stats.batched_fills += executed
 
     def _push_arguments(
         self,

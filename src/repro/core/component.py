@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from hashlib import blake2b
 from typing import Callable, Sequence, Tuple
 
+from ..components.errors import PRUNABLE_ERRORS
 from ..dataframe.table import Table
 from ..smt.terms import Formula
 from .abstraction import SpecLevel, TableVars
@@ -25,6 +26,13 @@ Executor = Callable[[Sequence[Table], Sequence[ValueArgument], str], Table]
 
 #: Renderer signature: (rendered table arguments, value arguments) -> R call text.
 Renderer = Callable[[Sequence[str], Sequence[ValueArgument]], str]
+
+#: Batched-executor signature: (input tables, list of argument lists, fresh
+#: prefix) -> one entry per argument list, either the result table or the
+#: prunable error the plain executor would raise for those arguments.
+BatchExecutor = Callable[
+    [Sequence[Table], Sequence[Sequence[ValueArgument]], str], Sequence[object]
+]
 
 
 @dataclass(frozen=True)
@@ -53,6 +61,12 @@ class Component:
     #: of :attr:`spec`; custom components overriding ``spec`` without
     #: supplying a matching transfer keep ``None``.
     transfer: TransferFunction = field(default=None)
+    #: Optional batched executor sharing per-table setup across sibling
+    #: argument lists (e.g. ``filter`` scanning one table under many
+    #: predicates).  ``None`` falls back to looping :attr:`executor`; either
+    #: way :meth:`execute_batch` is observationally equivalent to calling
+    #: :meth:`execute` once per argument list.
+    batch_executor: BatchExecutor = field(default=None)
 
     def __post_init__(self):
         if self.spec is None:
@@ -79,6 +93,28 @@ class Component:
     ) -> Table:
         """Run the component on concrete tables and argument values."""
         return self.executor(tables, arguments, fresh_prefix)
+
+    def execute_batch(
+        self,
+        tables: Sequence[Table],
+        argument_lists: Sequence[Sequence[ValueArgument]],
+        fresh_prefix: str,
+    ) -> Sequence[object]:
+        """Run the component once per argument list over shared input tables.
+
+        Returns one entry per argument list: the result table, or the
+        prunable error :meth:`execute` raises for those arguments (errors are
+        returned, not raised, so one failing sibling does not mask the rest).
+        """
+        if self.batch_executor is not None:
+            return self.batch_executor(tables, argument_lists, fresh_prefix)
+        results = []
+        for arguments in argument_lists:
+            try:
+                results.append(self.executor(tables, arguments, fresh_prefix))
+            except PRUNABLE_ERRORS as error:
+                results.append(error)
+        return results
 
     def render_r(self, table_args: Sequence[str], arguments: Sequence[ValueArgument]) -> str:
         """Render a call to this component as R source text."""

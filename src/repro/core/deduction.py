@@ -27,14 +27,21 @@ are rejected by a subset test without ever touching the solver.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..dataframe.profiling import execution_stats
 from ..dataframe.table import Table
 from ..engine.cache import CacheStats, ExecutionCache, LRUCache
-from ..smt.solver import CheckResult, IncrementalStats, Solver
-from ..smt.terms import Formula, conjoin, disjoin
+from ..smt.solver import (
+    CheckResult,
+    IncrementalStats,
+    Solver,
+    formula_cache_lookup,
+    formula_cache_store,
+)
+from ..smt.terms import BoolVal, Formula, conjoin, disjoin
 from .abstraction import (
     AbstractionCache,
     ExampleBaseline,
@@ -58,6 +65,12 @@ from .types import Type
 
 #: Default bound of the per-engine verdict memo.
 VERDICT_CACHE_SIZE = 32768
+
+#: Bound on live residual-SMT sessions per engine (LRU-evicted).  Sessions
+#: are keyed by sketch path, and one sketch's per-hole fills arrive as a
+#: burst of queries with the same key, so a small working set suffices; each
+#: session additionally self-recycles at ``SESSION_CLAUSE_LIMIT`` clauses.
+RESIDUAL_SESSION_LIMIT = 128
 
 #: Default bound on incremental-session solves spent mining lemmas per run.
 #: Mining is an investment (each mined core costs a replay solve plus a few
@@ -102,6 +115,12 @@ class DeductionStats:
     core_size_total: int = 0
     #: Incremental-session solves spent mining and minimizing cores.
     lemma_mining_solves: int = 0
+    #: Residual-SMT sessions created (one per distinct sketch path, LRU-bounded).
+    smt_sessions: int = 0
+    #: Residual queries served by an already-open session -- the encodings,
+    #: clausal flattenings and learned clauses of earlier sibling queries
+    #: were reused instead of re-built.
+    smt_session_reuse: int = 0
     #: Activity of the persistent incremental solver session (clause reuse,
     #: recycles, theory conflicts).
     incremental: IncrementalStats = field(default_factory=IncrementalStats)
@@ -164,6 +183,8 @@ class DeductionStats:
         self.cores_extracted += other.cores_extracted
         self.core_size_total += other.core_size_total
         self.lemma_mining_solves += other.lemma_mining_solves
+        self.smt_sessions += other.smt_sessions
+        self.smt_session_reuse += other.smt_session_reuse
         self.incremental.merge(other.incremental)
         self.verdict_cache.merge(other.verdict_cache)
         self.abstraction_cache.merge(other.abstraction_cache)
@@ -268,6 +289,12 @@ class DeductionEngine:
         #: hypotheses under named assumptions (created lazily; the example
         #: formula and phi_out are asserted exactly once per run).
         self._incremental: Optional[Solver] = None
+        #: Residual-SMT sessions, keyed by sketch path (the structural shape
+        #: of a query: components, bindings, which subterms are evaluated --
+        #: everything except the evaluated tables' attribute values).  The
+        #: sketch completer's sibling fills produce bursts of queries with
+        #: the same key, which then differ only in their named assumptions.
+        self._residual_sessions: "OrderedDict[tuple, Solver]" = OrderedDict()
         self._example_formula = self._build_example_formula()
 
     # ------------------------------------------------------------------
@@ -477,10 +504,8 @@ class DeductionEngine:
             self.stats.prescreen_fallback += 1
 
         query = self.build_query(hypothesis, evaluated)
-        solver = Solver()
-        solver.add(query)
         started = time.perf_counter()
-        result = solver.check()
+        result = self._check_residual(hypothesis, evaluated, query)
         self.stats.smt_calls += 1
         self.stats.smt_time += time.perf_counter() - started
         feasible = result is not CheckResult.UNSAT
@@ -490,6 +515,105 @@ class DeductionEngine:
             if use_cdcl and learn:
                 self._mine_lemma(hypothesis, evaluated)
         return feasible
+
+    # ------------------------------------------------------------------
+    # Residual solving (tier 2): formula cache, then per-path sessions
+    # ------------------------------------------------------------------
+    def _check_residual(
+        self, hypothesis: Hypothesis, evaluated: Dict[int, Table], query: Formula
+    ) -> CheckResult:
+        """Decide one residual query (everything the cheaper tiers passed on).
+
+        The process-wide formula cache is probed first -- with exactly the
+        accounting :meth:`Solver.check` would produce, so warm-cache replays
+        stay byte-identical to the monolithic path this replaced.  Misses go
+        to the persistent session keyed by the query's sketch path: the base
+        of the query (example formula, phi_out, bindings, component specs)
+        is asserted once per session, and only the evaluated subterms'
+        abstractions -- the part that varies between sibling queries -- are
+        passed as per-call assumptions.  The decided verdict is written back
+        to the formula cache, so later structurally identical queries (and
+        later runs) hit tier 0.
+        """
+        if isinstance(query, BoolVal):
+            return CheckResult.SAT if query.value else CheckResult.UNSAT
+        cached = formula_cache_lookup(query)
+        if cached is not None:
+            return cached[0]
+        session, named = self._residual_session(hypothesis, evaluated)
+        result = session.check_assumptions(named)
+        formula_cache_store(query, result, session.model())
+        return result
+
+    def _residual_session(
+        self, hypothesis: Hypothesis, evaluated: Dict[int, Table]
+    ) -> Tuple[Solver, Dict[tuple, Formula]]:
+        """The (possibly reused) session and assumptions for one query.
+
+        The walk mirrors :meth:`specification` and :meth:`build_query`
+        fragment for fragment, splitting them by what varies under a fixed
+        sketch path: abstractions of top-most evaluated *application* nodes
+        vary with the candidate's concrete tables (named assumptions);
+        everything else -- phi_in bindings, unevaluated components' specs,
+        the abstractions of evaluated *bound holes* (input tables, fixed per
+        binding), the example formula, nonnegativity and phi_out -- is
+        invariant and forms the session base.
+        """
+        key_parts: List[tuple] = []
+        named: Dict[tuple, Formula] = {}
+        base: List[Formula] = []
+
+        def walk(node: Hypothesis, under_eval: bool) -> None:
+            if isinstance(node, Hole):
+                if node.hole_type is Type.TABLE:
+                    key_parts.append(("x", node.node_id, node.binding))
+                    base.append(self._binding(node.node_id, node.binding))
+                    if node.node_id in evaluated and not under_eval:
+                        base.append(
+                            self._abstract(
+                                evaluated[node.node_id], self.node_vars(node.node_id)
+                            )
+                        )
+                return
+            if node.node_id in evaluated and not under_eval:
+                key_parts.append(("t", node.node_id))
+                named[("eval", node.node_id)] = self._abstract(
+                    evaluated[node.node_id], self.node_vars(node.node_id)
+                )
+                # The subtree below an evaluated subterm contributes no specs
+                # or abstractions, but phi_in still binds its table holes.
+                for child in node.table_children:
+                    walk(child, True)
+                return
+            key_parts.append(("c", node.node_id, node.component.name))
+            if not under_eval:
+                base.append(self._component_spec(node))
+            for child in node.table_children:
+                walk(child, under_eval)
+
+        walk(hypothesis, False)
+        key = tuple(key_parts)
+        session = self._residual_sessions.get(key)
+        if session is None:
+            session = Solver()
+            # All sessions account into the engine's incremental counters.
+            session.incremental_stats = self.stats.incremental
+            session.add(self._example_formula)
+            session.add(self._nonnegativity(self._query_node_ids(hypothesis)))
+            session.add(
+                self.node_vars(hypothesis.node_id).equal_to(
+                    self._output_vars, self.level
+                )
+            )
+            session.add(*base)
+            self._residual_sessions[key] = session
+            self.stats.smt_sessions += 1
+            if len(self._residual_sessions) > RESIDUAL_SESSION_LIMIT:
+                self._residual_sessions.popitem(last=False)
+        else:
+            self._residual_sessions.move_to_end(key)
+            self.stats.smt_session_reuse += 1
+        return session, named
 
     # ------------------------------------------------------------------
     # Conflict-driven lemma learning
@@ -562,6 +686,7 @@ class DeductionEngine:
         """The per-run solver session (example formula asserted once)."""
         if self._incremental is None:
             session = Solver()
+            session.incremental_stats = self.stats.incremental
             session.add(self._example_formula)
             session.add(self.node_vars(0).equal_to(self._output_vars, self.level))
             self._incremental = session
@@ -598,7 +723,6 @@ class DeductionEngine:
         self.stats.lemma_mining_solves += (
             session.incremental_stats.checks - solves_before
         )
-        self.stats.incremental = session.incremental_stats.snapshot()
 
     def _verdict_key(self, hypothesis: Hypothesis, evaluated: Dict[int, Table]) -> tuple:
         """A cache key capturing everything the deduction query depends on.
@@ -644,6 +768,78 @@ class DeductionEngine:
             entries = oe_store.export_entries()
             if entries:
                 self.kb_view.put_oe_entries(self._kb_task_key, entries)
+
+    # ------------------------------------------------------------------
+    def batch_evaluate_fills(
+        self,
+        sketch: Hypothesis,
+        node: Apply,
+        hole: Hole,
+        arguments: Sequence,
+    ) -> int:
+        """Pre-execute sibling fillings of *hole* on *node*, sharing setup.
+
+        The sketch completer enumerates many candidate arguments for the last
+        unfilled hole of one node; each filling, once deduced or CHECKed,
+        executes ``component(child_tables, ...)`` with the *same* child tables
+        and a different argument.  This primes the
+        :class:`~repro.engine.cache.ExecutionCache` for the whole sibling
+        group in one :meth:`~repro.core.component.Component.execute_batch`
+        call, so the per-table setup (backend array views, row dictionaries)
+        is paid once and the later ``partial_evaluate`` calls hit the cache.
+
+        Returns the number of fills actually executed (0 when the node is not
+        batchable -- unevaluated child tables, other holes still unfilled, or
+        everything already cached).  Skipping the batch is always safe: the
+        unbatched path computes exactly the same results one by one.
+        """
+        if not self.use_partial_evaluation or len(arguments) < 2:
+            return 0
+        evaluated = self.evaluate_if_possible(sketch)
+        if evaluated is None:
+            return 0
+        child_tables = []
+        for child in node.table_children:
+            table = evaluated.get(child.node_id)
+            if table is None:
+                return 0
+            child_tables.append(table)
+        positions = []
+        for index, child in enumerate(node.value_children):
+            if child.node_id == hole.node_id:
+                positions.append(index)
+            elif child.value is None:
+                return 0
+        if len(positions) != 1:
+            return 0
+        position = positions[0]
+        fingerprints = tuple(table.fingerprint() for table in child_tables)
+        fixed = [child.value for child in node.value_children]
+        pending_keys = []
+        pending_arguments = []
+        for argument in arguments:
+            filled = tuple(
+                argument if index == position else value
+                for index, value in enumerate(fixed)
+            )
+            key = (node.component.name, node.node_id, fingerprints, filled)
+            if self.execution_cache.get(key) is None:
+                pending_keys.append(key)
+                pending_arguments.append(filled)
+        if not pending_keys:
+            return 0
+        started = time.perf_counter()
+        results = node.component.execute_batch(
+            child_tables, pending_arguments, f"_n{node.node_id}_"
+        )
+        execution_stats().charge_execution(
+            node.component.name, time.perf_counter() - started
+        )
+        for key, result in zip(pending_keys, results):
+            if isinstance(result, Exception):
+                result = EvaluationFailure(str(result))
+            self.execution_cache.put(key, result)
+        return len(pending_keys)
 
     # ------------------------------------------------------------------
     def evaluate_if_possible(self, hypothesis: Hypothesis) -> Optional[Dict[int, Table]]:

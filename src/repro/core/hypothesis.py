@@ -296,14 +296,18 @@ def partial_evaluate(
         try:
             table = node.component.execute(child_tables, arguments, f"_n{node.node_id}_")
         except PRUNABLE_ERRORS as error:
-            execution_stats().exec_time += perf_counter() - started
+            execution_stats().charge_execution(
+                node.component.name, perf_counter() - started
+            )
             failure = EvaluationFailure(str(error))
             if memo is not None:
                 memo[node] = failure
             if exec_key is not None:
                 exec_cache.put(exec_key, failure)
             raise failure from error
-        execution_stats().exec_time += perf_counter() - started
+        execution_stats().charge_execution(
+            node.component.name, perf_counter() - started
+        )
         if memo is not None:
             memo[node] = table
         if exec_key is not None:

@@ -77,6 +77,11 @@ def _run_filter(tables, arguments, prefix):
     return dplyr.filter_rows(tables[0], predicate)
 
 
+def _run_filter_batch(tables, argument_lists, prefix):
+    predicates = [_one_arg(arguments, Predicate) for arguments in argument_lists]
+    return dplyr.filter_rows_batch(tables[0], predicates)
+
+
 def _run_group_by(tables, arguments, prefix):
     columns = _one_arg(arguments, ColumnList)
     return dplyr.group_by(tables[0], list(columns))
@@ -204,6 +209,7 @@ def standard_library(include_arrange: bool = True) -> ComponentLibrary:
             _run_filter,
             _render_filter,
             "Select a subset of rows.",
+            batch_executor=_run_filter_batch,
         ),
         Component(
             "summarise",

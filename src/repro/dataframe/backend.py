@@ -1,0 +1,952 @@
+"""Pluggable array-execution backends for the columnar verb kernels.
+
+The dplyr/tidyr verbs (:mod:`repro.components.dplyr`,
+:mod:`repro.components.tidyr`) are written against a small kernel interface
+-- row selection, sort-order computation, hash-join pairing, group
+aggregation, scatter/gather materialisation -- instead of looping over cells
+inline.  :class:`ArrayBackend` defines that interface and implements every
+kernel with the reference pure-Python loops; :class:`NumpyBackend` overrides
+the hot ones with vectorised equivalents that run over contiguous arrays:
+cell vectors become cached ``object`` arrays (for materialisation), ``float64``
+arrays (for numeric predicates and sort keys) and interned integer *code*
+arrays (``np.unique`` factorisation, for sorts, joins and grouping).
+
+Backend contract
+----------------
+A backend override must be **observationally identical** to the reference
+kernel: same output tables cell-for-cell (hence fingerprint-for-fingerprint,
+since fingerprints are content-derived), same exception types *and* messages,
+and the same number of table constructions (``tables_built`` is part of the
+deterministic counter block).  Cell interning counts may differ between
+backends -- trusted constructors may share already-interned vectors -- but
+every backend must itself be deterministic, so the serial vs ``--jobs N``
+counter identity holds per backend.  Whenever a vectorised kernel cannot
+guarantee bit-identical behaviour (opaque predicate closures, ``NaN`` cells
+whose ordering under Python's sort is not reproducible with ``lexsort``,
+float aggregation whose summation order would change rounding), it falls back
+to the inherited reference kernel instead of approximating.
+
+The active backend is a process-wide swappable global, mirroring the intern
+pool and execution-stats hooks (:func:`install_backend` /
+:func:`active_backend`), so :class:`repro.engine.context.TaskContext` can
+carry it per synthesis task.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cells import CellType, CellValue, value_sort_key
+from .table import Table
+
+#: Environment variable that hides numpy even when it is importable (used by
+#: CI to prove the suite passes without the optional ``repro[fast]`` extra).
+NUMPY_ENV_GATE = "REPRO_DISABLE_NUMPY"
+
+_UNRESOLVED = object()
+_numpy_module = _UNRESOLVED
+
+
+def numpy_module():
+    """The imported numpy module, or ``None`` when unavailable or disabled."""
+    global _numpy_module
+    if os.environ.get(NUMPY_ENV_GATE):
+        return None
+    if _numpy_module is _UNRESOLVED:
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - exercised via the env gate
+            _numpy_module = None
+        else:
+            _numpy_module = numpy
+    return _numpy_module
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be constructed in this process."""
+    return numpy_module() is not None
+
+
+class BackendUnavailableError(RuntimeError):
+    """A backend was requested whose optional dependency is missing."""
+
+
+def join_key(value: CellValue):
+    """The equality key ``inner_join`` matches rows on.
+
+    Missing cells only match missing cells; numbers compare as floats (so
+    ``5`` joins ``5.0``); everything else compares as itself.
+    """
+    if value is None:
+        return (0, None)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, float(value))
+    return (2, value)
+
+
+def _evaluation_error(message: str):
+    # Imported lazily: repro.components imports this module at load time.
+    from ..components.errors import EvaluationError
+
+    return EvaluationError(message)
+
+
+_ORDERING_OPERATORS = ("<", ">", "<=", ">=")
+_COMPARISON_OPERATORS = ("==", "!=") + _ORDERING_OPERATORS
+
+
+class ArrayBackend:
+    """Kernel interface of the columnar verbs (reference implementation).
+
+    The methods below are the complete backend contract.  Every default
+    implementation is the pure-Python reference kernel the verbs historically
+    inlined; subclasses may override any subset, subject to the
+    observational-identity contract in the module docstring.
+    """
+
+    name = "python"
+
+    # ------------------------------------------------------------------
+    # Row materialisation
+    # ------------------------------------------------------------------
+    def take_rows(self, table: Table, indices: Sequence[int]) -> Table:
+        """Project *table* onto the given row indices (types preserved)."""
+        return table.take_rows(indices)
+
+    # ------------------------------------------------------------------
+    # filter
+    # ------------------------------------------------------------------
+    def has_fast_predicate(self, table: Table, predicate) -> bool:
+        """Whether :meth:`filter_indices` can avoid per-row dict views."""
+        return False
+
+    def filter_indices(self, table: Table, predicate, rows=None) -> List[int]:
+        """Indices of the rows satisfying *predicate* (in row order).
+
+        *rows* optionally carries pre-built ``row_dict`` views so batched
+        sibling predicates share the per-table materialisation cost.
+        """
+        if rows is not None:
+            return [index for index, row in enumerate(rows) if predicate(row)]
+        return [
+            index for index in range(table.n_rows) if predicate(table.row_dict(index))
+        ]
+
+    def row_views(self, table: Table) -> List[Dict[str, CellValue]]:
+        """All rows as ``{column: value}`` dicts (shared across predicates)."""
+        return [table.row_dict(index) for index in range(table.n_rows)]
+
+    # ------------------------------------------------------------------
+    # arrange
+    # ------------------------------------------------------------------
+    def sort_order(
+        self, table: Table, columns: Sequence[str], descending: bool = False
+    ) -> List[int]:
+        """The row permutation that sorts *table* by *columns* (stable)."""
+        vectors = [table.column_values(name) for name in columns]
+
+        def key(index):
+            return tuple(value_sort_key(vector[index]) for vector in vectors)
+
+        return sorted(range(table.n_rows), key=key, reverse=descending)
+
+    # ------------------------------------------------------------------
+    # inner_join
+    # ------------------------------------------------------------------
+    def join_pairs(self, left: Table, right: Table, shared: Sequence[str]):
+        """Matching ``(left_indices, right_indices)`` of the natural join.
+
+        Pairs are emitted in left-row order; a left row's matches appear in
+        right-row order.
+        """
+        left_vectors = [left.column_values(name) for name in shared]
+        right_vectors = [right.column_values(name) for name in shared]
+
+        buckets: Dict[Tuple, List[int]] = {}
+        for row_index in range(right.n_rows):
+            key = tuple(join_key(vector[row_index]) for vector in right_vectors)
+            buckets.setdefault(key, []).append(row_index)
+
+        left_indices: List[int] = []
+        right_indices: List[int] = []
+        for row_index in range(left.n_rows):
+            key = tuple(join_key(vector[row_index]) for vector in left_vectors)
+            for match in buckets.get(key, ()):
+                left_indices.append(row_index)
+                right_indices.append(match)
+        return left_indices, right_indices
+
+    def build_join(
+        self,
+        left: Table,
+        right: Table,
+        left_indices,
+        right_indices,
+        right_extra: Sequence[str],
+        group_cols: Sequence[str],
+    ) -> Table:
+        """Materialise the join output (left columns + right extras)."""
+        out_columns = list(left.columns) + list(right_extra)
+        out_vectors = [
+            [vector[i] for i in left_indices]
+            for vector in (left.column_values(name) for name in left.columns)
+        ]
+        out_vectors.extend(
+            [vector[i] for i in right_indices]
+            for vector in (right.column_values(name) for name in right_extra)
+        )
+        return Table.from_vectors(out_columns, out_vectors, group_cols=group_cols)
+
+    # ------------------------------------------------------------------
+    # summarise
+    # ------------------------------------------------------------------
+    def aggregate_groups(
+        self, table: Table, aggregator: str, target_column: Optional[str]
+    ):
+        """Per-group aggregate values as ``(group_keys, aggregates)``.
+
+        Group keys appear in first-appearance order (dplyr semantics);
+        aggregation errors are raised exactly as the reference aggregators
+        raise them.
+        """
+        from ..components.values import AGGREGATORS, agg_count
+
+        groups = table.group_row_indices()
+        keys = [key for key, _indices in groups]
+        if aggregator == "n":
+            aggregates = [agg_count([None] * len(indices)) for _key, indices in groups]
+        else:
+            target = table.column_values(target_column)
+            aggregates = [
+                AGGREGATORS[aggregator]([target[i] for i in indices])
+                for _key, indices in groups
+            ]
+        return keys, aggregates
+
+    # ------------------------------------------------------------------
+    # gather
+    # ------------------------------------------------------------------
+    def build_gather(
+        self,
+        table: Table,
+        id_columns: Sequence[str],
+        key: str,
+        value: str,
+        out_vectors: Sequence[Sequence[CellValue]],
+        out_types: Sequence[CellType],
+        group_cols: Sequence[str],
+    ) -> Table:
+        """Materialise the gather output from already-assembled vectors."""
+        out_columns = list(id_columns) + [key, value]
+        return Table.from_vectors(out_columns, out_vectors, out_types, group_cols)
+
+    # ------------------------------------------------------------------
+    # spread
+    # ------------------------------------------------------------------
+    def spread_scatter(
+        self,
+        table: Table,
+        id_columns: Sequence[str],
+        key_column: str,
+        value_column: str,
+        key_values: Sequence[CellValue],
+        new_columns: Sequence[str],
+    ):
+        """Scatter value cells into per-key vectors.
+
+        Returns ``(first_rows, value_vectors)`` where *first_rows* holds the
+        first row index of each identifier group (insertion order) and
+        *value_vectors* has one vector per entry of *new_columns* (missing
+        combinations are ``None``).  Raises the duplicate-identifiers error
+        exactly like the reference scan.
+        """
+        from .cells import format_value
+
+        id_vectors = [table.column_values(name) for name in id_columns]
+        key_vector = table.column_values(key_column)
+        value_vector = table.column_values(value_column)
+
+        first_rows: List[int] = []
+        index_of: Dict[Tuple[CellValue, ...], int] = {}
+        cells: List[Dict[str, CellValue]] = []
+        for row_index in range(table.n_rows):
+            group_key = tuple(vector[row_index] for vector in id_vectors)
+            position = index_of.get(group_key)
+            if position is None:
+                position = index_of[group_key] = len(first_rows)
+                first_rows.append(row_index)
+                cells.append({})
+            column_name = format_value(key_vector[row_index])
+            if column_name in cells[position]:
+                raise _evaluation_error("spread: duplicate identifiers for rows")
+            cells[position][column_name] = value_vector[row_index]
+
+        value_vectors = [
+            [cells[position].get(name) for position in range(len(first_rows))]
+            for name in new_columns
+        ]
+        return first_rows, value_vectors
+
+
+class PythonBackend(ArrayBackend):
+    """The pure-Python reference backend (the default)."""
+
+
+class NumpyBackend(ArrayBackend):
+    """Vectorised kernels over cached column arrays (``repro[fast]``).
+
+    Per-table arrays are memoised on the table instance
+    (``Table._backend_cache``): an ``object`` array per column for fancy-index
+    materialisation, a ``(float64 values, missing mask)`` pair per numeric
+    column, and interned ``int64`` code arrays (``np.unique`` factorisation)
+    for sorts, joins and grouping.  Kernels that cannot reproduce reference
+    semantics bit-for-bit fall back to the inherited reference kernel.
+    """
+
+    name = "numpy"
+
+    #: Below this many rows the reference loops beat the vectorised kernels
+    #: on a fresh table (array construction and factorisation dominate, and
+    #: synthesis intermediates rarely live long enough to amortise them), so
+    #: the kernels delegate to the inherited reference implementation.
+    #: Measured crossover on CPython 3.11: ~8-16 rows for filter, ~16-32 for
+    #: sorts and joins.
+    MIN_VECTOR_ROWS = 32
+
+    def __init__(self) -> None:
+        module = numpy_module()
+        if module is None:
+            raise BackendUnavailableError(
+                "backend 'numpy' requested but numpy is not importable "
+                f"(or disabled via {NUMPY_ENV_GATE})"
+            )
+        self._np = module
+
+    # ------------------------------------------------------------------
+    # Cached per-table arrays
+    # ------------------------------------------------------------------
+    def _cache(self, table: Table) -> dict:
+        cache = table._backend_cache
+        if cache is None:
+            cache = table._backend_cache = {}
+        return cache
+
+    def _object_array(self, table: Table, index: int):
+        cache = self._cache(table)
+        entry = cache.get(("obj", index))
+        if entry is None:
+            np = self._np
+            vector = table._column_data[index]
+            entry = np.empty(len(vector), dtype=object)
+            entry[:] = vector
+            cache[("obj", index)] = entry
+        return entry
+
+    def _missing_mask(self, table: Table, index: int):
+        cache = self._cache(table)
+        entry = cache.get(("missing", index))
+        if entry is None:
+            np = self._np
+            vector = table._column_data[index]
+            entry = np.fromiter(
+                (cell is None for cell in vector), dtype=bool, count=len(vector)
+            )
+            cache[("missing", index)] = entry
+        return entry
+
+    def _num_arrays(self, table: Table, index: int):
+        """``(float64 values, missing mask, has_missing, has_nan)`` of a NUM column.
+
+        Missing cells hold ``0.0`` in the value array; callers must consult
+        the mask (or the raised errors) before trusting those positions.
+        """
+        cache = self._cache(table)
+        entry = cache.get(("num", index))
+        if entry is None:
+            np = self._np
+            vector = table._column_data[index]
+            missing = self._missing_mask(table, index)
+            values = np.array(
+                [0.0 if cell is None else float(cell) for cell in vector],
+                dtype=np.float64,
+            )
+            entry = (
+                values,
+                missing,
+                bool(missing.any()),
+                bool(np.isnan(values).any()),
+            )
+            cache[("num", index)] = entry
+        return entry
+
+    def _column_codes(self, table: Table, index: int):
+        """Interned ``int64`` codes of one column (``0`` = missing).
+
+        Two cells of the column share a code exactly when :func:`join_key`
+        considers them equal.  Returns ``None`` when the column contains
+        ``NaN`` (whose equality semantics are not reproducible with
+        factorisation).
+        """
+        cache = self._cache(table)
+        entry = cache.get(("codes", index))
+        if entry is None:
+            entry = (self._factorize(table, index),)
+            cache[("codes", index)] = entry
+        return entry[0]
+
+    def _factorize(self, table: Table, index: int):
+        np = self._np
+        vector = table._column_data[index]
+        codes = np.zeros(len(vector), dtype=np.int64)
+        if not len(vector):
+            return codes
+        if table.col_types[index] is CellType.NUM:
+            values, missing, has_missing, has_nan = self._num_arrays(table, index)
+            if has_nan:
+                return None
+            present = ~missing
+            _, inverse = np.unique(values[present], return_inverse=True)
+            codes[present] = inverse.astype(np.int64) + 1
+        else:
+            present_cells = [cell for cell in vector if cell is not None]
+            if present_cells:
+                mask = ~self._missing_mask(table, index)
+                _, inverse = np.unique(
+                    np.array(present_cells, dtype=str), return_inverse=True
+                )
+                codes[mask] = inverse.astype(np.int64) + 1
+        return codes
+
+    # ------------------------------------------------------------------
+    # Row materialisation
+    # ------------------------------------------------------------------
+    def take_rows(self, table: Table, indices) -> Table:
+        if table.n_rows < self.MIN_VECTOR_ROWS:
+            return super().take_rows(table, indices)
+        np = self._np
+        index_array = np.asarray(indices, dtype=np.intp)
+        column_data = tuple(
+            tuple(self._object_array(table, position)[index_array].tolist())
+            for position in range(table.n_cols)
+        )
+        return Table._from_shared(
+            table.columns,
+            table.col_types,
+            column_data,
+            table.group_cols,
+            len(index_array),
+        )
+
+    # ------------------------------------------------------------------
+    # filter
+    # ------------------------------------------------------------------
+    def _predicate_parts(self, table: Table, predicate):
+        column = getattr(predicate, "column", None)
+        operator = getattr(predicate, "operator", None)
+        constant = getattr(predicate, "constant", None)
+        if (
+            not isinstance(column, str)
+            or operator not in _COMPARISON_OPERATORS
+            or constant is None
+            or not hasattr(constant, "value")
+            or not table.has_column(column)
+        ):
+            return None
+        value = constant.value
+        if isinstance(value, bool):
+            return None
+        if value is not None and not isinstance(value, (int, float, str)):
+            return None
+        return table.column_index(column), operator, value
+
+    def has_fast_predicate(self, table: Table, predicate) -> bool:
+        if table.n_rows < self.MIN_VECTOR_ROWS:
+            return False
+        return self._predicate_parts(table, predicate) is not None
+
+    def filter_indices(self, table: Table, predicate, rows=None) -> List[int]:
+        if table.n_rows < self.MIN_VECTOR_ROWS:
+            return super().filter_indices(table, predicate, rows)
+        parts = self._predicate_parts(table, predicate)
+        if parts is None:
+            return super().filter_indices(table, predicate, rows)
+        index, operator, constant = parts
+        np = self._np
+        n_rows = table.n_rows
+
+        if constant is None:
+            if operator == "==":
+                return np.flatnonzero(self._missing_mask(table, index)).tolist()
+            if operator == "!=":
+                return np.flatnonzero(~self._missing_mask(table, index)).tolist()
+            if n_rows:
+                raise _evaluation_error(f"{operator} applied to a missing value")
+            return []
+
+        numeric_constant = isinstance(constant, (int, float))
+        if table.col_types[index] is CellType.NUM:
+            if numeric_constant:
+                values, missing, has_missing, _has_nan = self._num_arrays(table, index)
+                target = float(constant)
+                if operator in ("==", "!="):
+                    equal = np.abs(values - target) <= 1e-9
+                    equal &= ~missing
+                    mask = equal if operator == "==" else ~equal
+                    return np.flatnonzero(mask).tolist()
+                if has_missing:
+                    raise _evaluation_error(f"{operator} applied to a missing value")
+                if operator == "<":
+                    mask = values < target
+                elif operator == ">":
+                    mask = values > target
+                elif operator == "<=":
+                    mask = values <= target
+                else:
+                    mask = values >= target
+                return np.flatnonzero(mask).tolist()
+            return self._incompatible_indices(table, index, operator, constant, n_rows)
+
+        if isinstance(constant, str):
+            cells = self._object_array(table, index)
+            if operator in ("==", "!="):
+                equal = cells == constant
+                mask = equal if operator == "==" else ~equal
+                return np.flatnonzero(mask).tolist()
+            if self._missing_mask(table, index).any():
+                raise _evaluation_error(f"{operator} applied to a missing value")
+            if operator == "<":
+                mask = cells < constant
+            elif operator == ">":
+                mask = cells > constant
+            elif operator == "<=":
+                mask = cells <= constant
+            else:
+                mask = cells >= constant
+            return np.flatnonzero(mask).tolist()
+        return self._incompatible_indices(table, index, operator, constant, n_rows)
+
+    def _incompatible_indices(self, table, index, operator, constant, n_rows):
+        """A typed column compared against a constant of the other type.
+
+        ``==`` matches nothing, ``!=`` matches everything (missing included),
+        and ordering operators fail on the first row exactly like
+        ``_comparable``.
+        """
+        if operator == "==":
+            return []
+        if operator == "!=":
+            return list(range(n_rows))
+        if n_rows == 0:
+            return []
+        first = table._column_data[index][0]
+        if first is None:
+            raise _evaluation_error(f"{operator} applied to a missing value")
+        raise _evaluation_error(
+            f"{operator} applied to incompatible operands {first!r} and {constant!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # arrange
+    # ------------------------------------------------------------------
+    def sort_order(
+        self, table: Table, columns: Sequence[str], descending: bool = False
+    ) -> List[int]:
+        if table.n_rows < self.MIN_VECTOR_ROWS or descending:
+            # sorted(reverse=True) keeps ties in original order; a reversed
+            # ascending lexsort would flip them.
+            return super().sort_order(table, columns, descending)
+        np = self._np
+        keys = []
+        for name in reversed(list(columns)):
+            pair = self._sort_key_arrays(table, table.column_index(name))
+            if pair is None:
+                return super().sort_order(table, columns, descending)
+            value_key, rank = pair
+            keys.append(value_key)
+            keys.append(rank)
+        return np.lexsort(keys).tolist()
+
+    def _sort_key_arrays(self, table: Table, index: int):
+        """``(value key, missing rank)`` arrays reproducing ``value_sort_key``.
+
+        ``None`` when the column holds ``NaN`` (Python's sort order for NaN
+        keys is not reproducible with ``lexsort``).
+        """
+        cache = self._cache(table)
+        entry = cache.get(("sort", index))
+        if entry is None:
+            np = self._np
+            if table.col_types[index] is CellType.NUM:
+                values, missing, _has_missing, has_nan = self._num_arrays(table, index)
+                if has_nan:
+                    entry = (None,)
+                else:
+                    entry = ((values, (~missing).astype(np.int8)),)
+            else:
+                codes = self._column_codes(table, index)
+                entry = ((codes, (codes > 0).astype(np.int8)),)
+            cache[("sort", index)] = entry
+        return entry[0]
+
+    # ------------------------------------------------------------------
+    # inner_join
+    # ------------------------------------------------------------------
+    def join_pairs(self, left: Table, right: Table, shared: Sequence[str]):
+        if max(left.n_rows, right.n_rows) < self.MIN_VECTOR_ROWS:
+            return super().join_pairs(left, right, shared)
+        codes = self._join_codes(left, right, shared)
+        if codes is None:
+            return super().join_pairs(left, right, shared)
+        np = self._np
+        left_codes, right_codes = codes
+        order = np.argsort(right_codes, kind="stable")
+        sorted_right = right_codes[order]
+        starts = np.searchsorted(sorted_right, left_codes, side="left")
+        ends = np.searchsorted(sorted_right, left_codes, side="right")
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            return [], []
+        left_indices = np.repeat(np.arange(len(left_codes), dtype=np.intp), counts)
+        bases = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        offsets = np.arange(total, dtype=np.intp) - np.repeat(bases, counts)
+        right_indices = order[np.repeat(starts, counts) + offsets]
+        return left_indices, right_indices
+
+    def _join_codes(self, left: Table, right: Table, shared: Sequence[str]):
+        """Per-row join codes over both tables, or ``None`` to fall back.
+
+        Cross-table codes are equal exactly when :func:`join_key` tuples are
+        equal.  Columns pair through iterated factorisation, so combined
+        codes stay bounded by the row count.
+        """
+        np = self._np
+        combined = None
+        for name in shared:
+            pair = self._pair_codes(left, right, name)
+            if pair is None:
+                return None
+            if combined is None:
+                combined = pair
+            else:
+                width = int(pair.max()) + 1 if len(pair) else 1
+                _, inverse = np.unique(combined * width + pair, return_inverse=True)
+                combined = inverse.astype(np.int64)
+        n_left = left.n_rows
+        return combined[:n_left], combined[n_left:]
+
+    def _pair_codes(self, left: Table, right: Table, name: str):
+        np = self._np
+        left_index = left.column_index(name)
+        right_index = right.column_index(name)
+        left_num = left.col_types[left_index] is CellType.NUM
+        right_num = right.col_types[right_index] is CellType.NUM
+        n_left = left.n_rows
+        n_right = right.n_rows
+        codes = np.zeros(n_left + n_right, dtype=np.int64)
+        if left_num != right_num:
+            # Mixed types: only missing cells can match across tables, so any
+            # side-distinct nonzero codes are correct.
+            codes[:n_left][~self._missing_mask(left, left_index)] = 1
+            codes[n_left:][~self._missing_mask(right, right_index)] = 2
+            return codes
+        if left_num:
+            left_values, left_missing, _lm, left_nan = self._num_arrays(left, left_index)
+            right_values, right_missing, _rm, right_nan = self._num_arrays(
+                right, right_index
+            )
+            if left_nan or right_nan:
+                return None
+            values = np.concatenate((left_values, right_values))
+            missing = np.concatenate((left_missing, right_missing))
+            present = ~missing
+            _, inverse = np.unique(values[present], return_inverse=True)
+            codes[present] = inverse.astype(np.int64) + 1
+            return codes
+        cells = list(left._column_data[left_index]) + list(
+            right._column_data[right_index]
+        )
+        present_cells = [cell for cell in cells if cell is not None]
+        if present_cells:
+            mask = np.fromiter(
+                (cell is not None for cell in cells), dtype=bool, count=len(cells)
+            )
+            _, inverse = np.unique(
+                np.array(present_cells, dtype=str), return_inverse=True
+            )
+            codes[mask] = inverse.astype(np.int64) + 1
+        return codes
+
+    def build_join(
+        self,
+        left: Table,
+        right: Table,
+        left_indices,
+        right_indices,
+        right_extra: Sequence[str],
+        group_cols: Sequence[str],
+    ) -> Table:
+        if (
+            max(left.n_rows, right.n_rows, len(left_indices))
+            < self.MIN_VECTOR_ROWS
+        ):
+            return super().build_join(
+                left, right, left_indices, right_indices, right_extra, group_cols
+            )
+        np = self._np
+        left_array = np.asarray(left_indices, dtype=np.intp)
+        right_array = np.asarray(right_indices, dtype=np.intp)
+        column_data = []
+        col_types = []
+        for position in range(left.n_cols):
+            column_data.append(
+                tuple(self._object_array(left, position)[left_array].tolist())
+            )
+            col_types.append(self._sliced_type(left, position, left_array))
+        for name in right_extra:
+            position = right.column_index(name)
+            column_data.append(
+                tuple(self._object_array(right, position)[right_array].tolist())
+            )
+            col_types.append(self._sliced_type(right, position, right_array))
+        out_columns = tuple(left.columns) + tuple(right_extra)
+        return Table._from_shared(
+            out_columns,
+            tuple(col_types),
+            tuple(column_data),
+            tuple(group_cols),
+            len(left_array),
+        )
+
+    def _sliced_type(self, table: Table, position: int, index_array) -> CellType:
+        """The type the validating constructor would re-infer for a slice.
+
+        ``from_vectors`` without explicit types infers per column, so a NUM
+        column whose surviving cells are all missing comes out as STR.
+        """
+        col_type = table.col_types[position]
+        if col_type is CellType.NUM and bool(
+            self._missing_mask(table, position)[index_array].all()
+        ):
+            return CellType.STR
+        return col_type
+
+    # ------------------------------------------------------------------
+    # summarise
+    # ------------------------------------------------------------------
+    #: Bounds under which integer sums stay exact in sequential float64
+    #: addition (so the vectorised integer sum matches the reference's
+    #: float-by-float accumulation bit for bit).
+    _SAFE_INT = 2**31
+    _SAFE_ROWS = 2**20
+
+    def aggregate_groups(
+        self, table: Table, aggregator: str, target_column: Optional[str]
+    ):
+        if table.n_rows < self.MIN_VECTOR_ROWS:
+            return super().aggregate_groups(table, aggregator, target_column)
+        if aggregator not in ("n", "sum", "mean", "min", "max"):
+            return super().aggregate_groups(table, aggregator, target_column)
+        grouping = self._group_codes(table)
+        if grouping is None:
+            return super().aggregate_groups(table, aggregator, target_column)
+        codes, keys = grouping
+        np = self._np
+        if aggregator == "n":
+            counts = np.bincount(codes, minlength=len(keys))
+            return keys, [int(count) for count in counts]
+
+        from .cells import normalize_number
+
+        position = table.column_index(target_column)
+        if table.col_types[position] is not CellType.NUM:
+            return super().aggregate_groups(table, aggregator, target_column)
+        values, _missing, has_missing, has_nan = self._num_arrays(table, position)
+        if has_missing or has_nan:
+            return super().aggregate_groups(table, aggregator, target_column)
+
+        if aggregator in ("sum", "mean"):
+            vector = table._column_data[position]
+            if len(vector) > self._SAFE_ROWS or not all(
+                isinstance(cell, int) and abs(cell) <= self._SAFE_INT
+                for cell in vector
+            ):
+                return super().aggregate_groups(table, aggregator, target_column)
+            sums = np.zeros(len(keys), dtype=np.int64)
+            np.add.at(sums, codes, values.astype(np.int64))
+            if aggregator == "sum":
+                return keys, [int(total) for total in sums]
+            counts = np.bincount(codes, minlength=len(keys))
+            return keys, [
+                normalize_number(float(total) / int(count))
+                for total, count in zip(sums, counts)
+            ]
+
+        fill = np.inf if aggregator == "min" else -np.inf
+        out = np.full(len(keys), fill, dtype=np.float64)
+        if aggregator == "min":
+            np.minimum.at(out, codes, values)
+        else:
+            np.maximum.at(out, codes, values)
+        return keys, [normalize_number(float(value)) for value in out]
+
+    def _group_codes(self, table: Table):
+        """First-appearance-ordered group codes, or ``None`` to fall back."""
+        np = self._np
+        n_rows = table.n_rows
+        if not table.group_cols:
+            if not n_rows:
+                return np.zeros(0, dtype=np.int64), []
+            return np.zeros(n_rows, dtype=np.int64), [()]
+        indices = [table.column_index(name) for name in table.group_cols]
+        combined = None
+        for position in indices:
+            codes = self._column_codes(table, position)
+            if codes is None:
+                return None
+            if combined is None:
+                combined = codes
+            else:
+                width = int(codes.max()) + 1 if len(codes) else 1
+                _, inverse = np.unique(combined * width + codes, return_inverse=True)
+                combined = inverse.astype(np.int64)
+        _, first, inverse = np.unique(
+            combined, return_index=True, return_inverse=True
+        )
+        order = np.argsort(first, kind="stable")
+        rank = np.empty(len(first), dtype=np.int64)
+        rank[order] = np.arange(len(first), dtype=np.int64)
+        codes = rank[inverse]
+        first_rows = first[order].tolist()
+        keys = [
+            tuple(table._column_data[position][row] for position in indices)
+            for row in first_rows
+        ]
+        return codes, keys
+
+    # ------------------------------------------------------------------
+    # gather
+    # ------------------------------------------------------------------
+    def build_gather(
+        self,
+        table: Table,
+        id_columns: Sequence[str],
+        key: str,
+        value: str,
+        out_vectors: Sequence[Sequence[CellValue]],
+        out_types: Sequence[CellType],
+        group_cols: Sequence[str],
+    ) -> Table:
+        # Every cell either comes out of an existing (coerced, interned)
+        # column vector or is a freshly formatted string, so the validating
+        # constructor has nothing left to do: share the vectors directly.
+        out_columns = tuple(id_columns) + (key, value)
+        column_data = tuple(tuple(vector) for vector in out_vectors)
+        n_rows = len(column_data[0]) if column_data else 0
+        return Table._from_shared(
+            out_columns, tuple(out_types), column_data, tuple(group_cols), n_rows
+        )
+
+    # ------------------------------------------------------------------
+    # spread
+    # ------------------------------------------------------------------
+    def spread_scatter(
+        self,
+        table: Table,
+        id_columns: Sequence[str],
+        key_column: str,
+        value_column: str,
+        key_values: Sequence[CellValue],
+        new_columns: Sequence[str],
+    ):
+        if table.n_rows < self.MIN_VECTOR_ROWS:
+            return super().spread_scatter(
+                table, id_columns, key_column, value_column, key_values, new_columns
+            )
+        np = self._np
+        id_indices = [table.column_index(name) for name in id_columns]
+        id_codes = None
+        for position in id_indices:
+            codes = self._column_codes(table, position)
+            if codes is None:
+                return super().spread_scatter(
+                    table, id_columns, key_column, value_column, key_values, new_columns
+                )
+            if id_codes is None:
+                id_codes = codes
+            else:
+                width = int(codes.max()) + 1 if len(codes) else 1
+                _, inverse = np.unique(id_codes * width + codes, return_inverse=True)
+                id_codes = inverse.astype(np.int64)
+        key_codes = self._column_codes(table, table.column_index(key_column))
+        if key_codes is None:
+            return super().spread_scatter(
+                table, id_columns, key_column, value_column, key_values, new_columns
+            )
+        # The key column has no missing cells (checked by the caller), so the
+        # factorisation codes are 1..k in ascending value order -- exactly the
+        # order of *key_values* (sorted by value_sort_key over one cell type).
+        key_codes = key_codes - 1
+
+        _, first, inverse = np.unique(id_codes, return_index=True, return_inverse=True)
+        order = np.argsort(first, kind="stable")
+        rank = np.empty(len(first), dtype=np.int64)
+        rank[order] = np.arange(len(first), dtype=np.int64)
+        group_codes = rank[inverse]
+        first_rows = first[order].tolist()
+
+        n_groups = len(first_rows)
+        n_keys = len(key_values)
+        pair = group_codes * n_keys + key_codes
+        if len(np.unique(pair)) != len(pair):
+            raise _evaluation_error("spread: duplicate identifiers for rows")
+        grid = np.full((n_groups, n_keys), None, dtype=object)
+        value_cells = self._object_array(table, table.column_index(value_column))
+        grid[group_codes, key_codes] = value_cells
+        value_vectors = [grid[:, column].tolist() for column in range(n_keys)]
+        return first_rows, value_vectors
+
+
+_PYTHON_BACKEND = PythonBackend()
+_NUMPY_BACKEND: Optional[NumpyBackend] = None
+
+_active_backend: ArrayBackend = _PYTHON_BACKEND
+
+#: Names accepted by :func:`resolve_backend` (availability varies).
+BACKEND_NAMES = ("python", "numpy")
+
+
+def resolve_backend(name) -> ArrayBackend:
+    """The backend instance for *name* (or an already-resolved backend).
+
+    Raises :class:`BackendUnavailableError` when the numpy backend is
+    requested without numpy, and :class:`ValueError` for unknown names.
+    """
+    global _NUMPY_BACKEND
+    if isinstance(name, ArrayBackend):
+        return name
+    if name in (None, "python"):
+        return _PYTHON_BACKEND
+    if name == "numpy":
+        if _NUMPY_BACKEND is None:
+            _NUMPY_BACKEND = NumpyBackend()
+        return _NUMPY_BACKEND
+    raise ValueError(f"unknown backend {name!r} (expected one of {BACKEND_NAMES})")
+
+
+def active_backend() -> ArrayBackend:
+    """The backend the verb kernels currently dispatch to."""
+    return _active_backend
+
+
+def install_backend(backend) -> ArrayBackend:
+    """Swap the process-wide backend, returning the previous one.
+
+    Mirrors ``install_intern_pool`` / ``install_execution_stats`` so
+    :class:`repro.engine.context.TaskContext` can carry the backend per task.
+    """
+    global _active_backend
+    previous = _active_backend
+    _active_backend = resolve_backend(backend)
+    return previous

@@ -17,6 +17,7 @@ them byte-for-byte between serial and ``--jobs N`` runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict
 
 from ..engine.cache import CacheStats
 
@@ -43,6 +44,14 @@ class ExecutionStats:
     exec_time: float = 0.0
     #: Wall-clock seconds spent comparing candidate outputs to the example.
     compare_time: float = 0.0
+    #: :attr:`exec_time` split per component name (``--profile``'s per-verb
+    #: block; the sum over verbs equals ``exec_time`` up to timer noise).
+    verb_time: Dict[str, float] = field(default_factory=dict)
+
+    def charge_execution(self, verb: str, elapsed: float) -> None:
+        """Attribute *elapsed* seconds of concrete execution to *verb*."""
+        self.exec_time += elapsed
+        self.verb_time[verb] = self.verb_time.get(verb, 0.0) + elapsed
 
     @property
     def fingerprint_lookups(self) -> int:
@@ -65,6 +74,8 @@ class ExecutionStats:
         self.exec_cache.merge(other.exec_cache)
         self.exec_time += other.exec_time
         self.compare_time += other.compare_time
+        for verb, elapsed in other.verb_time.items():
+            self.verb_time[verb] = self.verb_time.get(verb, 0.0) + elapsed
 
     def snapshot(self) -> "ExecutionStats":
         """An independent copy (for per-run slicing)."""
@@ -78,6 +89,7 @@ class ExecutionStats:
             self.exec_cache.snapshot(),
             self.exec_time,
             self.compare_time,
+            dict(self.verb_time),
         )
         return copy
 
@@ -93,6 +105,10 @@ class ExecutionStats:
             self.exec_cache.since(baseline.exec_cache),
             self.exec_time - baseline.exec_time,
             self.compare_time - baseline.compare_time,
+            {
+                verb: elapsed - baseline.verb_time.get(verb, 0.0)
+                for verb, elapsed in self.verb_time.items()
+            },
         )
 
     def clear(self) -> None:
@@ -106,6 +122,7 @@ class ExecutionStats:
         self.exec_cache.clear()
         self.exec_time = 0.0
         self.compare_time = 0.0
+        self.verb_time.clear()
 
 
 #: The process-wide counter instance (sliced per run via snapshot/since).

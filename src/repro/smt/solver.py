@@ -86,6 +86,25 @@ def new_formula_cache() -> "LRUCache":
     return LRUCache(maxsize=_formula_cache.maxsize)
 
 
+def formula_cache_lookup(
+    formula: Formula,
+) -> Optional[Tuple["CheckResult", Optional[Dict[str, int]]]]:
+    """Probe the process-wide verdict cache, counting a hit or a miss.
+
+    Exposed for callers that decide cache misses through their own machinery
+    (the deduction engine's residual sessions) but must keep the cache's
+    accounting identical to routing the query through :meth:`Solver.check`.
+    """
+    return _formula_cache.get(formula)
+
+
+def formula_cache_store(
+    formula: Formula, result: "CheckResult", model: Optional[Dict[str, int]] = None
+) -> None:
+    """Record an externally decided verdict in the process-wide cache."""
+    _formula_cache.put(formula, (result, dict(model) if model is not None else None))
+
+
 def install_formula_cache(cache: "LRUCache") -> "LRUCache":
     """Swap the process-wide formula cache, returning the previous one.
 

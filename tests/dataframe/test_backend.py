@@ -1,0 +1,288 @@
+"""Backend plumbing and python-vs-numpy property tests.
+
+The vectorised backend's contract is observational identity with the
+pure-python reference: same cells, same column types, same fingerprints,
+same error class *and message* -- over adversarial inputs (NaN, None, huge
+integers, empty strings, empty tables) and on both sides of the numpy
+backend's small-table delegation threshold.  These tests enforce the
+contract directly at the kernel-dispatch layer; the synthesis-level
+equivalence rides on the differential suite and the benchmark A/B gates.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.components import dplyr, tidyr
+from repro.components.errors import ComponentError
+from repro.core.arguments import Constant, Predicate
+from repro.dataframe import Table
+from repro.dataframe.backend import (
+    NUMPY_ENV_GATE,
+    active_backend,
+    install_backend,
+    numpy_available,
+    resolve_backend,
+)
+from repro.dataframe.errors import DataFrameError
+from repro.engine.context import TaskContext
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed (repro[fast])"
+)
+
+COMPARABLE_ERRORS = (ComponentError, DataFrameError, ZeroDivisionError)
+
+#: Adversarial cell pool: missing values, NaN, magnitudes past the int-sum
+#: safety guard, float extremes, empty strings and lookalike text.
+NASTY_CELLS = [
+    None,
+    float("nan"),
+    0,
+    1,
+    -5,
+    2.5,
+    -2.5,
+    2**60,
+    -(2**55),
+    1e308,
+    -1e308,
+    0.1,
+    "",
+    "a",
+    "b",
+    "0",
+    "nan",
+]
+
+
+# ----------------------------------------------------------------------
+# Plumbing
+# ----------------------------------------------------------------------
+def test_resolve_backend_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown backend"):
+        resolve_backend("cuda")
+
+
+def test_resolve_backend_passes_instances_through():
+    backend = resolve_backend("python")
+    assert resolve_backend(backend) is backend
+
+
+def test_install_backend_swaps_and_returns_previous():
+    original = active_backend()
+    previous = install_backend("python")
+    try:
+        assert previous is original
+        assert active_backend().name == "python"
+    finally:
+        install_backend(previous)
+    assert active_backend() is original
+
+
+@requires_numpy
+def test_task_context_carries_backend():
+    assert active_backend().name == "python"
+    with TaskContext(backend="numpy").active():
+        assert active_backend().name == "numpy"
+        # Nested contexts swap and restore like the other per-task state.
+        with TaskContext(backend="python").active():
+            assert active_backend().name == "python"
+        assert active_backend().name == "numpy"
+    assert active_backend().name == "python"
+
+
+def test_numpy_env_gate_names_the_knob():
+    # The README/DESIGN docs reference the gate by name; keep them honest.
+    assert NUMPY_ENV_GATE == "REPRO_DISABLE_NUMPY"
+
+
+def test_session_rejects_unknown_backend():
+    from repro.api import RequestError, SynthesisRequest, SynthesisSession
+
+    table = {"columns": ["a"], "rows": [[1]], "col_types": ["num"]}
+    request = SynthesisRequest.from_json(
+        {
+            "examples": [{"inputs": [table], "output": table}],
+            "config": {"backend": "cuda"},
+        }
+    )
+    with pytest.raises(RequestError, match="unknown backend"):
+        SynthesisSession(request)
+
+
+def test_config_describe_names_nondefault_backend():
+    from repro.core.synthesizer import SynthesisConfig
+
+    assert SynthesisConfig().describe() == "spec2"
+    assert SynthesisConfig(backend="numpy").describe() == "spec2-numpy"
+    assert (
+        SynthesisConfig(deduction=False, backend="numpy").describe()
+        == "no-deduction-numpy"
+    )
+
+
+# ----------------------------------------------------------------------
+# Property tests: python vs numpy over nasty cells
+# ----------------------------------------------------------------------
+def cells_equal(left, right):
+    if (
+        isinstance(left, float)
+        and isinstance(right, float)
+        and math.isnan(left)
+        and math.isnan(right)
+    ):
+        return True
+    return type(left) is type(right) and left == right
+
+
+def run_on(backend_name, thunk):
+    """Run *thunk* under the named backend in an isolated task context."""
+    with TaskContext(backend=backend_name).active():
+        try:
+            result = thunk()
+            return (
+                "ok",
+                result.columns,
+                result.col_types,
+                result.group_cols,
+                result.rows,
+                result.fingerprint(),
+            )
+        except COMPARABLE_ERRORS as error:
+            return ("error", type(error).__name__, str(error))
+
+
+def assert_backends_agree(thunk, context=""):
+    python = run_on("python", thunk)
+    numpy = run_on("numpy", thunk)
+    assert python[0] == numpy[0], (context, python, numpy)
+    if python[0] == "error":
+        assert python == numpy, context
+        return
+    assert python[1:4] == numpy[1:4], context
+    assert python[5] == numpy[5], (context, "fingerprint mismatch")
+    assert len(python[4]) == len(numpy[4]), context
+    for row_py, row_np in zip(python[4], numpy[4]):
+        for cell_py, cell_np in zip(row_py, row_np):
+            assert cells_equal(cell_py, cell_np), (context, cell_py, cell_np)
+
+
+def nasty_table(rng, n_rows, n_cols=3):
+    data = [
+        [
+            rng.choice(NASTY_CELLS) if rng.random() < 0.35 else rng.randrange(8)
+            for _ in range(n_cols)
+        ]
+        for _ in range(n_rows)
+    ]
+    return [f"c{i}" for i in range(n_cols)], data
+
+
+#: Sizes straddling MIN_VECTOR_ROWS (32) plus empty and genuinely large.
+SIZES = [0, 1, 7, 31, 32, 33, 64, 300]
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", range(12))
+def test_backends_agree_on_nasty_filter(seed):
+    rng = random.Random(seed)
+    for n_rows in SIZES:
+        columns, data = nasty_table(rng, n_rows)
+        constant = rng.choice([None, 0, 1, 2.5, "a", ""])
+        operator = rng.choice(["==", "!=", "<", ">", "<=", ">="])
+        predicate = Predicate("c1", operator, Constant(constant))
+        assert_backends_agree(
+            lambda: dplyr.filter_rows(Table(columns, data), predicate),
+            f"seed={seed} rows={n_rows} {operator} {constant!r}",
+        )
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", range(12))
+def test_backends_agree_on_nasty_arrange(seed):
+    rng = random.Random(seed)
+    for n_rows in SIZES:
+        columns, data = nasty_table(rng, n_rows)
+        keys = rng.sample(columns, rng.randint(1, len(columns)))
+        assert_backends_agree(
+            lambda: dplyr.arrange(Table(columns, data), keys),
+            f"seed={seed} rows={n_rows} keys={keys}",
+        )
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", range(12))
+def test_backends_agree_on_nasty_gather(seed):
+    rng = random.Random(seed)
+    for n_rows in SIZES:
+        columns, data = nasty_table(rng, n_rows, n_cols=4)
+        gathered = rng.sample(columns, rng.randint(2, 3))
+        assert_backends_agree(
+            lambda: tidyr.gather(Table(columns, data), "key", "value", gathered),
+            f"seed={seed} rows={n_rows} gathered={gathered}",
+        )
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", range(12))
+def test_backends_agree_on_nasty_join(seed):
+    rng = random.Random(seed)
+    for n_rows in SIZES:
+        left_columns, left_data = nasty_table(rng, n_rows)
+        # Share c0/c1 so the natural join has real key columns; c2 renames
+        # to a right-only payload column.
+        right_columns = ["c0", "c1", "payload"]
+        _, right_data = nasty_table(rng, max(0, n_rows - rng.randint(0, 5)))
+        assert_backends_agree(
+            lambda: dplyr.inner_join(
+                Table(left_columns, left_data), Table(right_columns, right_data)
+            ),
+            f"seed={seed} rows={n_rows}",
+        )
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", range(12))
+def test_backends_agree_on_nasty_summarise(seed):
+    rng = random.Random(seed)
+    for n_rows in SIZES:
+        columns, data = nasty_table(rng, n_rows)
+        aggregator = rng.choice(["n", "sum", "mean", "min", "max"])
+        assert_backends_agree(
+            lambda: dplyr.summarise(
+                dplyr.group_by(Table(columns, data), ["c0"]), "agg", aggregator, "c1"
+            ),
+            f"seed={seed} rows={n_rows} agg={aggregator}",
+        )
+
+
+@requires_numpy
+def test_backends_agree_on_empty_tables():
+    empty = lambda: Table(["a", "b"], [])  # noqa: E731
+    assert_backends_agree(
+        lambda: dplyr.filter_rows(empty(), Predicate("a", ">", Constant(1))), "filter"
+    )
+    assert_backends_agree(lambda: dplyr.arrange(empty(), ["a"]), "arrange")
+    assert_backends_agree(
+        lambda: tidyr.gather(empty(), "key", "value", ["a", "b"]), "gather"
+    )
+    assert_backends_agree(lambda: dplyr.inner_join(empty(), empty()), "join")
+    assert_backends_agree(
+        lambda: dplyr.summarise(dplyr.group_by(empty(), ["a"]), "agg", "n", None),
+        "summarise",
+    )
+
+
+@requires_numpy
+def test_missing_value_comparison_errors_match_both_sides_of_threshold():
+    # One row below the threshold (delegated) and many above (vectorised):
+    # the ordered-comparison-with-missing error must be identical.
+    for n_rows in (4, 64):
+        data = [[index, None] for index in range(n_rows)]
+        predicate = Predicate("v", "<", Constant(3))
+        assert_backends_agree(
+            lambda: dplyr.filter_rows(Table(["i", "v"], data), predicate),
+            f"rows={n_rows}",
+        )
