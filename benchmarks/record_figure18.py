@@ -1,0 +1,168 @@
+"""Record the distributed-search scaling curve as machine-readable JSON.
+
+Runs a hard-task subset of the Figure-16 suite serially and under the
+distributed frontier scheduler (``repro.engine.distributed``) at 1, 2 and 4
+workers, and writes ``BENCH_figure18.json`` with per-task walls, the
+speedup curve relative to the 1-worker distributed run, and the
+determinism gates: every distributed run must synthesize programs
+byte-identical to the serial run, and every deterministic counter must be
+byte-identical across worker counts.  Re-record the checked-in copy with::
+
+    PYTHONPATH=src python benchmarks/record_figure18.py --out BENCH_figure18.json
+
+Exit status: nonzero on any program or counter divergence (every host).
+The >1.3x scaling gate on the 2- or 4-worker wall applies only on hosts
+with at least two CPU cores -- on a single core the worker processes time-
+share one CPU and the curve records slowdown, which is expected and not a
+failure.  (Walls depend on the machine; the counters are deterministic.)
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.api import SynthesisRequest, solve
+from repro.benchmarks import r_benchmark_suite
+
+#: Hard tasks: serial search outlives the scheduler's warm-up prefix by an
+#: order of magnitude, so the distributed rounds dominate the wall.
+HARD_TASKS = [
+    "c3_exam_gather_unite_spread",
+    "c3_poll_spread_filter",
+    "c4_summary_then_spread",
+    "c4_min_per_route_spread",
+]
+
+WORKER_COUNTS = [1, 2, 4]
+
+#: Required speedup of the best multi-worker wall over the 1-worker wall,
+#: enforced only when the host has at least this many real cores.
+SPEEDUP_GATE = 1.3
+SPEEDUP_GATE_MIN_CORES = 2
+
+TIMEOUT = 60.0
+
+
+def deterministic_counters(result) -> dict:
+    """Every facade counter that must match across worker counts."""
+    return {
+        key: value
+        for key, value in result.counters.items()
+        if key != "active_seconds"
+    }
+
+
+def run_task(task, workers=None) -> dict:
+    request = SynthesisRequest.from_tables(
+        task.inputs, task.output, timeout=TIMEOUT,
+        distributed=workers is not None,
+        workers=workers,
+    )
+    started = time.perf_counter()
+    result = solve(request)
+    wall = time.perf_counter() - started
+    return {
+        "solved": result.solved,
+        "status": result.status,
+        "program": result.program,
+        "wall_s": round(wall, 4),
+        "counters": deterministic_counters(result),
+    }
+
+
+def record() -> dict:
+    suite = r_benchmark_suite()
+    tasks = {}
+    for name in HARD_TASKS:
+        task = suite.get(name)
+        runs = {"serial": run_task(task)}
+        for workers in WORKER_COUNTS:
+            runs[f"workers{workers}"] = run_task(task, workers=workers)
+        print(
+            f"  {name}: serial {runs['serial']['wall_s']}s, "
+            + ", ".join(
+                f"w{n} {runs[f'workers{n}']['wall_s']}s" for n in WORKER_COUNTS
+            ),
+            file=sys.stderr,
+        )
+        tasks[name] = runs
+
+    walls = {
+        label: round(sum(runs[label]["wall_s"] for runs in tasks.values()), 4)
+        for label in ["serial"] + [f"workers{n}" for n in WORKER_COUNTS]
+    }
+    base = walls["workers1"]
+    speedup_curve = {
+        f"workers{n}": round(base / walls[f"workers{n}"], 3) if walls[f"workers{n}"] else None
+        for n in WORKER_COUNTS
+    }
+    programs_identical = all(
+        runs[f"workers{n}"]["program"] == runs["serial"]["program"]
+        for runs in tasks.values()
+        for n in WORKER_COUNTS
+    )
+    counters_identical = all(
+        runs[f"workers{n}"]["counters"] == runs["workers1"]["counters"]
+        for runs in tasks.values()
+        for n in WORKER_COUNTS
+    )
+    return {
+        "suite": "figure18-distributed-scaling",
+        "tasks_selected": HARD_TASKS,
+        "timeout_s": TIMEOUT,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "speedup_gate": {
+            "threshold": SPEEDUP_GATE,
+            "min_cores": SPEEDUP_GATE_MIN_CORES,
+            "enforced": (os.cpu_count() or 1) >= SPEEDUP_GATE_MIN_CORES,
+        },
+        "tasks": tasks,
+        "wall_total_s": walls,
+        "speedup_curve": speedup_curve,
+        "programs_identical": programs_identical,
+        "counters_identical": counters_identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_figure18.json")
+    args = parser.parse_args(argv)
+    payload = record()
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    curve = payload["speedup_curve"]
+    print(
+        f"distributed scaling: walls {payload['wall_total_s']}, "
+        f"speedup vs 1 worker {curve}, "
+        f"programs identical: {payload['programs_identical']}, "
+        f"counters identical: {payload['counters_identical']}",
+        file=sys.stderr,
+    )
+    # Determinism gates (every host): byte-identical programs vs serial and
+    # byte-identical counters across worker counts.
+    if not payload["programs_identical"]:
+        return 1
+    if not payload["counters_identical"]:
+        return 1
+    # Scaling gate: only meaningful when the workers have real cores to run
+    # on; a single-core host time-shares the pool and records slowdown.
+    if payload["speedup_gate"]["enforced"]:
+        best = max(value for value in curve.values() if value is not None)
+        if best < SPEEDUP_GATE:
+            print(
+                f"distributed scaling gate failed: best speedup {best}x "
+                f"< {SPEEDUP_GATE}x on a {payload['cpu_count']}-core host",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

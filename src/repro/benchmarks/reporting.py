@@ -306,6 +306,7 @@ def outcome_record(outcome) -> Dict:
         "configuration": outcome.configuration,
         "solved": outcome.solved,
         "elapsed_s": round(outcome.elapsed, 4),
+        "program": outcome.program,
         "program_size": outcome.program_size,
         "prune_rate": round(outcome.prune_rate, 4),
         "smt_calls": outcome.smt_calls,

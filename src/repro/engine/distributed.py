@@ -1,0 +1,594 @@
+"""Distributed frontier search: one task's search fanned over a process pool.
+
+``--jobs N`` (:mod:`repro.engine.parallel`) parallelises *across* tasks; a
+single hard task still runs on one core.  This module parallelises *within*
+one task: the cost-ordered frontier is split into cost-contiguous **work
+units** (:meth:`repro.core.frontier.Frontier.split`) and the units are fanned
+over a worker pool in bulk-synchronous rounds.
+
+Scheduling model
+----------------
+
+* **Warm-up.**  The caller's kernel runs a short serial prefix, then drains
+  to a hypothesis boundary (``run_to_boundary``) so the frontier holds only
+  the cost-ordered hypothesis lane -- the state ``Frontier.split`` is
+  defined on.
+* **Rounds.**  Every live unit runs one bounded ``run(max_steps=...)`` slice
+  per round inside its own process-hermetic
+  :class:`~repro.engine.context.TaskContext` (fresh caches every slice, so
+  worker count and pool reuse cannot leak state between units).  Units are
+  dispatched costliest-first through ``imap_unordered``: an idle worker
+  always picks up the costliest unit still queued -- work stealing without a
+  shared queue.  Each unit returns its candidate programs (with provenance
+  keys), its counter deltas, its lemma/OE exports, and -- when unfinished --
+  a residual sub-frontier snapshot that re-enters the queue.
+* **Exchange.**  Lemma and OE entries are pooled at round boundaries via the
+  ``export_entries``/``import_entries`` transport and re-seeded into every
+  unit next round (a unit re-imports its own exports, which is what carries
+  its learned lemmas across its hermetic slices).  Lemmas rest on this one
+  example's formulas, so cross-unit import is sound exactly as the KB's
+  same-task lemma warm start is; OE digests are transported for KB
+  persistence only and never change admission decisions.
+* **Merge.**  Results merge in unit-id order (stable float sums).  Candidate
+  programs are ordered by their partition-independent provenance key
+  ``(priority, rank, found_index)`` -- the serial discovery order -- and a
+  winner is final only once no live residual's :meth:`lower_bound` could
+  still beat it.  The chosen program is therefore byte-identical to the
+  serial run's on every solved task, and all deterministic counters are
+  byte-identical across worker counts and repeat runs (worker count only
+  moves wall-clock time).
+* **Budget.**  In distributed mode the solve/timeout decision is a function
+  of the deterministic step budget -- ``config.max_steps``, or ``timeout``
+  converted at :data:`STEPS_PER_SECOND` -- never of the wall clock, so
+  oversubscribed hosts cannot flip a task between solve and timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import fields, is_dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..core.frontier import (
+    SearchKernel,
+    decode_hypothesis,
+    rank_from_json,
+    rank_to_json,
+)
+from ..core.hypothesis import component_sequence, hypothesis_size, render_program
+from ..core.synthesizer import (
+    Example,
+    Morpheus,
+    SynthesisConfig,
+    SynthesisResult,
+    SynthesisStats,
+)
+from ..dataframe.profiling import execution_stats
+from ..smt.solver import formula_cache_stats
+from .context import TaskContext
+from .pool import pool_initializer, resolve_jobs
+
+#: Serial steps the caller's kernel runs before the frontier is split.  Long
+#: enough to grow a frontier worth partitioning, short enough that easy
+#: tasks solve before any pool spins up.
+WARMUP_STEPS = 512
+
+#: Steps each work unit runs per round.  Constant and worker-count
+#: independent -- the unit step allocation is part of the determinism
+#: contract, so it must never depend on how many workers drain the queue.
+UNIT_ROUND_STEPS = 2048
+
+#: Upper bound on work units per task.  The split count is
+#: ``min(pending, MAX_UNITS)`` -- a function of the frontier alone, never of
+#: the worker count, so the partition (and every counter downstream of it)
+#: is identical for any ``--workers N``.
+MAX_UNITS = 16
+
+#: Units dispatched per round: the ones with the smallest lower bounds.
+#: Focusing each round on the provenance-cheapest units keeps the fleet's
+#: work near the global cost frontier (close to what the serial best-first
+#: pop explores) instead of burning steps in regions the serial run would
+#: never reach before the winner.  Constant -- NOT the worker count -- so
+#: the schedule, and every counter, is identical for any ``--workers N``.
+ACTIVE_UNITS = 8
+
+#: Steps per second assumed when converting ``config.timeout`` into the
+#: deterministic step budget that replaces the wall clock in this mode.
+STEPS_PER_SECOND = 1500
+
+
+def merge_stats(into, delta, _top: bool = True):
+    """Accumulate a unit's counter delta into *into*, recursively.
+
+    Numeric fields add, dict fields add by key, nested stats dataclasses
+    recurse; ``frontier_peak`` takes the max (units search disjoint
+    sub-frontiers concurrently, so their peaks do not stack).
+    """
+    for spec in fields(into):
+        current = getattr(into, spec.name)
+        value = getattr(delta, spec.name)
+        if _top and spec.name == "frontier_peak":
+            setattr(into, spec.name, max(current, value))
+        elif is_dataclass(current) and not isinstance(current, type):
+            merge_stats(current, value, _top=False)
+        elif isinstance(current, dict):
+            for key, amount in value.items():
+                current[key] = current.get(key, 0) + amount
+        elif isinstance(current, bool):
+            setattr(into, spec.name, current or value)
+        elif isinstance(current, (int, float)):
+            setattr(into, spec.name, current + value)
+    return into
+
+
+# ----------------------------------------------------------------------
+# The per-unit worker
+# ----------------------------------------------------------------------
+#: One dispatch: (unit_id, snapshot payload, example, config, library,
+#: lemma seed entries, OE seed digests, step quota for this round).
+UnitTask = tuple
+
+
+def _drive_unit(task: UnitTask):
+    """Run one work unit's round and return the *live* kernel.
+
+    Hermetic by construction: a fresh :class:`TaskContext` (fresh intern
+    pool, formula cache, execution counters; the process-default KB, if any,
+    is inherited) wraps a kernel restored from the unit's snapshot, so the
+    slice behaves identically whether it runs in a pool worker, in the
+    caller's process, or in a replay -- the mechanism behind worker-count
+    independence.
+    """
+    (unit_id, payload, example, config, library, lemma_seeds, oe_seeds, quota) = task
+    context = TaskContext(backend=config.backend)
+    with context.active():
+        morpheus = Morpheus(library=library, config=config, _sanctioned=True)
+        kernel = SearchKernel.restore(
+            payload, example, config, morpheus.library, morpheus.cost_model,
+            SynthesisStats(),
+        )
+        if lemma_seeds and kernel.engine.lemma_store is not None:
+            kernel.engine.lemma_store.import_entries(lemma_seeds)
+        if oe_seeds and kernel.oe_store is not None:
+            kernel.oe_store.import_entries(oe_seeds)
+        more = kernel.run(max_steps=quota)
+        if more:
+            # Overshoot (deterministically) to the next hypothesis boundary:
+            # a residual suspended mid-expansion would re-expand the same
+            # hypothesis from scratch every round -- an expansion longer
+            # than the round quota would never finish.  Draining the
+            # continuation lane guarantees each round retires at least one
+            # hypothesis per unit.
+            kernel.run_to_boundary()
+            more = bool(kernel.frontier) and len(kernel.solutions) < kernel.k
+        stats = kernel.stats
+        stats.frontier_peak = kernel.frontier.peak
+        stats.solver_cache = (
+            formula_cache_stats().snapshot().since(kernel.solver_cache_baseline)
+        )
+        stats.execution = (
+            execution_stats().snapshot().since(kernel.execution_baseline)
+        )
+        kernel.export_kb_facts()
+    return unit_id, kernel, more
+
+
+def _run_unit(task: UnitTask):
+    """Pool worker: drive one unit's round and serialise the outcome.
+
+    Candidate programs cross the process boundary as rendered text plus
+    provenance key -- never as ``Hypothesis`` objects (their components
+    carry callables) -- and are rebuilt by a deterministic local replay of
+    the winning unit's round (:func:`_drive_unit` with the same task).
+    """
+    unit_id, kernel, more = _drive_unit(task)
+    residual = kernel.suspend() if more else None
+    lemma_store = kernel.engine.lemma_store
+    return unit_id, {
+        "steps": kernel.steps_taken,
+        "solutions": [
+            {
+                "key": rank_to_json(key),
+                "program": render_program(program),
+                "size": hypothesis_size(program),
+            }
+            for program, key in zip(kernel.solutions, kernel.solution_keys)
+        ],
+        "residual": residual,
+        "stats": kernel.stats,
+        "lemmas": lemma_store.export_entries() if lemma_store is not None else [],
+        "oe": kernel.oe_store.export_entries() if kernel.oe_store is not None else [],
+    }
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+class DistributedScheduler:
+    """Fans one task's frontier over a worker pool, deterministically.
+
+    ``drive(example, kernel)`` takes a freshly built (or already warmed)
+    kernel and drives it to a decision, returning the same
+    :class:`SynthesisResult` shape the serial path produces.  The caller's
+    :class:`TaskContext` must be active for the whole call (the warm-up,
+    merge and replay phases run in the caller's process).
+
+    ``workers=1`` runs every unit in-process through the identical worker
+    function and round structure -- the reference schedule the pool modes
+    are gated against.
+    """
+
+    def __init__(
+        self,
+        config: SynthesisConfig,
+        library=None,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        kb_path: Optional[str] = None,
+    ) -> None:
+        self.config = config
+        self.workers = resolve_jobs(
+            workers if workers is not None else config.workers
+        )
+        self.start_method = start_method
+        self.kb_path = kb_path
+        #: The configuration shipped to unit workers: identical search knobs,
+        #: distribution turned off (units are serial slices by definition).
+        self._unit_config = replace(config, distributed=False, workers=None)
+        self._morpheus = Morpheus(
+            library=library, config=self._unit_config, _sanctioned=True
+        )
+        #: Whether the last :meth:`drive` drained the whole frontier (every
+        #: unit exhausted or pruned past the winner's bound) rather than
+        #: stopping on the step budget.  Callers map an unsolved drive to
+        #: ``exhausted`` vs ``timeout`` from this.
+        self.frontier_exhausted = False
+
+    @property
+    def library(self):
+        return self._morpheus.library
+
+    def kernel(self, example: Example, k: Optional[int] = None) -> SearchKernel:
+        """A kernel for *example* under this scheduler's cost model."""
+        return self._morpheus.kernel(example, k=k)
+
+    # ------------------------------------------------------------------
+    def step_budget(self) -> Optional[int]:
+        """The deterministic step budget replacing the wall clock.
+
+        ``config.max_steps`` verbatim when set; else ``timeout`` converted
+        at :data:`STEPS_PER_SECOND`; else unbounded.  Solve/timeout in
+        distributed mode is a function of this budget alone, so the
+        decision cannot flip when workers oversubscribe the CPUs.
+        """
+        if self.config.max_steps is not None:
+            return self.config.max_steps
+        if self.config.timeout is not None:
+            return max(WARMUP_STEPS, int(self.config.timeout * STEPS_PER_SECOND))
+        return None
+
+    def drive(self, example: Example, kernel: SearchKernel) -> SynthesisResult:
+        """Drive *kernel* to a decision, fanning its frontier over the pool."""
+        started = time.monotonic()
+        budget = self.step_budget()
+        steps_before = kernel.steps_taken
+
+        def consumed_local() -> int:
+            return kernel.steps_taken - steps_before
+
+        # Serial warm-up to (then across) the next hypothesis boundary.
+        warmup = WARMUP_STEPS if budget is None else min(WARMUP_STEPS, budget)
+        kernel.run(max_steps=warmup)
+        if not kernel.done:
+            kernel.run_to_boundary()
+        if kernel.done or (budget is not None and consumed_local() >= budget):
+            self.frontier_exhausted = kernel.exhausted
+            return self._package(kernel, time.monotonic() - started)
+
+        units = min(kernel.frontier.pending_hypotheses, MAX_UNITS)
+        queue: Dict[int, dict] = dict(enumerate(kernel.split_snapshots(units)))
+        remaining = kernel.k - len(kernel.solutions)
+        # Each active dispatch slot gets the task's step budget -- the
+        # deterministic analogue of N workers each running under the task's
+        # wall-clock timeout.  Scaled by schedule constants and the unit
+        # count (a function of the frontier), never by the worker count, so
+        # the solve/timeout decision is identical for every ``--workers N``.
+        if budget is not None:
+            budget *= min(units, ACTIVE_UNITS)
+
+        lemma_pool: Dict[str, list] = {}
+        oe_pool: set = set()
+        self._collect_exchange(
+            lemma_pool,
+            oe_pool,
+            kernel.engine.lemma_store.export_entries()
+            if kernel.engine.lemma_store is not None
+            else [],
+            kernel.oe_store.export_entries() if kernel.oe_store is not None else [],
+        )
+
+        candidates: List[dict] = []
+        winning_tasks: Dict[Tuple[int, int], UnitTask] = {}
+        delta = SynthesisStats()
+        consumed_units = 0
+        round_index = 0
+        next_unit_id = units
+        pool = self._open_pool()
+        try:
+            # The queue empties when every unit is exhausted or pruned past
+            # the candidate bound -- the confirmation condition.  A step
+            # budget can cut the loop earlier, with contenders still live.
+            while queue and (
+                budget is None or consumed_local() + consumed_units < budget
+            ):
+                round_index += 1
+                next_unit_id = self._rebalance(queue, next_unit_id)
+                lemma_seeds = [entry for _key, entry in sorted(lemma_pool.items())]
+                oe_seeds = sorted(oe_pool)
+                # This round's active set: the ACTIVE_UNITS units with the
+                # provenance-smallest lower bounds (closest to what the
+                # serial pop order would explore next).  Within the set, the
+                # steal policy: units are dispatched costliest-first (by
+                # pending-lane size, unit id breaking ties) through
+                # imap_unordered, so whichever worker goes idle next pulls
+                # the costliest unit still waiting.
+                active = sorted(
+                    queue, key=lambda uid: (self._queue_bound(queue[uid]), uid)
+                )[:ACTIVE_UNITS]
+                order = sorted(
+                    active, key=lambda uid: (-len(queue[uid]["pending"]), uid)
+                )
+                tasks = [
+                    (
+                        unit_id,
+                        queue[unit_id],
+                        example,
+                        self._unit_config,
+                        self.library,
+                        lemma_seeds,
+                        oe_seeds,
+                        UNIT_ROUND_STEPS,
+                    )
+                    for unit_id in order
+                ]
+                if pool is None:
+                    results = [_run_unit(task) for task in tasks]
+                else:
+                    results = list(pool.imap_unordered(_run_unit, tasks))
+                # Deterministic merge: unit-id order, regardless of the order
+                # results came back in.
+                results.sort(key=lambda item: item[0])
+                by_unit = {task[0]: task for task in tasks}
+                # Units outside the active set carry over untouched.
+                next_queue: Dict[int, dict] = {
+                    unit_id: payload
+                    for unit_id, payload in queue.items()
+                    if unit_id not in set(active)
+                }
+                for unit_id, outcome in results:
+                    consumed_units += outcome["steps"]
+                    merge_stats(delta, outcome["stats"])
+                    for solution in outcome["solutions"]:
+                        candidates.append(
+                            {
+                                "key": rank_from_json(solution["key"]),
+                                "program": solution["program"],
+                                "unit": unit_id,
+                                "round": round_index,
+                            }
+                        )
+                        winning_tasks[(unit_id, round_index)] = by_unit[unit_id]
+                    self._collect_exchange(
+                        lemma_pool, oe_pool, outcome["lemmas"], outcome["oe"]
+                    )
+                    if outcome["residual"] is not None:
+                        next_queue[unit_id] = outcome["residual"]
+                queue = self._prune(next_queue, candidates, remaining)
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+
+        kernel.steps_taken += consumed_units
+        self.frontier_exhausted = not queue
+        selected = self._select(candidates, remaining)
+        # A candidate only counts once no live residual could still beat it
+        # (queue empty = every unit exhausted or pruned past the bound); a
+        # budget cut with contenders still live reports unsolved, keeping
+        # the solve/timeout decision a pure function of the step budget.
+        if selected and not queue:
+            self._materialize(kernel, selected, winning_tasks)
+        return self._package(kernel, time.monotonic() - started, delta)
+
+    # ------------------------------------------------------------------
+    def _open_pool(self):
+        if self.workers == 1:
+            return None
+        context = (
+            multiprocessing.get_context(self.start_method)
+            if self.start_method is not None
+            else multiprocessing
+        )
+        initializer, initargs = pool_initializer(self.kb_path)
+        return context.Pool(
+            processes=self.workers, initializer=initializer, initargs=initargs
+        )
+
+    def _entry_bound(self, entry: dict) -> tuple:
+        """The (priority, rank) key of one snapshot pending-lane entry."""
+        hypothesis = decode_hypothesis(entry["hypothesis"], self.library)
+        priority = self._morpheus.cost_model.priority(
+            hypothesis_size(hypothesis), component_sequence(hypothesis)
+        )
+        rank = entry.get("rank")
+        return (
+            priority,
+            rank_from_json(rank) if rank is not None else (0, entry["tiebreak"]),
+        )
+
+    def _rebalance(self, queue: Dict[int, dict], next_unit_id: int) -> int:
+        """Split the costliest units until the active set is full again.
+
+        The frontier steal that actually redistributes load: refinements
+        enqueue into the unit that generated them, so over rounds the
+        provenance-cheapest unit accretes most of the serial-relevant
+        frontier while its siblings retire.  Whenever fewer than
+        ``ACTIVE_UNITS`` units are live, the unit with the largest pending
+        lane is split in two (contiguous halves of its canonical pending
+        order -- the same partition rule as ``Frontier.split``).  Purely a
+        function of the queue state, so the rebalanced schedule is
+        identical for every worker count.
+        """
+        while len(queue) < ACTIVE_UNITS:
+            # Only boundary-clean payloads split (units always drain to a
+            # hypothesis boundary before suspending, so this is every
+            # residual; the guard keeps the rule locally obvious).
+            candidates_to_split = [
+                uid for uid in queue if queue[uid].get("in_flight") is None
+            ]
+            victim = min(
+                candidates_to_split,
+                key=lambda uid: (-len(queue[uid]["pending"]), uid),
+            ) if candidates_to_split else None
+            if victim is None or len(queue[victim]["pending"]) < 2:
+                break
+            payload = queue[victim]
+            pending = payload["pending"]
+            middle = (len(pending) + 1) // 2
+            for unit_id, chunk in (
+                (victim, pending[:middle]),
+                (next_unit_id, pending[middle:]),
+            ):
+                part = dict(payload)
+                part["pending"] = chunk
+                part["in_flight"] = None
+                part["lower_bound"] = rank_to_json(self._entry_bound(chunk[0]))
+                queue[unit_id] = part
+            next_unit_id += 1
+        return next_unit_id
+
+    @staticmethod
+    def _queue_bound(payload: dict) -> tuple:
+        """A queued unit's lower bound, parsed from its snapshot."""
+        bound = payload.get("lower_bound")
+        if bound is None:
+            # An empty-pending payload cannot produce candidates at all;
+            # order it last (it retires on its next dispatch).
+            return ((float("inf"), 0), (0, 0))
+        return rank_from_json(bound)
+
+    @staticmethod
+    def _collect_exchange(lemma_pool, oe_pool, lemmas, oe_digests) -> None:
+        """Fold one round's lemma/OE exports into the deterministic pools."""
+        for entry in lemmas:
+            lemma_pool[json.dumps(entry, sort_keys=True)] = entry
+        oe_pool.update(oe_digests)
+
+    @staticmethod
+    def _select(candidates: List[dict], remaining: int) -> List[dict]:
+        """The *remaining* provenance-smallest distinct candidate programs."""
+        chosen: List[dict] = []
+        seen: set = set()
+        for candidate in sorted(candidates, key=lambda item: item["key"]):
+            if candidate["program"] in seen:
+                continue
+            seen.add(candidate["program"])
+            chosen.append(candidate)
+            if len(chosen) >= remaining:
+                break
+        return chosen
+
+    def _prune(
+        self, queue: Dict[int, dict], candidates: List[dict], remaining: int
+    ) -> Dict[int, dict]:
+        """Drop residual units that can no longer affect the outcome.
+
+        Once *remaining* distinct candidates exist, a residual whose lower
+        bound strictly exceeds the last selected candidate's ``(priority,
+        rank)`` prefix can only produce provenance-larger programs -- it is
+        retired (its counters for completed rounds are already merged).
+        Units at exactly the bound stay live: they advance past it next
+        round or surface the same program (ties in the key prefix are the
+        same hypothesis, hence the same completion stream).
+        """
+        selected = self._select(candidates, remaining)
+        if len(selected) < remaining:
+            return queue
+        bound = selected[-1]["key"][:2]
+        return {
+            unit_id: payload
+            for unit_id, payload in queue.items()
+            if self._queue_bound(payload) <= bound
+        }
+
+    def _materialize(
+        self,
+        kernel: SearchKernel,
+        selected: List[dict],
+        winning_tasks: Dict[Tuple[int, int], UnitTask],
+    ) -> None:
+        """Rebuild the winning ``Hypothesis`` objects by local replay.
+
+        Winners crossed the process boundary as text + key; the program
+        object the caller receives is rebuilt by re-running the winning
+        unit's round in this process with the byte-identical task tuple.
+        The replay trajectory matches the worker's exactly -- lemma/OE/KB
+        seeds shift work between caches and the solver but never change
+        verdicts, steps or programs -- and runs inside its own fresh
+        ``TaskContext``, so the caller's counter slices stay unpolluted.
+        """
+        replayed: Dict[Tuple[int, int], dict] = {}
+        for candidate in selected:
+            source = (candidate["unit"], candidate["round"])
+            if source not in replayed:
+                _unit_id, replay_kernel, _more = _drive_unit(winning_tasks[source])
+                replayed[source] = {
+                    key: program
+                    for program, key in zip(
+                        replay_kernel.solutions, replay_kernel.solution_keys
+                    )
+                }
+            program = replayed[source].get(candidate["key"])
+            if program is None:
+                raise RuntimeError(
+                    "distributed replay diverged from the worker's trajectory "
+                    f"for unit {candidate['unit']} round {candidate['round']}"
+                )
+            kernel.solutions.append(program)
+            kernel.solution_keys.append(candidate["key"])
+
+    def _package(
+        self,
+        kernel: SearchKernel,
+        elapsed: float,
+        delta: Optional[SynthesisStats] = None,
+    ) -> SynthesisResult:
+        """Build the final result: the caller slice plus merged unit deltas.
+
+        ``Morpheus.finalize`` would overwrite the cache/execution slices
+        from the caller's baselines, clobbering the merged unit counters --
+        so the scheduler assembles the result itself, with the same slicing
+        for the caller's share and an additive merge for the units'.
+        """
+        stats = kernel.stats
+        stats.frontier_peak = kernel.frontier.peak
+        stats.solver_cache = (
+            formula_cache_stats().snapshot().since(kernel.solver_cache_baseline)
+        )
+        stats.execution = (
+            execution_stats().snapshot().since(kernel.execution_baseline)
+        )
+        if delta is not None:
+            merge_stats(stats, delta)
+        kernel.export_kb_facts()
+        solutions = list(kernel.solutions)
+        return SynthesisResult(
+            solved=bool(solutions),
+            program=solutions[0] if solutions else None,
+            elapsed=elapsed,
+            stats=stats,
+            config=self.config,
+            programs=solutions,
+        )

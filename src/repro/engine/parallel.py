@@ -35,8 +35,6 @@ budget cut the search.)
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 import threading
 import time
 from collections import deque
@@ -54,6 +52,21 @@ from ..core.synthesizer import Example, Morpheus, SynthesisConfig, SynthesisResu
 from ..dataframe.profiling import reset_execution_state
 from ..smt.solver import clear_formula_cache
 from .context import TaskContext
+from .pool import (
+    default_job_count as default_job_count,  # re-exported (repro.engine)
+    init_worker_kb,
+    map_batched,
+    map_indexed,
+    pool_initializer,
+    resolve_jobs,
+)
+
+# Historical names, still imported by callers of this module (the benchmark
+# runner's suite harness and external scripts predate the shared pool module).
+_resolve_jobs = resolve_jobs
+_init_worker_kb = init_worker_kb
+_map_indexed = map_indexed
+_map_batched = map_batched
 
 #: A unit of benchmark work: (benchmark, configuration, label, library).
 BenchmarkPair = Tuple[Benchmark, SynthesisConfig, str, object]
@@ -66,19 +79,6 @@ DEFAULT_SLICE_STEPS = 64
 #: Batches dealt to each pool worker over a run (smaller batches improve
 #: progress granularity, larger ones improve interleaving fairness).
 BATCHES_PER_WORKER = 4
-
-
-def default_job_count() -> int:
-    """Worker count used when ``jobs`` is not given (one per CPU)."""
-    return max(1, os.cpu_count() or 1)
-
-
-def _resolve_jobs(jobs: Optional[int]) -> int:
-    if jobs is None:
-        return default_job_count()
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
-    return jobs
 
 
 def _coerce_example(example) -> Example:
@@ -302,19 +302,6 @@ def interleave_benchmarks(
 # ----------------------------------------------------------------------
 # Worker functions (top-level so they pickle under the spawn start method)
 # ----------------------------------------------------------------------
-def _init_worker_kb(kb_path: str) -> None:
-    """Pool initializer: open this worker's own warm-start knowledge base.
-
-    sqlite connections must not cross ``fork``/``spawn`` boundaries, so each
-    worker process opens the shared file itself (WAL journaling arbitrates
-    the concurrent writers).  The handle is installed as the process default,
-    which freshly created :class:`TaskContext` objects inherit.
-    """
-    from .kb import KnowledgeBase, set_default_kb
-
-    set_default_kb(KnowledgeBase(kb_path))
-
-
 def _run_pair_task(task):
     index, benchmark, config, label, library = task
     return index, run_benchmark(benchmark, config, library=library, label=label)
@@ -355,89 +342,6 @@ def _round_robin_batches(count: int, batches: int) -> List[List[int]]:
     for index in range(count):
         groups[index % len(groups)].append(index)
     return [group for group in groups if group]
-
-
-def _map_indexed(
-    worker,
-    tasks: Sequence[tuple],
-    jobs: int,
-    start_method: Optional[str] = None,
-    on_result=None,
-    stop=None,
-    initializer=None,
-    initargs=(),
-) -> Dict[int, object]:
-    """Run index-prefixed *tasks* through *worker*, serially or over a pool.
-
-    Results are collected into an index-keyed dict so callers can restore
-    input order regardless of completion order.  ``on_result(index, value)``
-    fires in the parent as results arrive; ``stop(index, value)`` returning
-    true ends the run early (remaining pool workers are terminated).
-    """
-    collected: Dict[int, object] = {}
-
-    def record(index, value) -> bool:
-        collected[index] = value
-        if on_result is not None:
-            on_result(index, value)
-        return stop is not None and stop(index, value)
-
-    if jobs == 1 or len(tasks) <= 1:
-        for task in tasks:
-            index, value = worker(task)
-            if record(index, value):
-                break
-        return collected
-    context = (
-        multiprocessing.get_context(start_method)
-        if start_method is not None
-        else multiprocessing
-    )
-    with context.Pool(
-        processes=min(jobs, len(tasks)), initializer=initializer, initargs=initargs
-    ) as pool:
-        for index, value in pool.imap_unordered(worker, tasks):
-            if record(index, value):
-                # Exiting the with-block terminates the remaining workers.
-                break
-    return collected
-
-
-def _map_batched(
-    worker,
-    batch_tasks: Sequence[tuple],
-    jobs: int,
-    start_method: Optional[str] = None,
-    on_result=None,
-    initializer=None,
-    initargs=(),
-) -> Dict[int, object]:
-    """Run batch workers (each returning ``[(index, value), ...]``) and flatten."""
-    collected: Dict[int, object] = {}
-
-    def record(results) -> None:
-        for index, value in results:
-            collected[index] = value
-            if on_result is not None:
-                on_result(index, value)
-
-    if jobs == 1 or len(batch_tasks) <= 1:
-        for task in batch_tasks:
-            record(worker(task))
-        return collected
-    context = (
-        multiprocessing.get_context(start_method)
-        if start_method is not None
-        else multiprocessing
-    )
-    with context.Pool(
-        processes=min(jobs, len(batch_tasks)),
-        initializer=initializer,
-        initargs=initargs,
-    ) as pool:
-        for results in pool.imap_unordered(worker, batch_tasks):
-            record(results)
-    return collected
 
 
 # ----------------------------------------------------------------------
@@ -481,9 +385,7 @@ class ParallelRunner:
 
     def _pool_initializer(self) -> tuple:
         """The ``(initializer, initargs)`` pair for worker pools."""
-        if self.kb_path is None:
-            return None, ()
-        return _init_worker_kb, (self.kb_path,)
+        return pool_initializer(self.kb_path)
 
     # ------------------------------------------------------------------
     def map_benchmarks(

@@ -112,7 +112,12 @@ class ServiceSession:
         """One scheduler slice; ``True`` drops the session from the rotation.
 
         Called only by the scheduler thread, which holds the store's work
-        lock around the context-active kernel stepping.  Leaving the
+        lock around the context-active kernel stepping.  For a distributed
+        configuration (``config.distributed``) the facade session runs the
+        *entire* burst -- warm-up, every scheduler round and the merge --
+        under this one work-lock acquisition, so co-scheduled sessions wait
+        for the whole drive rather than a 64-step slice; distributed
+        sessions are best run in a store of their own.  Leaving the
         rotation and :meth:`SessionStore._enroll` are serialised on the
         registry lock: a concurrent ``add_example`` either resumes the
         session before the finished-check here (the task stays enrolled and
